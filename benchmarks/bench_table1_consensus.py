@@ -1,0 +1,100 @@
+"""Table 1, row global CONS (Corollary 5.5).
+
+Paper claim: network-wide consensus over the absMAC completes in
+``O(D·(Δ + log Λ)·log(nΛ/ε))`` — i.e. O(D · f_ack), the product of the
+diameter and the acknowledgment bound (the consensus algorithm of [44]
+is analyzed purely in terms of f_ack; f_prog never enters).
+
+Experiment: flood-based consensus over the combined stack on line
+networks of growing diameter; completion vs the D·f_ack shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import consensus_upper_bound
+from repro.analysis.harness import (
+    build_combined_stack,
+    correlation_with_shape,
+    format_table,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.geometry.deployment import line_deployment
+from repro.protocols.consensus import ConsensusClient, run_consensus
+from repro.sinr.params import SINRParameters
+
+HOPS = (2, 4, 6)
+EPS_CONS = 0.1
+
+
+def run_sweep() -> list[dict]:
+    params = SINRParameters()
+    spacing = params.approx_range * 0.9  # keeps G_{1-2eps} connected too
+    rows = []
+    for hops in HOPS:
+        points = line_deployment(hops + 1, spacing=spacing)
+        n = len(points)
+        waves = 2 * hops + 2
+        stack = build_combined_stack(
+            points,
+            params,
+            client_factory=lambda i: ConsensusClient(i, i % 2, waves=waves),
+            approg_config=ApproxProgressConfig(
+                lambda_bound=2.0, eps_approg=0.2, alpha=params.alpha,
+                t_scale=0.25,
+            ),
+            seed=hops,
+        )
+        result = run_consensus(stack.runtime, stack.macs, stack.clients)
+        rows.append(
+            {
+                "n": n,
+                "diameter": stack.metrics.diameter,
+                "agreed": result.agreed,
+                "valid": result.decided_value() == (n - 1) % 2,
+                "completion": result.completion_slot,
+                "predicted": consensus_upper_bound(
+                    stack.metrics.diameter or n,
+                    stack.metrics.degree,
+                    max(stack.metrics.lam, 2.0),
+                    n,
+                    EPS_CONS,
+                ),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-consensus")
+def test_table1_consensus(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "",
+        "=== Table 1 / global CONS (Cor. 5.5): completion vs diameter ===",
+        format_table(
+            ["n", "D", "agreed", "valid", "completion slots", "Θ-shape"],
+            [
+                [
+                    r["n"],
+                    r["diameter"],
+                    r["agreed"],
+                    r["valid"],
+                    r["completion"],
+                    f"{r['predicted']:.0f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    assert all(r["agreed"] for r in rows), "agreement violated"
+    assert all(r["valid"] for r in rows), "validity violated"
+    completions = [r["completion"] for r in rows]
+    predictions = [r["predicted"] for r in rows]
+    assert completions == sorted(completions)
+    shape = correlation_with_shape(completions, predictions)
+    emit(
+        f"shape check: pearson={shape['pearson']:.3f} "
+        f"ratio-spread={shape['ratio_spread']:.2f}"
+    )
+    assert shape["pearson"] > 0.8

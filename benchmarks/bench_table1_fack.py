@@ -1,0 +1,145 @@
+"""Table 1, row f_ack (Theorem 5.1).
+
+Paper claim: acknowledgments complete in
+``O(Δ·log(Λ/ε_ack) + log Λ·log(Λ/ε_ack))`` — *linear* in the degree Δ
+with a polylog additive term.
+
+Experiment: fixed-radius random disks of growing population (so Δ grows
+while Λ stays put); every node broadcasts under Algorithm B.1; measured
+mean/max ack latency is compared against the predicted shape.  We check
+that (a) latency grows with Δ, (b) growth is at most mildly super-linear
+(the Θ-shape), and (c) the completeness of acknowledgments stays high.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import fack_upper_bound
+from repro.analysis.harness import (
+    build_ack_stack,
+    correlation_with_shape,
+    format_table,
+    run_local_broadcast_experiment,
+)
+from repro.geometry.deployment import uniform_disk
+from repro.sinr.params import SINRParameters
+
+POPULATIONS = (8, 16, 32)
+RADIUS = 9.0
+EPS_ACK = 0.1
+
+
+def run_sweep() -> list[dict]:
+    params = SINRParameters()
+    rows = []
+    for n in POPULATIONS:
+        points = uniform_disk(n, radius=RADIUS, seed=100 + n)
+        stack = build_ack_stack(points, params, eps_ack=EPS_ACK, seed=n)
+        report, _ = run_local_broadcast_experiment(stack, list(range(n)))
+        rows.append(
+            {
+                "n": n,
+                "delta": stack.metrics.degree,
+                "lam": stack.metrics.lam,
+                "mean_latency": report.mean_latency(),
+                "max_latency": report.max_latency(),
+                "completeness": report.completeness_fraction(),
+                "predicted": fack_upper_bound(
+                    stack.metrics.degree, stack.metrics.lam, EPS_ACK
+                ),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-fack")
+def test_table1_fack(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    emit(
+        "",
+        "=== Table 1 / f_ack (Theorem 5.1): ack latency vs degree ===",
+        format_table(
+            ["n", "Δ", "Λ", "mean f_ack", "max f_ack", "complete", "Θ-shape"],
+            [
+                [
+                    r["n"],
+                    r["delta"],
+                    f"{r['lam']:.1f}",
+                    f"{r['mean_latency']:.0f}",
+                    r["max_latency"],
+                    f"{r['completeness']:.2f}",
+                    f"{r['predicted']:.0f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+
+    # Shape assertions: latency grows with Δ and tracks the bound.
+    latencies = [r["mean_latency"] for r in rows]
+    predicted = [r["predicted"] for r in rows]
+    assert latencies == sorted(latencies), "f_ack must grow with Δ"
+    shape = correlation_with_shape(latencies, predicted)
+    emit(
+        f"shape check: pearson={shape['pearson']:.3f} "
+        f"ratio-spread={shape['ratio_spread']:.2f}"
+    )
+    assert shape["pearson"] > 0.8
+    # Acknowledgments overwhelmingly complete (1 - eps_ack modulo noise).
+    assert all(r["completeness"] >= 0.7 for r in rows)
+
+
+def run_eps_sweep() -> list[dict]:
+    """The other axis of Theorem 5.1: f_ack ~ log(Λ/ε_ack)."""
+    params = SINRParameters()
+    points = uniform_disk(16, radius=RADIUS, seed=116)
+    rows = []
+    for eps in (0.4, 0.1, 0.01, 0.001):
+        stack = build_ack_stack(points, params, eps_ack=eps, seed=11)
+        report, _ = run_local_broadcast_experiment(stack, list(range(16)))
+        rows.append(
+            {
+                "eps": eps,
+                "mean_latency": report.mean_latency(),
+                "completeness": report.completeness_fraction(),
+                "predicted": fack_upper_bound(
+                    stack.metrics.degree, stack.metrics.lam, eps
+                ),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-fack")
+def test_table1_fack_eps_dependence(benchmark, emit):
+    rows = benchmark.pedantic(run_eps_sweep, rounds=1, iterations=1)
+    emit(
+        "",
+        "=== Table 1 / f_ack (Thm 5.1): log(Λ/ε) dependence ===",
+        format_table(
+            ["ε_ack", "mean f_ack", "complete", "Θ-shape"],
+            [
+                [
+                    r["eps"],
+                    f"{r['mean_latency']:.0f}",
+                    f"{r['completeness']:.2f}",
+                    f"{r['predicted']:.0f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    latencies = [r["mean_latency"] for r in rows]
+    # Tighter guarantees cost more slots...
+    assert latencies == sorted(latencies)
+    # ...but only logarithmically: 400x tighter ε costs < ~8x the time
+    # (a linear-in-1/ε law would cost 400x).
+    assert latencies[-1] / latencies[0] < 8.0
+    shape = correlation_with_shape(latencies, [r["predicted"] for r in rows])
+    emit(
+        f"shape check: pearson={shape['pearson']:.3f} "
+        f"(logarithmic cost of tighter ε)"
+    )
+    assert shape["pearson"] > 0.8

@@ -1,0 +1,97 @@
+"""Table 1, row global MMB (Theorem 12.7).
+
+Paper claim: k-message broadcast completes in
+``O(D̃·log^{α+1} Λ + k·(Δ + polylog)·log(nk/ε))`` — the D-term and the
+k-term are *additive*.  The baseline pipeline bound from per-hop local
+broadcast ([29], §2.1) is multiplicative: ``O((D + k)·(Δ·log n + log² n))``.
+
+Experiment: BMMB over the combined stack on a fixed line network with
+growing k; the per-message marginal cost (slope in k) must stay roughly
+constant (additive k-term) rather than scale with D.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import mmb_upper_bound
+from repro.analysis.harness import (
+    build_combined_stack,
+    format_table,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.geometry.deployment import line_deployment
+from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
+from repro.sinr.params import SINRParameters
+
+KS = (1, 2, 4, 8)
+HOPS = 4
+EPS_MMB = 0.1
+
+
+def run_sweep() -> list[dict]:
+    params = SINRParameters()
+    spacing = params.approx_range * 0.9  # keeps G_{1-2eps} connected too
+    rows = []
+    for k in KS:
+        points = line_deployment(HOPS + 1, spacing=spacing)
+        stack = build_combined_stack(
+            points,
+            params,
+            client_factory=lambda i: BmmbClient(),
+            approg_config=ApproxProgressConfig(
+                lambda_bound=2.0, eps_approg=0.2, alpha=params.alpha,
+                t_scale=0.25,
+            ),
+            seed=k,
+        )
+        arrivals = {0: [f"msg-{j}" for j in range(k)]}
+        completion = run_multi_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, arrivals=arrivals
+        )
+        n = len(points)
+        rows.append(
+            {
+                "k": k,
+                "completion": completion,
+                "predicted": mmb_upper_bound(
+                    stack.metrics.diameter_tilde or n,
+                    k,
+                    stack.metrics.degree,
+                    n,
+                    EPS_MMB,
+                    max(stack.metrics.lam, 2.0),
+                    params.alpha,
+                ),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-mmb")
+def test_table1_mmb(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    completions = [r["completion"] for r in rows]
+    # Marginal cost per extra message between consecutive k values.
+    margins = [
+        (completions[i + 1] - completions[i]) / (KS[i + 1] - KS[i])
+        for i in range(len(KS) - 1)
+    ]
+    emit(
+        "",
+        "=== Table 1 / global MMB (Thm 12.7): additive k-term ===",
+        format_table(
+            ["k", "completion slots", "Θ-shape"],
+            [
+                [r["k"], r["completion"], f"{r['predicted']:.0f}"]
+                for r in rows
+            ],
+        ),
+        f"per-message marginal slots: {[f'{m:.0f}' for m in margins]}",
+    )
+    assert completions == sorted(completions), "MMB must grow with k"
+    # Additivity: the marginal cost must not blow up with k (a D·k
+    # multiplicative law would make late margins ~D times earlier ones).
+    assert max(margins) <= 4.0 * max(min(margins), 1.0), (
+        f"marginal costs suggest multiplicative D·k: {margins}"
+    )

@@ -1,0 +1,100 @@
+"""Table 1, row global SMB (Theorem 12.7).
+
+Paper claim: global single-message broadcast over the combined absMAC
+completes in ``O((D_{G_{1-2ε}} + log(n/ε))·log^{α+1} Λ)`` — linear in
+the diameter with polylog factors, *without* a multiplicative Δ or log n
+on the D term.
+
+Experiment: BSMB over the full Algorithm 11.1 stack on line networks of
+growing hop count; completion slot vs D is compared to the predicted
+linear-in-D shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import smb_upper_bound
+from repro.analysis.harness import (
+    build_combined_stack,
+    correlation_with_shape,
+    format_table,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.geometry.deployment import line_deployment
+from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.sinr.params import SINRParameters
+
+HOPS = (2, 5, 8, 12)
+EPS_SMB = 0.1
+
+
+def run_sweep() -> list[dict]:
+    params = SINRParameters()
+    spacing = params.approx_range * 0.9  # keeps G_{1-2eps} connected too
+    rows = []
+    for hops in HOPS:
+        points = line_deployment(hops + 1, spacing=spacing)
+        stack = build_combined_stack(
+            points,
+            params,
+            client_factory=lambda i: BsmbClient(),
+            approg_config=ApproxProgressConfig(
+                lambda_bound=2.0, eps_approg=0.2, alpha=params.alpha,
+                t_scale=0.25,
+            ),
+            seed=hops,
+        )
+        completion = run_single_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, source=0
+        )
+        n = len(points)
+        rows.append(
+            {
+                "n": n,
+                "diameter": stack.metrics.diameter,
+                "diameter_tilde": stack.metrics.diameter_tilde,
+                "completion": completion,
+                "predicted": smb_upper_bound(
+                    stack.metrics.diameter_tilde or n,
+                    n,
+                    EPS_SMB,
+                    max(stack.metrics.lam, 2.0),
+                    params.alpha,
+                ),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-smb")
+def test_table1_smb(benchmark, emit):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit(
+        "",
+        "=== Table 1 / global SMB (Thm 12.7): completion vs diameter ===",
+        format_table(
+            ["n", "D", "D̃", "completion slots", "Θ-shape"],
+            [
+                [
+                    r["n"],
+                    r["diameter"],
+                    r["diameter_tilde"],
+                    r["completion"],
+                    f"{r['predicted']:.0f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    completions = [r["completion"] for r in rows]
+    predictions = [r["predicted"] for r in rows]
+    assert completions == sorted(completions), "SMB must grow with D"
+    shape = correlation_with_shape(completions, predictions)
+    emit(
+        f"shape check: pearson={shape['pearson']:.3f} "
+        f"ratio-spread={shape['ratio_spread']:.2f}"
+    )
+    assert shape["pearson"] > 0.8
+    # Linear-in-D: 6x more hops may not cost more than ~12x the slots.
+    assert completions[-1] / completions[0] < 2.2 * (HOPS[-1] / HOPS[0])

@@ -1,0 +1,192 @@
+"""Table 2 (§2.1): global SMB — this paper vs prior approaches.
+
+The paper's Table 2 is an *analytic* comparison of three bounds; we
+reproduce it twice:
+
+1. **Formula grid** — evaluate the three Θ-expressions across the
+   parameter space and check the paper's claims: ours improves on
+   Daum et al. [14] in the *full* range (they carry an extra
+   multiplicative log n on the D-term), and the crossover against
+   Jurdziński et al. [32] sits at ``log^{α+1} Λ ≈ log² n``.
+
+2. **Empirical run** — two executable stacks on one dense multihop
+   deployment (clusters along a line, so contention is high and the
+   MAC actually matters):
+
+   * *ours*: BSMB over Algorithm 11.1, constant per-epoch ε_approg
+     (the localized analysis lets epochs run with weak guarantees);
+   * *Daum-style [14]*: BSMB forwarding over the standalone epoch
+     machinery (Algorithm 9.1 without any ack layer — that is what
+     [14]'s global algorithm is) at w.h.p. parameters ε = 1/n², paying
+     the multiplicative log n in epoch length.
+
+   (Decay does not appear in the paper's Table 2; its separation lives
+   in Theorem 8.1 and is measured by ``bench_thm81_decay_approg.py``.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import (
+    smb_bound_daum,
+    smb_bound_jurdzinski,
+    smb_upper_bound,
+)
+from repro.analysis.harness import (
+    build_approg_stack,
+    build_combined_stack,
+    format_table,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.geometry.deployment import cluster_deployment
+from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.sinr.params import SINRParameters
+
+
+def formula_grid() -> list[dict]:
+    rows = []
+    for d in (8, 64):
+        for n in (64, 4096):
+            for lam in (4.0, 256.0):
+                rows.append(
+                    {
+                        "D": d,
+                        "n": n,
+                        "lam": lam,
+                        "ours": smb_upper_bound(d, n, 1.0 / n, lam, 3.0),
+                        "daum": smb_bound_daum(d, n, lam, 3.0),
+                        "jurdzinski": smb_bound_jurdzinski(d, n),
+                    }
+                )
+    return rows
+
+
+def dense_line_points(seed=5):
+    """Five dense clusters along a line: multihop AND high contention."""
+    params = SINRParameters()
+    spacing = params.approx_range * 0.8
+    return cluster_deployment(
+        n_clusters=5,
+        nodes_per_cluster=7,
+        cluster_radius=2.0,
+        cluster_spacing=spacing,
+        min_separation=1.0,
+        seed=seed,
+    )
+
+
+def run_empirical() -> dict:
+    params = SINRParameters()
+    points = dense_line_points()
+    n = len(points)
+
+    # Shared knowledge: the polynomial bound on Lambda.
+    probe = build_combined_stack(points, params, seed=0)
+    lam = max(probe.metrics.lam, 2.0)
+
+    # Ours: combined MAC, constant-probability epochs.
+    ours_stack = build_combined_stack(
+        points,
+        params,
+        eps_ack=0.1,
+        client_factory=lambda i: BsmbClient(),
+        approg_config=ApproxProgressConfig(
+            lambda_bound=lam, eps_approg=0.125, alpha=params.alpha,
+            t_scale=0.25,
+        ),
+        seed=1,
+    )
+    ours = run_single_message_broadcast(
+        ours_stack.runtime, ours_stack.macs, ours_stack.clients, source=0
+    )
+
+    # Daum-style: standalone epoch machinery at w.h.p. parameters.
+    daum_stack = build_approg_stack(
+        points,
+        params,
+        client_factory=lambda i: BsmbClient(),
+        approg_config=ApproxProgressConfig(
+            lambda_bound=lam,
+            eps_approg=1.0 / (n * n),
+            alpha=params.alpha,
+            t_scale=0.25,
+        ),
+        seed=1,
+    )
+    daum = run_single_message_broadcast(
+        daum_stack.runtime, daum_stack.macs, daum_stack.clients, source=0
+    )
+
+    return {
+        "n": n,
+        "delta": ours_stack.metrics.degree,
+        "lam": lam,
+        "ours": ours,
+        "daum": daum,
+        "epoch_ours": ours_stack.macs[0].schedule.epoch_slots,
+        "epoch_daum": daum_stack.macs[0].schedule.epoch_slots,
+    }
+
+
+@pytest.mark.benchmark(group="table2-smb")
+def test_table2_formula_grid(benchmark, emit):
+    rows = benchmark.pedantic(formula_grid, rounds=1, iterations=1)
+    emit(
+        "",
+        "=== Table 2 (analytic): SMB bounds across the parameter space ===",
+        format_table(
+            ["D", "n", "Λ", "ours", "[14] Daum", "[32] Jurdziński"],
+            [
+                [
+                    r["D"],
+                    r["n"],
+                    f"{r['lam']:.0f}",
+                    f"{r['ours']:.0f}",
+                    f"{r['daum']:.0f}",
+                    f"{r['jurdzinski']:.0f}",
+                ]
+                for r in rows
+            ],
+        ),
+    )
+    # Paper claim 1: we improve on [14] in the full range.
+    for r in rows:
+        assert r["ours"] <= r["daum"] * 1.01
+    # Paper claim 2: the [32] comparison flips with the regime.
+    we_win = [r for r in rows if r["ours"] < r["jurdzinski"]]
+    they_win = [r for r in rows if r["jurdzinski"] < r["ours"]]
+    assert we_win and they_win, "expected a crossover against [32]"
+    emit(
+        f"crossover vs [32]: we win in {len(we_win)}/8 cells "
+        "(small Λ / large n), they win in the rest — as §2.1 states."
+    )
+
+
+@pytest.mark.benchmark(group="table2-smb")
+def test_table2_empirical_stacks(benchmark, emit):
+    row = benchmark.pedantic(run_empirical, rounds=1, iterations=1)
+    emit(
+        "",
+        "=== Table 2 (empirical): two stacks, dense 5-cluster line ===",
+        format_table(
+            ["n", "Δ", "Λ", "ours", "Daum-style [14]"],
+            [
+                [
+                    row["n"],
+                    row["delta"],
+                    f"{row['lam']:.1f}",
+                    row["ours"],
+                    row["daum"],
+                ]
+            ],
+        ),
+        f"epoch length: ours={row['epoch_ours']} vs "
+        f"Daum-style={row['epoch_daum']} "
+        "(the multiplicative log n shows up directly in the epoch)",
+    )
+    # Who wins, as Table 2 predicts: the layered stack with the
+    # localized (constant-ε) analysis beats the w.h.p.-forced epochs.
+    assert row["ours"] < row["daum"]
+    # Mechanism check: the forced w.h.p. parameters inflate the epoch.
+    assert row["epoch_daum"] > 1.5 * row["epoch_ours"]

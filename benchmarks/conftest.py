@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one row/figure of the paper's evaluation
+(see DESIGN.md §4) and prints a paper-style comparison table directly to
+the terminal (bypassing pytest capture) so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the measured-vs-predicted shapes alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print straight to the terminal, bypassing pytest capture."""
+
+    def _emit(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _emit

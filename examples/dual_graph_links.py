@@ -1,0 +1,96 @@
+"""Dual-graph demo: strong links, gray-zone links, and exact broadcast.
+
+The paper's model distinguishes three nested graphs (§4.3, Remark 4.6,
+Remark 7.2):
+
+* G_{1-2ε} — where *approximate progress* is promised (Def. 7.1),
+* G_{1-ε}  — where local broadcast is reliable (the absMAC's G),
+* G_1      — the outer decodability limit; links in G_1 \\ G_{1-ε}
+  (the "gray zone") may deliver opportunistically but carry no
+  guarantee.
+
+This script builds a three-node chain with one strong link and one
+gray-zone link and shows:
+
+1. by default, gray-zone messages are delivered when physics allows
+   (the paper's main setting);
+2. under a gray-zone adversary erasing all unreliable links, the
+   guaranteed traffic is untouched;
+3. with Remark 4.6's exact local broadcast enabled, the MAC itself
+   discards gray-zone messages, making rcv events exactly G_{1-ε}.
+
+Run:  python examples/dual_graph_links.py
+"""
+
+import numpy as np
+
+from repro import GrayZoneAdversary, SINRParameters
+from repro.analysis.harness import (
+    attach_exact_local_broadcast,
+    build_ack_stack,
+    format_table,
+)
+from repro.geometry.points import PointSet
+from repro.sinr.graphs import strong_connectivity_graph
+
+
+def chain(params: SINRParameters) -> PointSet:
+    """0 —strong— 1 —gray— 2: the middle node broadcasts."""
+    gray = 0.95 * params.transmission_range  # beyond R_(1-ε), inside R
+    return PointSet(np.array([[0.0, 0.0], [5.0, 0.0], [5.0 + gray, 0.0]]))
+
+
+def run(mode: str) -> dict:
+    params = SINRParameters()
+    points = chain(params)
+    adversary = None
+    if mode == "gray zone jammed":
+        graph = strong_connectivity_graph(points, params)
+        adversary = GrayZoneAdversary(graph, gray_drop=1.0)
+    stack = build_ack_stack(
+        points, params, eps_ack=0.2, seed=1, adversary=adversary
+    )
+    if mode == "exact broadcast (Rmk 4.6)":
+        attach_exact_local_broadcast(stack)
+    message = stack.macs[1].bcast(payload="hello")
+    stack.runtime.run_until(lambda r: not stack.macs[1].busy)
+    return {
+        "mode": mode,
+        "strong rcv (node 0)": message.mid in stack.macs[0].delivered_mids,
+        "gray rcv (node 2)": message.mid in stack.macs[2].delivered_mids,
+        "acked": message.mid in stack.macs[1].acked_mids,
+    }
+
+
+def main() -> None:
+    rows = [
+        run("default (paper setting)"),
+        run("gray zone jammed"),
+        run("exact broadcast (Rmk 4.6)"),
+    ]
+    print("three-node chain: 1 broadcasts; 0 is a strong neighbor, 2 a")
+    print("gray-zone neighbor (decodable but beyond R_(1-ε))\n")
+    print(
+        format_table(
+            ["mode", "strong rcv", "gray rcv", "acked"],
+            [
+                [
+                    r["mode"],
+                    r["strong rcv (node 0)"],
+                    r["gray rcv (node 2)"],
+                    r["acked"],
+                ]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nThe guarantee set never changes — only the opportunistic "
+        "gray-zone delivery\ndoes.  That is why the absMAC contract is "
+        "stated on G_(1-ε) and approximate\nprogress on G_(1-2ε): "
+        "everything outside is best-effort (Remarks 4.6, 7.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Emergency consensus scenario: agree on evacuation under jamming.
+
+Corollary 5.5's application: a disaster-response ad-hoc network must
+reach network-wide consensus (evacuate: yes/no) over nothing but the
+SINR radio — no infrastructure, unknown positions, and in this script a
+hostile jammer erasing a fraction of all receptions.
+
+The consensus algorithm ([44]-style, O(D·f_ack)) runs over the paper's
+absMAC; the absMAC's acknowledgment machinery absorbs the erasures by
+simply taking longer, and agreement/validity survive.
+
+Run:  python examples/emergency_consensus.py
+"""
+
+import numpy as np
+
+from repro import JammingAdversary, SINRParameters, uniform_disk
+from repro.analysis.harness import build_combined_stack, format_table
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.protocols.consensus import ConsensusClient, run_consensus
+
+
+def run_vote(drop_probability: float, seed: int = 2) -> dict:
+    params = SINRParameters()
+    points = uniform_disk(14, radius=11.0, seed=21)
+    n = len(points)
+    # 9 of 14 responders vote "evacuate" (1); the rest vote "stay" (0).
+    votes = [1 if i % 3 != 2 else 0 for i in range(n)]
+    adversary = (
+        JammingAdversary(
+            drop_probability=drop_probability,
+            rng=np.random.default_rng(seed),
+        )
+        if drop_probability > 0
+        else None
+    )
+    stack = build_combined_stack(
+        points,
+        params,
+        client_factory=lambda i: ConsensusClient(i, votes[i], waves=2 * n + 2),
+        approg_config=ApproxProgressConfig(
+            lambda_bound=16.0, eps_approg=0.15, alpha=params.alpha,
+            t_scale=0.25,
+        ),
+        seed=seed,
+        adversary=adversary,
+    )
+    result = run_consensus(stack.runtime, stack.macs, stack.clients)
+    return {
+        "drop": f"{drop_probability:.0%}",
+        "agreed": result.agreed,
+        "decision": result.decided_value() if result.agreed else "-",
+        "valid": result.agreed
+        and result.decided_value() == votes[n - 1],  # max-id node's vote
+        "slots": result.completion_slot,
+    }
+
+
+def main() -> None:
+    rows = [run_vote(0.0), run_vote(0.15), run_vote(0.3)]
+    print("emergency consensus: 14 responders vote on evacuation\n")
+    print(
+        format_table(
+            ["jamming", "agreed", "decision", "valid", "completion (slots)"],
+            [
+                [r["drop"], r["agreed"], r["decision"], r["valid"], r["slots"]]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nAgreement and validity survive heavy jamming: the flooding "
+        "waves carry enough\nredundancy that erased receptions never "
+        "break safety, and the absMAC's\nbudget-driven acknowledgments "
+        "keep termination bounded — Cor. 5.5's modularity."
+    )
+
+
+if __name__ == "__main__":
+    main()

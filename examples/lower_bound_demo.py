@@ -1,0 +1,78 @@
+"""Walk-through of the Theorem 6.1 / Figure 1 impossibility argument.
+
+Recreates the figure's two-parallel-lines network interactively:
+shows the geometry, probes the SINR of concurrent cross links, executes
+the optimal centralized schedule, and demonstrates why the relaxed
+*approximate progress* contract (Definition 7.1) escapes the Δ floor.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro.analysis.harness import format_table
+from repro.lowerbounds.constructions import ProgressLowerBoundNetwork
+from repro.lowerbounds.experiments import optimal_schedule_progress
+
+
+def main() -> None:
+    delta = 5  # the value drawn in the paper's Figure 1
+    network = ProgressLowerBoundNetwork(delta=delta)
+    print(
+        f"Figure 1 geometry: two lines of Δ={delta} nodes, "
+        f"{network.line_distance:.0f} units apart "
+        f"(= R_(1-ε) = 10·Δ)\n"
+    )
+
+    print("Step 1 — every node has degree exactly Δ in G_(1-ε):")
+    degrees = sorted({deg for _, deg in network.graph.degree})
+    print(f"  degrees present: {degrees}\n")
+
+    print("Step 2 — one cross transmission decodes; two annihilate:")
+    channel = network.channel()
+    v0, u0 = 0, network.partner(0)
+    lone = channel.link_sinr(v0, u0, [v0])
+    pair = channel.link_sinr(v0, u0, [v0, 1])
+    print(
+        format_table(
+            ["transmitters", "SINR at u0", "beta", "decodes?"],
+            [
+                ["{v0}", f"{lone:.2f}", network.params.beta, lone >= 1.5],
+                ["{v0, v1}", f"{pair:.4f}", network.params.beta, pair >= 1.5],
+            ],
+        )
+    )
+
+    print(
+        "\nStep 3 — run the OPTIMAL centralized schedule (one cross pair "
+        "per slot,\nthe best physics allows):"
+    )
+    result = optimal_schedule_progress(network)
+    per_node = sorted(result["per_node_progress"].items())
+    print(
+        format_table(
+            ["U-node", "progress at slot"],
+            [[node, slot] for node, slot in per_node],
+        )
+    )
+    print(
+        f"\n  worst-case progress = {result['max_progress']} = Δ: no "
+        "implementation can beat it\n  (Theorem 6.1) — the absMAC "
+        "f_prog <= polylog promise is unimplementable in SINR."
+    )
+
+    cross_in_gtilde = sum(
+        1
+        for v in network.v_nodes
+        if network.approx_graph.has_edge(v, network.partner(v))
+    )
+    print(
+        f"\nStep 4 — the escape hatch: the {delta} cross links have "
+        f"length exactly R_(1-ε),\nso G_(1-2ε) contains "
+        f"{cross_in_gtilde} of them.  Approximate progress "
+        "(Definition 7.1)\nis only promised for G̃-neighbors, so this "
+        "worst case is exempt — and Theorem 9.1\nimplements it in "
+        "polylog time.  That is the paper in one picture."
+    )
+
+
+if __name__ == "__main__":
+    main()

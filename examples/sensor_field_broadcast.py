@@ -1,0 +1,109 @@
+"""Sensor field scenario: multi-message dissemination across clusters.
+
+The paper's motivating setting (§1): a wireless sensor network where
+density varies wildly — dense instrument clusters joined by a sparse
+backbone — and several sensors must broadcast readings network-wide.
+Global interference couples the clusters even though they are many hops
+apart, which is exactly what graph-based MAC models miss and the SINR
+absMAC handles.
+
+The script runs BMMB (multi-message broadcast, [37]) over the paper's
+absMAC on a clustered field, and contrasts the completion time with the
+same protocol over the Decay MAC baseline.
+
+Run:  python examples/sensor_field_broadcast.py
+"""
+
+from repro import SINRParameters, cluster_deployment
+from repro.analysis.harness import (
+    build_combined_stack,
+    build_decay_stack,
+    format_table,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.core.decay import DecayConfig
+from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
+
+
+def build_field(seed: int = 3):
+    """Four dense instrument clusters strung along a valley."""
+    params = SINRParameters()
+    points = cluster_deployment(
+        n_clusters=4,
+        nodes_per_cluster=6,
+        cluster_radius=2.0,
+        cluster_spacing=params.approx_range * 0.8,
+        min_separation=1.0,
+        seed=seed,
+    )
+    return points, params
+
+
+def run_stack(kind: str) -> dict:
+    points, params = build_field()
+    if kind == "sinr-absmac":
+        stack = build_combined_stack(
+            points,
+            params,
+            client_factory=lambda i: BmmbClient(),
+            approg_config=ApproxProgressConfig(
+                lambda_bound=16.0, eps_approg=0.15, alpha=params.alpha,
+                t_scale=0.25,
+            ),
+            seed=1,
+        )
+    else:
+        # Fairness: both MACs know only the Λ-derived contention bound
+        # Ñ = 4Λ² (the paper's model: n and positions unknown).  B.1
+        # adapts its budget to the *actual* contention; Decay cannot.
+        stack = build_decay_stack(
+            points,
+            params,
+            client_factory=lambda i: BmmbClient(),
+            decay_config=DecayConfig(
+                contention_bound=SINRParameters.max_contention_bound(16.0),
+                eps_ack=0.1,
+            ),
+            seed=1,
+        )
+    # Three sensors in different clusters report readings.
+    readings = {
+        0: ["temp=21.4C@site0"],
+        7: ["vibration=0.3g@site1"],
+        14: ["humidity=44%@site2"],
+    }
+    completion = run_multi_message_broadcast(
+        stack.runtime, stack.macs, stack.clients, arrivals=readings
+    )
+    all_tokens = [t for tokens in readings.values() for t in tokens]
+    delivered = sum(1 for c in stack.clients if c.has_all(all_tokens))
+    return {
+        "stack": kind,
+        "n": len(points),
+        "degree": stack.metrics.degree,
+        "completion": completion,
+        "delivered": f"{delivered}/{len(points)}",
+    }
+
+
+def main() -> None:
+    rows = [run_stack("sinr-absmac"), run_stack("decay-mac")]
+    print("sensor field: 4 clusters x 6 sensors, 3 concurrent readings\n")
+    print(
+        format_table(
+            ["MAC stack", "n", "Δ", "completion (slots)", "delivered"],
+            [
+                [r["stack"], r["n"], r["degree"], r["completion"], r["delivered"]]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nBoth stacks run the *identical* BMMB protocol object — the "
+        "absMAC interface\nhides the radio entirely (the paper's "
+        "plug-and-play property, §1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` and plain
+``pip install -e .`` (with a modern pip) work from the same metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Abstract MAC layer service interface.
+
+The plug-and-play promise of the absMAC theory (paper §1, §2.2) is that
+higher-level algorithms are written once against the MAC interface and
+then run over *any* implementation.  This package defines that interface
+(:class:`MacLayerBase`, :class:`MacClient`) and provides an idealized
+graph-based implementation (:class:`IdealMacLayer`) so the higher-level
+protocols can be tested independently of the SINR machinery.
+"""
+
+from repro.absmac.layer import MacClient, MacLayerBase
+from repro.absmac.ideal import IdealMacConfig, IdealMacLayer
+
+__all__ = [
+    "MacClient",
+    "MacLayerBase",
+    "IdealMacConfig",
+    "IdealMacLayer",
+]

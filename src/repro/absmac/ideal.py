@@ -1,0 +1,139 @@
+"""An idealized graph-based absMAC for testing higher layers.
+
+Delivers every broadcast to all graph neighbors after a configurable
+latency, optionally failing each delivery independently — i.e. it *is*
+the abstract specification, realized directly instead of implemented
+over a radio.  Higher-level protocols (BSMB, BMMB, consensus) are
+developed and unit-tested against this layer, then re-run unchanged over
+the real SINR implementations; agreement between the two runs is itself
+a test of the implementations (the plug-and-play property of §1).
+
+Mechanically it is still a :class:`~repro.simulation.node.ProtocolNode`
+population, but deliveries bypass the SINR channel: a shared
+:class:`IdealMacNetwork` moves messages between nodes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import networkx as nx
+import numpy as np
+
+from repro.absmac.layer import MacClient, MacLayerBase
+from repro.core.events import BcastMessage, MessageRegistry
+
+__all__ = ["IdealMacConfig", "IdealMacLayer", "IdealMacNetwork"]
+
+
+@dataclass(frozen=True)
+class IdealMacConfig:
+    """Timing/reliability envelope of the ideal layer.
+
+    Attributes
+    ----------
+    ack_latency:
+        Slots between bcast and ack (the layer's f_ack, deterministic).
+    rcv_latency:
+        Slots between bcast and neighbor delivery (f_prog <= f_ack).
+    delivery_probability:
+        Independent per-neighbor success probability; 1.0 gives the
+        deterministic absMAC, less exercises the probabilistic one.
+    """
+
+    ack_latency: int = 4
+    rcv_latency: int = 2
+    delivery_probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rcv_latency < 1 or self.ack_latency < self.rcv_latency:
+            raise ValueError("need 1 <= rcv_latency <= ack_latency")
+        if not 0.0 < self.delivery_probability <= 1.0:
+            raise ValueError("delivery_probability must be in (0, 1]")
+
+
+class IdealMacNetwork:
+    """Shared delivery fabric for a population of ideal MAC nodes."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        config: IdealMacConfig,
+        seed: int | None = 0,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.rng = np.random.default_rng(seed)
+        self.nodes: dict[int, "IdealMacLayer"] = {}
+        # slot -> list of (kind, node, message); kind in {"rcv", "ack"}.
+        self._pending: dict[int, list[tuple[str, int, BcastMessage]]] = {}
+        self._last_drive = -1
+
+    def drive(self, slot: int) -> None:
+        """Fire due deliveries once per slot (first awake node drives)."""
+        if self._last_drive < slot:
+            self._last_drive = slot
+            self.deliver_due(slot)
+
+    def register(self, node: "IdealMacLayer") -> None:
+        """Attach a MAC node to the fabric."""
+        self.nodes[node.node_id] = node
+
+    def submit(self, slot: int, message: BcastMessage) -> None:
+        """Schedule neighbor deliveries and the ack for a new broadcast."""
+        cfg = self.config
+        for neighbor in self.graph.neighbors(message.origin):
+            if (
+                cfg.delivery_probability >= 1.0
+                or self.rng.random() < cfg.delivery_probability
+            ):
+                self._pending.setdefault(slot + cfg.rcv_latency, []).append(
+                    ("rcv", neighbor, message)
+                )
+        self._pending.setdefault(slot + cfg.ack_latency, []).append(
+            ("ack", message.origin, message)
+        )
+
+    def deliver_due(self, slot: int) -> None:
+        """Fire all deliveries scheduled for ``slot``."""
+        for kind, node_id, message in self._pending.pop(slot, []):
+            node = self.nodes.get(node_id)
+            if node is None:
+                continue
+            if kind == "rcv":
+                node.wake()
+                node._deliver(slot, message)
+            elif kind == "ack" and node.current is message:
+                node._acknowledge(slot)
+
+
+class IdealMacLayer(MacLayerBase):
+    """MAC node whose behaviour is the abstract spec itself."""
+
+    def __init__(
+        self,
+        node_id: int,
+        registry: MessageRegistry,
+        network: IdealMacNetwork,
+        client: MacClient | None = None,
+    ) -> None:
+        super().__init__(node_id, registry, client)
+        self.network = network
+        self._unsubmitted: BcastMessage | None = None
+        network.register(self)
+
+    def _start_broadcast(self, message: BcastMessage) -> None:
+        # Submission happens on the next slot tick so that bcasts issued
+        # before the runtime starts are still scheduled consistently.
+        self._unsubmitted = message
+
+    def _stop_broadcast(self, message: BcastMessage, aborted: bool) -> None:
+        pass
+
+    def on_slot(self, slot: int) -> Any | None:
+        if self._unsubmitted is not None:
+            self.network.submit(slot, self._unsubmitted)
+            self._unsubmitted = None
+        self.network.drive(slot)
+        return None  # the ideal layer never touches the radio

@@ -1,0 +1,164 @@
+"""The absMAC service interface (paper §4.4).
+
+A MAC layer node accepts ``bcast`` requests from its client (the layer
+above), and calls the client back with ``rcv`` and ``ack`` events.  The
+enhanced-layer ``abort`` input is supported too.
+
+All concrete MAC implementations in this repository
+(:class:`~repro.core.combined.CombinedMacLayer`,
+:class:`~repro.core.ack_protocol.AckMacLayer`,
+:class:`~repro.core.approx_progress.ApproxProgressMacLayer`,
+:class:`~repro.core.decay.DecayMacLayer`,
+:class:`~repro.absmac.ideal.IdealMacLayer`) subclass
+:class:`MacLayerBase`, so higher-level protocols (BSMB, BMMB, consensus)
+run unchanged over any of them — the paper's plug-and-play property.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.events import BcastMessage, MessageRegistry
+from repro.simulation.node import ProtocolNode
+
+__all__ = ["MacClient", "MacLayerBase"]
+
+
+class MacClient:
+    """Callbacks a higher-level protocol receives from its MAC node.
+
+    Subclass and override; the default implementations ignore events.
+    One client instance serves one node.
+    """
+
+    def on_mac_start(self, mac: "MacLayerBase") -> None:
+        """Called once when the MAC node wakes (Definition 4.4)."""
+
+    def on_rcv(self, slot: int, message: BcastMessage) -> None:
+        """A new message was delivered at this node (rcv event)."""
+
+    def on_ack(self, slot: int, message: BcastMessage) -> None:
+        """This node's broadcast of ``message`` completed (ack event)."""
+
+
+class MacLayerBase(ProtocolNode):
+    """Common machinery for MAC implementations.
+
+    Responsibilities handled here so implementations stay small:
+
+    * minting unique messages through a shared :class:`MessageRegistry`,
+    * the single-in-flight-broadcast rule of [37] (a node broadcasts one
+      message at a time; ``busy`` exposes the state),
+    * rcv de-duplication (each unique message is delivered at most once
+      per node),
+    * trace events ``bcast`` / ``rcv`` / ``ack`` / ``abort`` with the
+      message id as data, which the spec checker consumes.
+
+    Subclasses implement :meth:`_start_broadcast`, :meth:`_stop_broadcast`
+    and the slot behaviour, and call :meth:`_deliver` /
+    :meth:`_acknowledge` when the corresponding events fire.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        registry: MessageRegistry,
+        client: MacClient | None = None,
+    ) -> None:
+        super().__init__(node_id)
+        self.registry = registry
+        self.client = client or MacClient()
+        self.current: BcastMessage | None = None
+        self.delivered_mids: set[int] = set()
+        self.acked_mids: set[int] = set()
+        # Remark 4.6 (exact local broadcast): when the platform can
+        # detect the range a message originated from, the MAC may
+        # discard messages from non-G_{1-eps}-neighbors so that rcv
+        # events fire for exactly the communication graph.  The oracle
+        # is a predicate on the *transmitting* node id; None (the
+        # default, matching the paper's main setting) accepts all.
+        self.neighbor_oracle = None
+
+    def _sender_in_range(self, sender: int) -> bool:
+        """Remark 4.6 filter: may this physical sender produce a rcv?"""
+        if self.neighbor_oracle is None:
+            return True
+        return bool(self.neighbor_oracle(sender))
+
+    # -- environment-facing API ------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a broadcast is in flight (bcast'ed, not yet acked)."""
+        return self.current is not None
+
+    def bcast(self, payload: Any = None) -> BcastMessage:
+        """Input bcast(m): begin local broadcast of a fresh message.
+
+        Wakes the node if asleep.  At most one broadcast may be in flight
+        (matching [37]); a second concurrent request is a caller bug.
+        """
+        if self.busy:
+            raise RuntimeError(
+                f"node {self.node_id} already broadcasting {self.current}"
+            )
+        message = self.registry.mint(self.node_id, payload)
+        self.wake()
+        self.current = message
+        if self.api is not None:
+            self.api.emit("bcast", message.mid)
+        self._start_broadcast(message)
+        return message
+
+    def abort(self) -> None:
+        """Input abort(m): cancel the in-flight broadcast (enhanced MAC).
+
+        No ack will be delivered for the aborted message.
+        """
+        if not self.busy:
+            return
+        message = self.current
+        self.current = None
+        if self.api is not None:
+            self.api.emit("abort", message.mid)
+        self._stop_broadcast(message, aborted=True)
+
+    # -- implementation-facing hooks --------------------------------------
+
+    def _start_broadcast(self, message: BcastMessage) -> None:
+        """Subclass hook: a new broadcast became active."""
+
+    def _stop_broadcast(self, message: BcastMessage, aborted: bool) -> None:
+        """Subclass hook: the active broadcast ended (ack or abort)."""
+
+    def _deliver(self, slot: int, message: BcastMessage) -> None:
+        """Fire a rcv event for ``message`` unless already delivered.
+
+        Deduplicates by message id: the absMAC delivers each unique
+        message at most once per node.
+        """
+        if message.mid in self.delivered_mids:
+            return
+        if message.origin == self.node_id:
+            return  # a node does not deliver its own broadcast
+        self.delivered_mids.add(message.mid)
+        if self.api is not None:
+            self.api.emit("rcv", message.mid)
+        self.client.on_rcv(slot, message)
+
+    def _acknowledge(self, slot: int) -> None:
+        """Fire the ack event for the in-flight broadcast."""
+        if not self.busy:
+            return
+        message = self.current
+        self.current = None
+        self.acked_mids.add(message.mid)
+        if self.api is not None:
+            self.api.emit("ack", message.mid)
+        self._stop_broadcast(message, aborted=False)
+        self.client.on_ack(slot, message)
+
+    # -- runtime hooks -----------------------------------------------------
+
+    def on_wake(self) -> None:
+        self.client.on_mac_start(self)

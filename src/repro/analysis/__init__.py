@@ -1,0 +1,62 @@
+"""Analysis-side tooling: bound formulas, network metrics, harness.
+
+* :mod:`repro.analysis.bounds` — every closed-form bound of Tables 1–2
+  (and the baselines they are compared against) as plain functions, so
+  benchmarks can plot measured latencies against predicted shapes.
+* :mod:`repro.analysis.metrics` — Δ, D, Λ and friends computed from a
+  deployment.
+* :mod:`repro.analysis.harness` — shared experiment plumbing: build a
+  full protocol stack over a deployment, run it, collect reports, and
+  print paper-style comparison tables.
+"""
+
+from repro.analysis.bounds import (
+    fack_upper_bound,
+    fprog_lower_bound,
+    fapprog_upper_bound,
+    smb_upper_bound,
+    smb_bound_daum,
+    smb_bound_jurdzinski,
+    smb_lower_bound,
+    mmb_upper_bound,
+    mmb_bound_decay_pipeline,
+    consensus_upper_bound,
+    decay_approg_lower_bound,
+    log2c,
+    log_star,
+)
+from repro.analysis.metrics import NetworkMetrics, compute_metrics
+from repro.analysis.harness import (
+    StackBundle,
+    build_combined_stack,
+    build_decay_stack,
+    build_approg_stack,
+    run_local_broadcast_experiment,
+    format_table,
+    correlation_with_shape,
+)
+
+__all__ = [
+    "fack_upper_bound",
+    "fprog_lower_bound",
+    "fapprog_upper_bound",
+    "smb_upper_bound",
+    "smb_bound_daum",
+    "smb_bound_jurdzinski",
+    "smb_lower_bound",
+    "mmb_upper_bound",
+    "mmb_bound_decay_pipeline",
+    "consensus_upper_bound",
+    "decay_approg_lower_bound",
+    "log2c",
+    "log_star",
+    "NetworkMetrics",
+    "compute_metrics",
+    "StackBundle",
+    "build_combined_stack",
+    "build_decay_stack",
+    "build_approg_stack",
+    "run_local_broadcast_experiment",
+    "format_table",
+    "correlation_with_shape",
+]

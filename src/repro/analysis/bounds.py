@@ -1,0 +1,127 @@
+"""Closed-form bounds of Tables 1 and 2, as plain functions.
+
+These are *shape predictors*: Θ-expressions with all leading constants
+set to 1.  Benchmarks compare measured latencies against these curves
+by correlation / ratio-stability, never by absolute value (the paper
+itself only claims asymptotics).
+
+Every function documents the paper source of its formula.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "log2c",
+    "log_star",
+    "fack_upper_bound",
+    "fprog_lower_bound",
+    "fapprog_upper_bound",
+    "smb_upper_bound",
+    "smb_bound_daum",
+    "smb_bound_jurdzinski",
+    "smb_lower_bound",
+    "mmb_upper_bound",
+    "mmb_bound_decay_pipeline",
+    "consensus_upper_bound",
+    "decay_approg_lower_bound",
+]
+
+
+def log2c(x: float) -> float:
+    """Clamped log2: log2(max(x, 2)) — keeps bounds monotone and >= 1."""
+    return math.log2(max(x, 2.0))
+
+
+def log_star(x: float) -> int:
+    """Iterated base-2 logarithm, >= 1 for the ranges used here."""
+    count = 0
+    while x > 1.0:
+        x = math.log2(x)
+        count += 1
+    return max(count, 1)
+
+
+def fack_upper_bound(delta: float, lam: float, eps_ack: float) -> float:
+    """Theorem 5.1: f_ack = O(Δ·log(Λ/ε) + log Λ·log(Λ/ε))."""
+    log_term = log2c(lam / eps_ack)
+    return delta * log_term + log2c(lam) * log_term
+
+
+def fprog_lower_bound(delta: float) -> float:
+    """Theorem 6.1: f_prog >= Δ for any implementation."""
+    return float(delta)
+
+
+def fapprog_upper_bound(lam: float, eps_approg: float, alpha: float) -> float:
+    """Theorem 9.1:
+    f_approg = O((log^α Λ + log*(1/ε))·log Λ·log(1/ε))."""
+    poly_log = log2c(lam) ** alpha + log_star(1.0 / eps_approg)
+    return poly_log * log2c(lam) * log2c(1.0 / eps_approg)
+
+
+def smb_upper_bound(
+    diameter_tilde: float, n: float, eps_smb: float, lam: float, alpha: float
+) -> float:
+    """Theorem 12.7: SMB in O((D_{G_{1-2ε}} + log(n/ε))·log^{α+1} Λ)."""
+    return (diameter_tilde + log2c(n / eps_smb)) * log2c(lam) ** (alpha + 1)
+
+
+def smb_bound_daum(
+    diameter: float, n: float, lam: float, alpha: float
+) -> float:
+    """Table 2, row [14]: O(D·log^{α+1}(Λ)·log n) (Daum et al.)."""
+    return diameter * log2c(lam) ** (alpha + 1) * log2c(n)
+
+
+def smb_bound_jurdzinski(diameter: float, n: float) -> float:
+    """Table 2, row [32]: O(D·log² n) (Jurdziński et al.)."""
+    return diameter * log2c(n) ** 2
+
+
+def smb_lower_bound(diameter: float, n: float) -> float:
+    """Table 1: Ω(D·log(n/D) + log² n) (graph-model lower bounds
+    [2, 42], which transfer to the SINR setting)."""
+    return diameter * log2c(n / max(diameter, 1.0)) + log2c(n) ** 2
+
+
+def mmb_upper_bound(
+    diameter_tilde: float,
+    k: float,
+    delta: float,
+    n: float,
+    eps_mmb: float,
+    lam: float,
+    alpha: float,
+) -> float:
+    """Theorem 12.7: MMB in
+    O(D̃·log^{α+1} Λ + k·(Δ + polylog(nkΛ/ε))·log(nk/ε)).
+
+    The crucial feature is *additivity* of the D-term and the k-term.
+    """
+    polylog = log2c(n * k * lam / eps_mmb) ** 2
+    return diameter_tilde * log2c(lam) ** (alpha + 1) + k * (
+        delta + polylog
+    ) * log2c(n * k / eps_mmb)
+
+
+def mmb_bound_decay_pipeline(
+    diameter: float, k: float, delta: float, n: float
+) -> float:
+    """§2.1: the MMB bound O((D + k)·(Δ·log n + log² n)) obtained from
+    per-hop local broadcast [29] — D and k enter multiplicatively with
+    Δ; the baseline our MMB experiment compares shapes against."""
+    return (diameter + k) * (delta * log2c(n) + log2c(n) ** 2)
+
+
+def consensus_upper_bound(
+    diameter: float, delta: float, lam: float, n: float, eps_cons: float
+) -> float:
+    """Corollary 5.5: CONS in O(D·(Δ + log Λ)·log(nΛ/ε))."""
+    return diameter * (delta + log2c(lam)) * log2c(n * lam / eps_cons)
+
+
+def decay_approg_lower_bound(delta: float, eps_approg: float) -> float:
+    """Theorem 8.1: Decay needs Ω(Δ·log(1/ε)) for approximate progress."""
+    return delta * log2c(1.0 / eps_approg)

@@ -1,0 +1,81 @@
+"""The paper's primary contribution: an absMAC layer for the SINR model.
+
+Contents map to the paper as follows:
+
+* :mod:`repro.core.events` — bcast/rcv/ack/abort event vocabulary (§4.4),
+* :mod:`repro.core.spec` — the probabilistic absMAC specification with
+  the new *approximate progress* contract (Definition 7.1) and a trace
+  conformance checker,
+* :mod:`repro.core.ack_protocol` — Algorithm B.1: local broadcast with
+  fast acknowledgments (Theorem 5.1),
+* :mod:`repro.core.reliability` — the reliability graphs H^μ_p[S] of
+  Daum et al. and their locally-estimated approximations (§9.2),
+* :mod:`repro.core.mis` — distributed MIS with random temporary labels
+  and a fixed round budget (§9.3.2, Lemma 10.1),
+* :mod:`repro.core.approx_progress` — Algorithm 9.1: fast approximate
+  progress (Theorem 9.1),
+* :mod:`repro.core.combined` — Algorithm 11.1: the full absMAC
+  implementation interleaving the two engines (Theorem 11.1),
+* :mod:`repro.core.decay` — the Decay baseline of Bar-Yehuda et al.,
+  which Theorem 8.1 proves cannot give fast approximate progress.
+"""
+
+from repro.core.events import BcastMessage, MessageRegistry
+from repro.core.spec import (
+    AbsMacContract,
+    AckReport,
+    ProgressReport,
+    measure_acknowledgments,
+    measure_progress,
+    measure_approximate_progress,
+    check_contract,
+)
+from repro.core.ack_protocol import AckConfig, AckEngine, AckMacLayer
+from repro.core.reliability import (
+    reliability_graph,
+    estimate_reliability_graph,
+    edge_reliability,
+)
+from repro.core.mis import (
+    DistributedMIS,
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+)
+from repro.core.approx_progress import (
+    ApproxProgressConfig,
+    EpochSchedule,
+    ApproxProgressEngine,
+    ApproxProgressMacLayer,
+)
+from repro.core.combined import CombinedMacLayer
+from repro.core.decay import DecayConfig, DecayMacLayer
+
+__all__ = [
+    "BcastMessage",
+    "MessageRegistry",
+    "AbsMacContract",
+    "AckReport",
+    "ProgressReport",
+    "measure_acknowledgments",
+    "measure_progress",
+    "measure_approximate_progress",
+    "check_contract",
+    "AckConfig",
+    "AckEngine",
+    "AckMacLayer",
+    "reliability_graph",
+    "estimate_reliability_graph",
+    "edge_reliability",
+    "DistributedMIS",
+    "greedy_mis",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "ApproxProgressConfig",
+    "EpochSchedule",
+    "ApproxProgressEngine",
+    "ApproxProgressMacLayer",
+    "CombinedMacLayer",
+    "DecayConfig",
+    "DecayMacLayer",
+]

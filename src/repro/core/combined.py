@@ -1,0 +1,120 @@
+"""Algorithm 11.1: the full absMAC implementation (Theorem 11.1).
+
+Two engines run in parallel by time multiplexing:
+
+* **even slots** execute Algorithm B.1 (:class:`~repro.core.ack_protocol.
+  AckEngine`), delivering the near-optimal acknowledgment bound of
+  Theorem 5.1;
+* **odd slots** execute Algorithm 9.1 (:class:`~repro.core.
+  approx_progress.ApproxProgressEngine`), delivering the fast
+  approximate-progress bound of Theorem 9.1 with respect to
+  G̃ = G_{1-2ε}.
+
+The combination is necessary (§11): the ack algorithm alone gives no good
+progress bound, and the approximate-progress algorithm alone never
+acknowledges.  Interleaving costs a factor 2 in every bound.
+
+Per §11.1: a bcast(m) input starts both engines on m; the ack event fires
+when the B.1 engine halts; an abort(m) input stops transmissions on
+behalf of m (the engine finishes its current epoch harmlessly — it simply
+no longer has a message to transmit, which Algorithm 9.1 treats as
+leaving S_1 at the next epoch boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.absmac.layer import MacClient, MacLayerBase
+from repro.core.ack_protocol import AckConfig, AckEngine
+from repro.core.approx_progress import ApproxProgressEngine, EpochSchedule
+from repro.core.events import BcastMessage, MessageRegistry
+
+__all__ = ["CombinedMacLayer"]
+
+
+class CombinedMacLayer(MacLayerBase):
+    """The paper's absMAC for the SINR model (Algorithm 11.1).
+
+    Guarantees (Theorem 11.1), in physical slots (each engine owns every
+    second slot, so engine-time bounds double):
+
+    * acknowledgments in G_{1-ε} within
+      ``f_ack = O(Δ·log(Λ/ε_ack) + log Λ·log(Λ/ε_ack))``
+      with probability ≥ 1 − ε_ack,
+    * approximate progress w.r.t. G̃ = G_{1-2ε} within
+      ``f_approg = O((log^α Λ + log*(1/ε))·log Λ·log(1/ε))``
+      with probability ≥ 1 − ε_approg.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        registry: MessageRegistry,
+        ack_config: AckConfig,
+        schedule: EpochSchedule,
+        client: MacClient | None = None,
+    ) -> None:
+        super().__init__(node_id, registry, client)
+        self.ack_config = ack_config
+        self.schedule = schedule
+        self.ack_engine: AckEngine | None = None
+        self.approg_engine: ApproxProgressEngine | None = None
+
+    # -- engine plumbing -------------------------------------------------
+
+    def _ensure_approg(self) -> ApproxProgressEngine:
+        if self.approg_engine is None:
+            self.approg_engine = ApproxProgressEngine(
+                self.schedule, self.api.rng, self.node_id
+            )
+        return self.approg_engine
+
+    def _start_broadcast(self, message: BcastMessage) -> None:
+        self.ack_engine = None  # fresh B.1 instance per broadcast
+        if self.approg_engine is not None:
+            self.approg_engine.message = message
+
+    def _stop_broadcast(self, message: BcastMessage, aborted: bool) -> None:
+        self.ack_engine = None
+        if self.approg_engine is not None:
+            self.approg_engine.message = None
+
+    @staticmethod
+    def _virtual_slot(slot: int) -> int:
+        """Odd physical slots map to consecutive Algorithm 9.1 slots."""
+        return slot // 2
+
+    # -- runtime hooks ------------------------------------------------------
+
+    def on_slot(self, slot: int) -> Any | None:
+        if slot % 2 == 0:
+            # Even slots: Algorithm B.1.
+            if not self.busy:
+                return None
+            if self.ack_engine is None:
+                self.ack_engine = AckEngine(self.ack_config, self.api.rng)
+            transmit = self.ack_engine.step()
+            payload = self.current if transmit else None
+            if self.ack_engine.halted:
+                self._acknowledge(slot)
+            return payload
+        # Odd slots: Algorithm 9.1.
+        engine = self._ensure_approg()
+        engine.message = self.current
+        return engine.step(self._virtual_slot(slot))
+
+    def on_receive(self, slot: int, sender: int, payload: Any) -> None:
+        if isinstance(payload, BcastMessage) and self._sender_in_range(
+            sender
+        ):
+            self._deliver(slot, payload)
+        if slot % 2 == 0:
+            if self.ack_engine is not None and isinstance(
+                payload, BcastMessage
+            ):
+                self.ack_engine.notify_reception()
+        else:
+            self._ensure_approg().on_reception(
+                self._virtual_slot(slot), payload
+            )

@@ -1,0 +1,147 @@
+"""The Decay baseline (Bar-Yehuda–Goldreich–Itai [4]).
+
+Decay is the classic local-broadcast primitive of graph-based radio
+models and the building block of the original absMAC implementations of
+Khabbazian et al. [37].  A broadcaster repeats *decay phases*: within a
+phase of length L it transmits with probability ``2^{-j}`` in step j —
+sweeping from aggressive to conservative so that, whatever the local
+contention k ≤ 2^L, some step has probability ≈ 1/k.
+
+The paper's Theorem 8.1 proves this strategy cannot give fast
+approximate progress in the SINR model: with a dense far ball feeding
+global interference, Decay needs ``Ω(Δ·log(1/ε_approg))`` slots where
+Algorithm 9.1 needs polylog.  :mod:`repro.lowerbounds` and
+``benchmarks/bench_thm81_decay_approg.py`` measure exactly that gap, and
+``bench_table2_smb_comparison.py`` uses :class:`DecayMacLayer` as the
+graph-model-style MAC baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.absmac.layer import MacClient, MacLayerBase
+from repro.core.events import BcastMessage, MessageRegistry
+
+__all__ = ["DecayConfig", "DecayEngine", "DecayMacLayer"]
+
+
+@dataclass(frozen=True)
+class DecayConfig:
+    """Parameters of the Decay MAC.
+
+    Attributes
+    ----------
+    contention_bound:
+        Known bound Ñ on local contention; the phase length is
+        ``ceil(log2(Ñ)) + 1`` so the probability sweep reaches ``1/Ñ``.
+    eps_ack:
+        Acknowledgment failure probability; the broadcaster acknowledges
+        after ``ceil(ack_factor · Ñ · log2(Ñ/ε))`` slots, the classical
+        O(Δ·log(n/ε)) budget of Decay-based MACs [37].
+    ack_factor:
+        Leading constant of the acknowledgment budget.
+    """
+
+    contention_bound: float
+    eps_ack: float = 0.1
+    ack_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.contention_bound < 2:
+            raise ValueError("contention_bound must be >= 2")
+        if not 0.0 < self.eps_ack < 1.0:
+            raise ValueError("eps_ack must be in (0, 1)")
+        if self.ack_factor <= 0:
+            raise ValueError("ack_factor must be positive")
+
+    @property
+    def phase_length(self) -> int:
+        """Steps per decay phase: ceil(log2 Ñ) + 1."""
+        return math.ceil(math.log2(self.contention_bound)) + 1
+
+    @property
+    def ack_budget_slots(self) -> int:
+        """Slots after which a broadcaster halts and acknowledges."""
+        log_term = math.log2(
+            max(self.contention_bound / self.eps_ack, 2.0)
+        )
+        budget = self.ack_factor * self.contention_bound * log_term
+        # Round up to whole phases so every broadcast ends on a boundary.
+        phases = max(1, math.ceil(budget / self.phase_length))
+        return phases * self.phase_length
+
+
+class DecayEngine:
+    """Per-broadcast Decay state machine (one owned slot per step)."""
+
+    def __init__(self, config: DecayConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self.rng = rng
+        self.slots_run = 0
+        self.transmissions = 0
+
+    @property
+    def halted(self) -> bool:
+        """True once the acknowledgment budget is exhausted."""
+        return self.slots_run >= self.config.ack_budget_slots
+
+    def step(self) -> bool:
+        """Run one owned slot; return True if the node transmits."""
+        if self.halted:
+            return False
+        step_in_phase = self.slots_run % self.config.phase_length
+        self.slots_run += 1
+        probability = 2.0 ** (-(step_in_phase + 1))
+        transmit = self.rng.random() < probability
+        if transmit:
+            self.transmissions += 1
+        return transmit
+
+
+class DecayMacLayer(MacLayerBase):
+    """A MAC layer built on Decay — the Theorem 8.1 straw man.
+
+    Acknowledgment-correct in the graph sense (every neighbor has many
+    chances to receive), but its progress in the SINR model degrades
+    linearly with Δ under far-field interference, which is exactly what
+    the Theorem 8.1 benchmark demonstrates.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        registry: MessageRegistry,
+        config: DecayConfig,
+        client: MacClient | None = None,
+    ) -> None:
+        super().__init__(node_id, registry, client)
+        self.config = config
+        self.engine: DecayEngine | None = None
+
+    def _start_broadcast(self, message: BcastMessage) -> None:
+        self.engine = None
+
+    def _stop_broadcast(self, message: BcastMessage, aborted: bool) -> None:
+        self.engine = None
+
+    def on_slot(self, slot: int) -> Any | None:
+        if not self.busy:
+            return None
+        if self.engine is None:
+            self.engine = DecayEngine(self.config, self.api.rng)
+        transmit = self.engine.step()
+        payload = self.current if transmit else None
+        if self.engine.halted:
+            self._acknowledge(slot)
+        return payload
+
+    def on_receive(self, slot: int, sender: int, payload: Any) -> None:
+        if isinstance(payload, BcastMessage) and self._sender_in_range(
+            sender
+        ):
+            self._deliver(slot, payload)

@@ -1,0 +1,75 @@
+"""MAC-layer message and event vocabulary (paper §4.4).
+
+The absMAC interface revolves around four events per message ``m``:
+
+* ``bcast(m)_i`` — the environment asks node ``i`` to locally broadcast,
+* ``rcv(m)_v`` — node ``v`` delivers a received message upward,
+* ``ack(m)_i`` — node ``i`` learns its broadcast completed,
+* ``abort(m)_i`` — the environment cancels an in-flight broadcast
+  (enhanced absMAC only).
+
+Broadcast messages are assumed unique (§4.4, w.l.o.g.); the
+:class:`MessageRegistry` mints globally unique message ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BcastMessage", "MessageRegistry"]
+
+
+@dataclass(frozen=True, order=True)
+class BcastMessage:
+    """A unique local-broadcast message.
+
+    Attributes
+    ----------
+    mid:
+        Globally unique message id (orders messages by creation).
+    origin:
+        Node id at which the ``bcast`` event occurred.
+    payload:
+        Opaque application content (compared by identity only through
+        ``mid``; two distinct bcasts of equal payloads are distinct
+        messages, as the paper assumes).
+    """
+
+    mid: int
+    origin: int
+    payload: Any = None
+
+    def __repr__(self) -> str:  # compact for traces
+        return f"Msg(mid={self.mid}, origin={self.origin})"
+
+
+class MessageRegistry:
+    """Mints unique message ids across all nodes of one experiment.
+
+    The id encodes the origin so per-node minting never collides:
+    ``mid = origin * 2**24 + sequence``.
+    """
+
+    _SEQ_SPACE = 2**24
+
+    def __init__(self) -> None:
+        self._next_seq: dict[int, int] = {}
+        self._by_mid: dict[int, BcastMessage] = {}
+
+    def mint(self, origin: int, payload: Any = None) -> BcastMessage:
+        """Create a new unique message originating at ``origin``."""
+        seq = self._next_seq.get(origin, 0)
+        if seq >= self._SEQ_SPACE:
+            raise OverflowError(f"node {origin} exhausted its message ids")
+        self._next_seq[origin] = seq + 1
+        message = BcastMessage(origin * self._SEQ_SPACE + seq, origin, payload)
+        self._by_mid[message.mid] = message
+        return message
+
+    def lookup(self, mid: int) -> BcastMessage:
+        """Return the message with the given id."""
+        return self._by_mid[mid]
+
+    def __len__(self) -> int:
+        return len(self._by_mid)

@@ -1,0 +1,170 @@
+"""Reliability graphs H^μ_p[S] of Daum et al. (paper §9.2).
+
+Given a sender set ``S`` where each node transmits independently with
+probability ``p`` (and nobody outside ``S`` transmits), the edge
+``(u, v)`` belongs to ``H^μ_p[S]`` iff *both* directions of the link
+succeed with probability at least ``μ`` under that experiment.
+
+``H^μ_p[S]`` has constant degree (each node has at most ``1/((1-γ/2)μ)``
+potential neighbors — paper footnote 9) and contains all edges between
+nodes within twice the minimum distance (Lemma 10.14), which is what
+drives the exponential sparsification of Algorithm 9.1.
+
+This module provides a *ground-truth* Monte-Carlo construction used by
+tests and analysis.  The distributed, in-protocol estimation (the
+H̃̃^μ_p[S] of §9.2) lives inside
+:class:`~repro.core.approx_progress.ApproxProgressEngine`;
+:func:`estimate_reliability_graph` reproduces that estimation procedure
+outside the simulator so the two can be compared directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import received_power
+
+__all__ = [
+    "edge_reliability",
+    "reliability_graph",
+    "estimate_reliability_graph",
+]
+
+
+def _directional_success_counts(
+    params: SINRParameters,
+    distances: np.ndarray,
+    senders: np.ndarray,
+    p: float,
+    samples: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Monte-Carlo success counts for every ordered sender pair.
+
+    Returns an ``(|S|, |S|)`` array ``C`` where ``C[i, j]`` counts samples
+    in which node ``senders[j]`` decoded node ``senders[i]`` (i sending,
+    j listening) under the experiment "each node of S transmits
+    independently with probability p".
+    """
+    s = senders.size
+    # Power of sender i received at sender j.
+    powers = received_power(params, distances[np.ix_(senders, senders)])
+    np.fill_diagonal(powers, 0.0)
+    counts = np.zeros((s, s), dtype=np.int64)
+    for _ in range(samples):
+        sending = rng.random(s) < p
+        if not sending.any():
+            continue
+        tx_powers = powers[sending, :]  # (k, s)
+        total = tx_powers.sum(axis=0)  # (s,)
+        # For listener j and sender i: interference = total - powers[i, j].
+        sending_idx = np.nonzero(sending)[0]
+        for row, i in enumerate(sending_idx):
+            signal = tx_powers[row]
+            interference = total - signal
+            sinr = signal / (interference + params.noise)
+            ok = sinr >= params.beta
+            ok &= ~sending  # listeners must not transmit
+            ok[i] = False
+            counts[i, ok] += 1
+    return counts
+
+
+def edge_reliability(
+    params: SINRParameters,
+    distances: np.ndarray,
+    sender_set: list[int],
+    p: float,
+    u: int,
+    v: int,
+    samples: int = 400,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float]:
+    """Monte-Carlo reliability of the (u→v) and (v→u) directions.
+
+    Both ``u`` and ``v`` must be members of ``sender_set``.  Returns the
+    pair ``(P[v decodes u], P[u decodes v])`` estimated over ``samples``
+    independent slots.
+    """
+    senders = np.asarray(sorted(sender_set), dtype=np.intp)
+    index = {int(node): k for k, node in enumerate(senders)}
+    if u not in index or v not in index:
+        raise ValueError("u and v must belong to sender_set")
+    rng = rng or np.random.default_rng(0)
+    counts = _directional_success_counts(
+        params, distances, senders, p, samples, rng
+    )
+    iu, iv = index[u], index[v]
+    return counts[iu, iv] / samples, counts[iv, iu] / samples
+
+
+def reliability_graph(
+    params: SINRParameters,
+    distances: np.ndarray,
+    sender_set: list[int],
+    p: float,
+    mu: float,
+    samples: int = 400,
+    rng: np.random.Generator | None = None,
+) -> nx.Graph:
+    """Monte-Carlo construction of ``H^μ_p[S]``.
+
+    Edge (u, v) present iff the estimated success probability is at least
+    ``μ`` in *both* directions.
+    """
+    if not 0.0 < p <= 0.5:
+        raise ValueError("p must be in (0, 1/2] (paper §9.2)")
+    if not 0.0 < mu < p:
+        raise ValueError("mu must be in (0, p) (paper §9.2)")
+    senders = np.asarray(sorted(set(sender_set)), dtype=np.intp)
+    rng = rng or np.random.default_rng(0)
+    counts = _directional_success_counts(
+        params, distances, senders, p, samples, rng
+    )
+    need = mu * samples
+    graph = nx.Graph()
+    graph.add_nodes_from(int(x) for x in senders)
+    mutual = (counts >= need) & (counts.T >= need)
+    for i, j in zip(*np.nonzero(np.triu(mutual, k=1))):
+        graph.add_edge(int(senders[i]), int(senders[j]))
+    return graph
+
+
+def estimate_reliability_graph(
+    params: SINRParameters,
+    distances: np.ndarray,
+    sender_set: list[int],
+    p: float,
+    mu: float,
+    gamma: float,
+    repetitions: int,
+    rng: np.random.Generator | None = None,
+) -> nx.Graph:
+    """The distributed estimation H̃̃^μ_p[S] replayed outside the simulator.
+
+    Reproduces §9.3.1: every node of S transmits its identity for
+    ``repetitions`` slots with probability ``p``; a counterpart heard at
+    least ``(1 - γ/2)·μ·T`` times is a *potential* neighbor, and an edge
+    is kept iff both endpoints consider each other potential.  (The
+    second T-slot exchange of potential lists is information transfer
+    only; the edge set it produces is exactly this mutual-threshold set,
+    which is what we compute here.)
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    if not 0.0 < gamma < 1.0:
+        raise ValueError("gamma must be in (0, 1)")
+    senders = np.asarray(sorted(set(sender_set)), dtype=np.intp)
+    rng = rng or np.random.default_rng(0)
+    counts = _directional_success_counts(
+        params, distances, senders, p, repetitions, rng
+    )
+    threshold = (1.0 - gamma / 2.0) * mu * repetitions
+    graph = nx.Graph()
+    graph.add_nodes_from(int(x) for x in senders)
+    mutual = (counts >= threshold) & (counts.T >= threshold)
+    for i, j in zip(*np.nonzero(np.triu(mutual, k=1))):
+        graph.add_edge(int(senders[i]), int(senders[j]))
+    return graph

@@ -1,0 +1,407 @@
+"""The probabilistic absMAC specification and its trace checker.
+
+The absMAC contract (§4.4 and Definition 7.1) makes three probabilistic
+timing promises for local broadcast over a communication graph G (here
+G_{1-ε}), with approximate progress measured against a subgraph
+G̃ ⊆ G (here G_{1-2ε}):
+
+* **acknowledgment**: every bcast(m) is ack'ed within ``f_ack`` slots
+  with probability ≥ 1 − ε_ack, and by then every G-neighbor of the
+  origin received m;
+* **progress**: while some G-neighbor of v is broadcasting, v receives
+  *some* message originating at a G-neighbor within ``f_prog`` slots
+  (Theorem 6.1: no SINR implementation can make this beat Δ);
+* **approximate progress** (Definition 7.1, this paper's contribution):
+  while some *G̃*-neighbor of v is broadcasting, v receives some message
+  originating at a G-neighbor within ``f_approg`` slots with probability
+  ≥ 1 − ε_approg.
+
+These are statistical statements, so the checker measures empirical
+latency distributions over a trace and compares success fractions
+against the contract.  All measurement is trace-based: protocols are
+never trusted to self-report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.events import BcastMessage
+from repro.simulation.trace import EventTrace
+
+__all__ = [
+    "AbsMacContract",
+    "AckRecord",
+    "AckReport",
+    "ProgressRecord",
+    "ProgressReport",
+    "EpochProgressReport",
+    "broadcast_intervals",
+    "measure_acknowledgments",
+    "measure_progress",
+    "measure_approximate_progress",
+    "measure_epoch_progress",
+    "check_contract",
+]
+
+
+@dataclass(frozen=True)
+class AbsMacContract:
+    """Numerical absMAC guarantees to check a trace against."""
+
+    fack: float
+    eps_ack: float
+    fapprog: float | None = None
+    eps_approg: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fack <= 0:
+            raise ValueError("fack must be positive")
+        if not 0.0 < self.eps_ack < 1.0:
+            raise ValueError("eps_ack must be in (0, 1)")
+        if (self.fapprog is None) != (self.eps_approg is None):
+            raise ValueError("fapprog and eps_approg must come together")
+
+
+@dataclass(frozen=True)
+class AckRecord:
+    """Measured fate of one broadcast."""
+
+    mid: int
+    origin: int
+    bcast_slot: int
+    ack_slot: int | None
+    neighbor_count: int
+    covered_by_ack: int  # neighbors that received m before the ack
+
+    @property
+    def latency(self) -> int | None:
+        """Slots from bcast to ack (None if never acked)."""
+        if self.ack_slot is None:
+            return None
+        return self.ack_slot - self.bcast_slot
+
+    @property
+    def complete(self) -> bool:
+        """True iff every neighbor had the message when the ack fired."""
+        return (
+            self.ack_slot is not None
+            and self.covered_by_ack == self.neighbor_count
+        )
+
+
+@dataclass
+class AckReport:
+    """All acknowledgment measurements of a trace."""
+
+    records: list[AckRecord] = field(default_factory=list)
+
+    def latencies(self) -> list[int]:
+        """Latencies of acked broadcasts, in slot counts."""
+        return [r.latency for r in self.records if r.latency is not None]
+
+    def success_fraction(self, fack: float) -> float:
+        """Fraction of broadcasts acked within ``fack`` *and* complete."""
+        if not self.records:
+            return 1.0
+        good = sum(
+            1
+            for r in self.records
+            if r.complete and r.latency is not None and r.latency <= fack
+        )
+        return good / len(self.records)
+
+    def completeness_fraction(self) -> float:
+        """Fraction of acked broadcasts whose neighbors all received."""
+        acked = [r for r in self.records if r.ack_slot is not None]
+        if not acked:
+            return 1.0
+        return sum(1 for r in acked if r.complete) / len(acked)
+
+    def max_latency(self) -> int | None:
+        """Largest observed ack latency."""
+        lats = self.latencies()
+        return max(lats) if lats else None
+
+    def mean_latency(self) -> float | None:
+        """Mean observed ack latency."""
+        lats = self.latencies()
+        return sum(lats) / len(lats) if lats else None
+
+
+@dataclass(frozen=True)
+class ProgressRecord:
+    """Measured (approximate-)progress episode at one receiver."""
+
+    node: int
+    start_slot: int  # earliest slot a relevant neighbor was broadcasting
+    latency: int | None  # slots until a G-origin message arrived
+
+
+@dataclass
+class ProgressReport:
+    """All progress measurements of a trace."""
+
+    records: list[ProgressRecord] = field(default_factory=list)
+
+    def latencies(self) -> list[int]:
+        """Latencies of satisfied episodes."""
+        return [r.latency for r in self.records if r.latency is not None]
+
+    def success_fraction(self, bound: float) -> float:
+        """Fraction of episodes satisfied within ``bound`` slots."""
+        if not self.records:
+            return 1.0
+        good = sum(
+            1
+            for r in self.records
+            if r.latency is not None and r.latency <= bound
+        )
+        return good / len(self.records)
+
+    def max_latency(self) -> int | None:
+        """Largest observed latency."""
+        lats = self.latencies()
+        return max(lats) if lats else None
+
+    def mean_latency(self) -> float | None:
+        """Mean observed latency."""
+        lats = self.latencies()
+        return sum(lats) / len(lats) if lats else None
+
+
+def broadcast_intervals(trace: EventTrace) -> dict[int, tuple[int, int, int]]:
+    """Extract per-message active intervals from a trace.
+
+    Returns ``mid -> (origin, bcast_slot, end_slot)`` where ``end_slot``
+    is the ack/abort slot or the end of the trace for still-active
+    broadcasts.
+    """
+    intervals: dict[int, tuple[int, int, int]] = {}
+    horizon = trace.last_slot() + 1
+    for event in trace:
+        if event.kind == "bcast":
+            intervals[event.data] = (event.node, event.slot, horizon)
+        elif event.kind in ("ack", "abort") and event.data in intervals:
+            origin, start, _ = intervals[event.data]
+            intervals[event.data] = (origin, start, event.slot)
+    return intervals
+
+
+def _first_deliveries(trace: EventTrace) -> dict[tuple[int, int], int]:
+    """(node, mid) -> slot of the node's rcv event for that message."""
+    deliveries: dict[tuple[int, int], int] = {}
+    for event in trace:
+        if event.kind == "rcv":
+            key = (event.node, event.data)
+            if key not in deliveries:
+                deliveries[key] = event.slot
+    return deliveries
+
+
+def measure_acknowledgments(trace: EventTrace, graph: nx.Graph) -> AckReport:
+    """Measure every broadcast's ack latency and neighbor coverage."""
+    intervals = broadcast_intervals(trace)
+    deliveries = _first_deliveries(trace)
+    acks = {
+        event.data: event.slot for event in trace if event.kind == "ack"
+    }
+    report = AckReport()
+    for mid, (origin, bcast_slot, _end) in sorted(intervals.items()):
+        ack_slot = acks.get(mid)
+        neighbors = [v for v in graph.neighbors(origin)]
+        if ack_slot is None:
+            covered = 0
+        else:
+            covered = sum(
+                1
+                for v in neighbors
+                if deliveries.get((v, mid), ack_slot + 1) <= ack_slot
+            )
+        report.records.append(
+            AckRecord(
+                mid=mid,
+                origin=origin,
+                bcast_slot=bcast_slot,
+                ack_slot=ack_slot,
+                neighbor_count=len(neighbors),
+                covered_by_ack=covered,
+            )
+        )
+    return report
+
+
+def _neighbor_origin_receptions(
+    trace: EventTrace, graph: nx.Graph
+) -> dict[int, list[int]]:
+    """node -> sorted slots of physical receptions of bcast-messages
+    originating at a G-neighbor of the node."""
+    receptions: dict[int, list[int]] = {}
+    for event in trace:
+        if event.kind != "receive":
+            continue
+        _sender, payload = event.data
+        if not isinstance(payload, BcastMessage):
+            continue
+        if not graph.has_node(event.node):
+            continue
+        if payload.origin == event.node:
+            continue
+        if graph.has_edge(payload.origin, event.node):
+            receptions.setdefault(event.node, []).append(event.slot)
+    for slots in receptions.values():
+        slots.sort()
+    return receptions
+
+
+def _measure_episodes(
+    trace: EventTrace,
+    comm_graph: nx.Graph,
+    trigger_graph: nx.Graph,
+) -> ProgressReport:
+    """Shared core of progress and approximate-progress measurement.
+
+    An *episode* starts at the earliest slot at which some
+    ``trigger_graph``-neighbor of v has an active broadcast; it is
+    satisfied when v physically receives a bcast-message originating at a
+    ``comm_graph``-neighbor.  One episode per (receiver, broadcast) pair:
+    we take the earliest trigger per receiver for a conservative
+    measurement (longest exposure).
+    """
+    intervals = broadcast_intervals(trace)
+    receptions = _neighbor_origin_receptions(trace, comm_graph)
+    report = ProgressReport()
+    for v in trigger_graph.nodes:
+        triggers = [
+            start
+            for origin, start, _end in intervals.values()
+            if trigger_graph.has_edge(origin, v)
+        ]
+        if not triggers:
+            continue
+        start = min(triggers)
+        after = [s for s in receptions.get(v, []) if s >= start]
+        latency = (after[0] - start) if after else None
+        report.records.append(ProgressRecord(v, start, latency))
+    return report
+
+
+def measure_progress(trace: EventTrace, graph: nx.Graph) -> ProgressReport:
+    """Standard progress: trigger and reception both w.r.t. G."""
+    return _measure_episodes(trace, graph, graph)
+
+
+def measure_approximate_progress(
+    trace: EventTrace,
+    comm_graph: nx.Graph,
+    approx_graph: nx.Graph,
+) -> ProgressReport:
+    """Definition 7.1: triggers in G̃, receptions from G-neighbors."""
+    return _measure_episodes(trace, comm_graph, approx_graph)
+
+
+@dataclass
+class EpochProgressReport:
+    """Per-epoch success statistics for the Theorem 9.1 probability
+    claim: each (node, epoch) trial succeeds iff the node — having a
+    G̃-neighbor with an ongoing broadcast for the whole epoch — received
+    a G-origin bcast-message *within that epoch*."""
+
+    trials: int = 0
+    successes: int = 0
+    per_epoch: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def success_fraction(self) -> float:
+        """Overall empirical per-epoch success probability."""
+        if self.trials == 0:
+            return 1.0
+        return self.successes / self.trials
+
+
+def measure_epoch_progress(
+    trace: EventTrace,
+    comm_graph: nx.Graph,
+    approx_graph: nx.Graph,
+    epoch_slots: int,
+    first_epoch: int = 0,
+) -> EpochProgressReport:
+    """Validate Theorem 9.1 statistically, epoch by epoch.
+
+    The theorem promises: in every epoch, a node whose G̃-neighbor has
+    an ongoing broadcast receives some G-origin message within the
+    epoch, with probability ≥ 1 − ε_approg.  Each (node, epoch) pair
+    where some G̃-neighbor's broadcast covers the *entire* epoch is one
+    Bernoulli trial; the report aggregates successes.  ``epoch_slots``
+    is the physical epoch length (double the schedule's virtual length
+    for the combined layer).  ``first_epoch`` skips warm-up epochs
+    (nodes that woke mid-epoch join only at the next boundary).
+    """
+    if epoch_slots < 1:
+        raise ValueError("epoch_slots must be >= 1")
+    intervals = broadcast_intervals(trace)
+    receptions = _neighbor_origin_receptions(trace, comm_graph)
+    horizon = trace.last_slot() + 1
+    n_epochs = horizon // epoch_slots
+    report = EpochProgressReport()
+    for epoch in range(first_epoch, n_epochs):
+        start = epoch * epoch_slots
+        end = start + epoch_slots
+        epoch_trials = 0
+        epoch_successes = 0
+        for v in approx_graph.nodes:
+            covered = any(
+                approx_graph.has_edge(origin, v)
+                and bcast_start <= start
+                and bcast_end >= end
+                for origin, bcast_start, bcast_end in intervals.values()
+            )
+            if not covered:
+                continue
+            epoch_trials += 1
+            got = any(
+                start <= slot < end for slot in receptions.get(v, [])
+            )
+            if got:
+                epoch_successes += 1
+        report.trials += epoch_trials
+        report.successes += epoch_successes
+        report.per_epoch[epoch] = (epoch_successes, epoch_trials)
+    return report
+
+
+def check_contract(
+    trace: EventTrace,
+    comm_graph: nx.Graph,
+    approx_graph: nx.Graph | None,
+    contract: AbsMacContract,
+) -> dict:
+    """Check a trace against an :class:`AbsMacContract`.
+
+    Returns a summary dict with the measured reports, success fractions
+    and pass booleans.  Passing means the empirical success fraction
+    meets ``1 − ε`` (these are statistical guarantees, so callers running
+    few broadcasts should interpret fractions, not booleans).
+    """
+    ack_report = measure_acknowledgments(trace, comm_graph)
+    ack_fraction = ack_report.success_fraction(contract.fack)
+    summary = {
+        "ack_report": ack_report,
+        "ack_success_fraction": ack_fraction,
+        "ack_ok": ack_fraction >= 1.0 - contract.eps_ack,
+    }
+    if contract.fapprog is not None and approx_graph is not None:
+        prog_report = measure_approximate_progress(
+            trace, comm_graph, approx_graph
+        )
+        prog_fraction = prog_report.success_fraction(contract.fapprog)
+        summary.update(
+            {
+                "approg_report": prog_report,
+                "approg_success_fraction": prog_fraction,
+                "approg_ok": prog_fraction >= 1.0 - contract.eps_approg,
+            }
+        )
+    return summary

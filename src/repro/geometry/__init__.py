@@ -1,0 +1,55 @@
+"""Euclidean-plane geometry substrate.
+
+The SINR model places nodes in the plane (paper §4.2).  This package
+provides point containers, pairwise-distance computation, node deployment
+generators used by the experiments, and growth-bounded metric utilities
+(paper Definition 4.1 and Lemma 4.2).
+"""
+
+from repro.geometry.points import (
+    PointSet,
+    pairwise_distances,
+    distance,
+    min_pairwise_distance,
+    bounding_box,
+    enforce_min_distance,
+)
+from repro.geometry.deployment import (
+    DeploymentError,
+    uniform_disk,
+    uniform_square,
+    grid_deployment,
+    line_deployment,
+    cluster_deployment,
+    annulus_deployment,
+    two_parallel_lines,
+    two_balls,
+)
+from repro.geometry.growth import (
+    growth_bound_function,
+    independence_number_in_radius,
+    is_growth_bounded_sample,
+    neighborhood_size_bound,
+)
+
+__all__ = [
+    "PointSet",
+    "pairwise_distances",
+    "distance",
+    "min_pairwise_distance",
+    "bounding_box",
+    "enforce_min_distance",
+    "DeploymentError",
+    "uniform_disk",
+    "uniform_square",
+    "grid_deployment",
+    "line_deployment",
+    "cluster_deployment",
+    "annulus_deployment",
+    "two_parallel_lines",
+    "two_balls",
+    "growth_bound_function",
+    "independence_number_in_radius",
+    "is_growth_bounded_sample",
+    "neighborhood_size_bound",
+]

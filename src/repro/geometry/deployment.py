@@ -1,0 +1,288 @@
+"""Node deployment generators.
+
+Every experiment in the paper is parameterized by a worst-case or random
+placement of nodes in the plane.  This module provides the deployments the
+benchmarks use:
+
+* random deployments (disk, square, annulus, clusters) for the
+  average-case scaling experiments behind Table 1 rows,
+* deterministic line/grid deployments for controlled-diameter networks,
+* the *two parallel lines* construction of Theorem 6.1 / Figure 1, and
+* the *two balls* construction of Theorem 8.1 (Decay lower bound).
+
+All generators return a :class:`~repro.geometry.points.PointSet` whose
+minimum pairwise distance is at least ``min_separation`` (default 1, the
+paper's near-field normalization).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.points import PointSet, pairwise_distances
+
+__all__ = [
+    "DeploymentError",
+    "uniform_disk",
+    "uniform_square",
+    "grid_deployment",
+    "line_deployment",
+    "cluster_deployment",
+    "annulus_deployment",
+    "two_parallel_lines",
+    "two_balls",
+]
+
+
+class DeploymentError(RuntimeError):
+    """Raised when a deployment cannot satisfy its constraints."""
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _rejection_sample(
+    n: int,
+    draw,
+    min_separation: float,
+    rng: np.random.Generator,
+    max_attempts_per_node: int = 2000,
+) -> np.ndarray:
+    """Place ``n`` points by rejection sampling with a separation constraint.
+
+    ``draw`` produces one candidate point per call.  Raises
+    :class:`DeploymentError` when the region is too dense to fit ``n``
+    points at the requested separation.
+    """
+    points: list[np.ndarray] = []
+    sep2 = min_separation * min_separation
+    for _ in range(n):
+        for _attempt in range(max_attempts_per_node):
+            candidate = draw(rng)
+            ok = True
+            for existing in points:
+                dx = candidate[0] - existing[0]
+                dy = candidate[1] - existing[1]
+                if dx * dx + dy * dy < sep2:
+                    ok = False
+                    break
+            if ok:
+                points.append(candidate)
+                break
+        else:
+            raise DeploymentError(
+                f"could not place node {len(points)} of {n} with "
+                f"separation {min_separation}; region too dense"
+            )
+    return np.array(points, dtype=np.float64)
+
+
+def uniform_disk(
+    n: int,
+    radius: float,
+    min_separation: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """``n`` nodes uniformly at random in a disk of the given radius.
+
+    The workhorse deployment for the Table 1 scaling experiments: density
+    (and hence the degree Δ of the strong connectivity graph) is controlled
+    through ``n`` and ``radius``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    rng = _rng(seed)
+
+    def draw(r: np.random.Generator) -> np.ndarray:
+        # Uniform in a disk: sqrt-radius transform.
+        rad = radius * math.sqrt(r.random())
+        theta = 2.0 * math.pi * r.random()
+        return np.array([rad * math.cos(theta), rad * math.sin(theta)])
+
+    coords = _rejection_sample(n, draw, min_separation, rng)
+    return PointSet(coords, name=f"disk(n={n},r={radius:g})")
+
+
+def uniform_square(
+    n: int,
+    side: float,
+    min_separation: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """``n`` nodes uniformly at random in an axis-aligned square."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if side <= 0:
+        raise ValueError("side must be positive")
+    rng = _rng(seed)
+
+    def draw(r: np.random.Generator) -> np.ndarray:
+        return np.array([r.random() * side, r.random() * side])
+
+    coords = _rejection_sample(n, draw, min_separation, rng)
+    return PointSet(coords, name=f"square(n={n},s={side:g})")
+
+
+def grid_deployment(rows: int, cols: int, spacing: float = 1.0) -> PointSet:
+    """A ``rows x cols`` regular grid with the given spacing.
+
+    Deterministic; useful for tests with hand-computable answers.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xs, ys = np.meshgrid(
+        np.arange(cols, dtype=np.float64) * spacing,
+        np.arange(rows, dtype=np.float64) * spacing,
+    )
+    coords = np.column_stack([xs.ravel(), ys.ravel()])
+    return PointSet(coords, name=f"grid({rows}x{cols},d={spacing:g})")
+
+
+def line_deployment(n: int, spacing: float = 1.0) -> PointSet:
+    """``n`` nodes equally spaced on the x-axis.
+
+    Produces multihop networks with diameter ~ n for the D-scaling
+    experiments (Table 1 SMB/CONS rows).
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    xs = np.arange(n, dtype=np.float64) * spacing
+    coords = np.column_stack([xs, np.zeros(n)])
+    return PointSet(coords, name=f"line(n={n},d={spacing:g})")
+
+
+def cluster_deployment(
+    n_clusters: int,
+    nodes_per_cluster: int,
+    cluster_radius: float,
+    cluster_spacing: float,
+    min_separation: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """Clusters of dense nodes whose centers lie on a line.
+
+    Models the heterogeneous-density scenario the paper's local analysis
+    targets: local contention varies widely between clusters while the
+    backbone diameter stays small.
+    """
+    if n_clusters < 1 or nodes_per_cluster < 1:
+        raise ValueError("cluster counts must be >= 1")
+    rng = _rng(seed)
+    parts = []
+    for c in range(n_clusters):
+        cx = c * cluster_spacing
+
+        def draw(r: np.random.Generator, cx: float = cx) -> np.ndarray:
+            rad = cluster_radius * math.sqrt(r.random())
+            theta = 2.0 * math.pi * r.random()
+            return np.array([cx + rad * math.cos(theta), rad * math.sin(theta)])
+
+        parts.append(
+            _rejection_sample(nodes_per_cluster, draw, min_separation, rng)
+        )
+    coords = np.vstack(parts)
+    name = f"clusters({n_clusters}x{nodes_per_cluster})"
+    return PointSet(coords, name=name)
+
+
+def annulus_deployment(
+    n: int,
+    inner_radius: float,
+    outer_radius: float,
+    min_separation: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """``n`` nodes uniformly at random in an annulus."""
+    if inner_radius < 0 or outer_radius <= inner_radius:
+        raise ValueError("need 0 <= inner_radius < outer_radius")
+    rng = _rng(seed)
+    inner2 = inner_radius * inner_radius
+    outer2 = outer_radius * outer_radius
+
+    def draw(r: np.random.Generator) -> np.ndarray:
+        rad = math.sqrt(inner2 + (outer2 - inner2) * r.random())
+        theta = 2.0 * math.pi * r.random()
+        return np.array([rad * math.cos(theta), rad * math.sin(theta)])
+
+    coords = _rejection_sample(n, draw, min_separation, rng)
+    return PointSet(coords, name=f"annulus(n={n})")
+
+
+def two_parallel_lines(delta: int, line_distance: float, spacing: float = 1.0) -> PointSet:
+    """The Theorem 6.1 / Figure 1 lower-bound construction.
+
+    Two parallel lines at Euclidean distance ``line_distance``, each with
+    ``delta`` nodes spaced ``spacing`` apart.  Node ``i`` on line V
+    (indices ``0..delta-1``) pairs with node ``i`` on line U (indices
+    ``delta..2*delta-1``).  With the transmission range chosen as
+    ``R_{1-eps} ≈ line_distance`` (the paper uses ``R_{1-eps} = 10·delta``),
+    each V-node's only strong link crosses to its U-partner, so every node
+    has degree Δ = delta in G_{1-ε} and only one cross pair can succeed per
+    slot.
+    """
+    if delta < 1:
+        raise ValueError("delta must be >= 1")
+    if line_distance <= 0 or spacing <= 0:
+        raise ValueError("line_distance and spacing must be positive")
+    xs = np.arange(delta, dtype=np.float64) * spacing
+    v_line = np.column_stack([xs, np.zeros(delta)])
+    u_line = np.column_stack([xs, np.full(delta, line_distance)])
+    coords = np.vstack([v_line, u_line])
+    return PointSet(coords, name=f"two_lines(delta={delta})")
+
+
+def two_balls(
+    n_sparse: int,
+    n_dense: int,
+    ball_radius: float,
+    center_distance: float,
+    min_separation: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> PointSet:
+    """The Theorem 8.1 construction that defeats Decay.
+
+    Ball ``B1`` (indices ``0..n_sparse-1``) contains a constant number of
+    nodes; ball ``B2`` (remaining indices) contains Δ nodes.  The centers
+    are placed ``center_distance`` apart (the paper uses R_2, i.e. inside
+    interference range but outside communication range), so B2's aggregate
+    interference crushes B1 exactly when Decay's probabilities become large
+    enough for B1's nodes to transmit.
+    """
+    if n_sparse < 1 or n_dense < 1:
+        raise ValueError("ball populations must be >= 1")
+    rng = _rng(seed)
+
+    def draw_at(cx: float):
+        def draw(r: np.random.Generator) -> np.ndarray:
+            rad = ball_radius * math.sqrt(r.random())
+            theta = 2.0 * math.pi * r.random()
+            return np.array([cx + rad * math.cos(theta), rad * math.sin(theta)])
+
+        return draw
+
+    sparse = _rejection_sample(n_sparse, draw_at(0.0), min_separation, rng)
+    dense = _rejection_sample(
+        n_dense, draw_at(center_distance), min_separation, rng
+    )
+    coords = np.vstack([sparse, dense])
+    return PointSet(coords, name=f"two_balls({n_sparse},{n_dense})")
+
+
+def verify_min_separation(points: PointSet, min_separation: float) -> bool:
+    """Check that all pairwise distances are >= ``min_separation``."""
+    if len(points) < 2:
+        return True
+    dists = pairwise_distances(points.coords)
+    np.fill_diagonal(dists, np.inf)
+    return bool(dists.min() >= min_separation - 1e-12)

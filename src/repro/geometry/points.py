@@ -1,0 +1,146 @@
+"""Point sets in the Euclidean plane.
+
+All coordinates are stored as a float64 numpy array of shape ``(n, 2)``.
+The paper normalizes the minimum distance between any two nodes to 1
+(§4.2, the near-field assumption); :func:`enforce_min_distance` rescales a
+layout to satisfy that normalization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "PointSet",
+    "pairwise_distances",
+    "distance",
+    "min_pairwise_distance",
+    "bounding_box",
+    "enforce_min_distance",
+]
+
+
+def _as_coords(coords: np.ndarray | list | tuple) -> np.ndarray:
+    """Coerce input to an ``(n, 2)`` float64 array, validating shape."""
+    arr = np.asarray(coords, dtype=np.float64)
+    if arr.ndim == 1 and arr.size == 2:
+        arr = arr.reshape(1, 2)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise ValueError(
+            f"coordinates must have shape (n, 2); got {arr.shape!r}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("coordinates must be finite")
+    return arr
+
+
+def pairwise_distances(coords: np.ndarray) -> np.ndarray:
+    """Return the full ``(n, n)`` Euclidean distance matrix.
+
+    The diagonal is zero.  Vectorized; O(n^2) memory, which is fine for
+    the network sizes (n <= a few thousand) used in the experiments.
+    """
+    arr = _as_coords(coords)
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two points ``a`` and ``b``."""
+    ax, ay = float(a[0]), float(a[1])
+    bx, by = float(b[0]), float(b[1])
+    return math.hypot(ax - bx, ay - by)
+
+
+def min_pairwise_distance(coords: np.ndarray) -> float:
+    """Smallest distance between two distinct points (d_min in the paper).
+
+    Raises ``ValueError`` for fewer than two points, since d_min is
+    undefined there.
+    """
+    arr = _as_coords(coords)
+    if arr.shape[0] < 2:
+        raise ValueError("min_pairwise_distance requires at least 2 points")
+    dists = pairwise_distances(arr)
+    np.fill_diagonal(dists, np.inf)
+    return float(dists.min())
+
+
+def bounding_box(coords: np.ndarray) -> tuple[float, float, float, float]:
+    """Return ``(xmin, ymin, xmax, ymax)`` of the point set."""
+    arr = _as_coords(coords)
+    mins = arr.min(axis=0)
+    maxs = arr.max(axis=0)
+    return float(mins[0]), float(mins[1]), float(maxs[0]), float(maxs[1])
+
+
+def enforce_min_distance(coords: np.ndarray, target: float = 1.0) -> np.ndarray:
+    """Rescale a layout so the minimum pairwise distance equals ``target``.
+
+    This realizes the paper's normalization that the minimum physical
+    distance between nodes is 1 (§4.2).  The layout shape is preserved
+    (uniform scaling about the origin).
+    """
+    arr = _as_coords(coords)
+    if arr.shape[0] < 2:
+        return arr.copy()
+    dmin = min_pairwise_distance(arr)
+    if dmin <= 0.0:
+        raise ValueError("layout contains coincident points; cannot rescale")
+    return arr * (target / dmin)
+
+
+@dataclass(frozen=True)
+class PointSet:
+    """An immutable set of node positions in the plane.
+
+    Attributes
+    ----------
+    coords:
+        ``(n, 2)`` float64 array of positions.
+    name:
+        Optional human-readable label used in experiment reports.
+    """
+
+    coords: np.ndarray
+    name: str = field(default="pointset")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coords", _as_coords(self.coords))
+        self.coords.setflags(write=False)
+
+    def __len__(self) -> int:
+        return int(self.coords.shape[0])
+
+    def __getitem__(self, index: int) -> tuple[float, float]:
+        x, y = self.coords[index]
+        return float(x), float(y)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self)
+
+    def distances(self) -> np.ndarray:
+        """Full pairwise-distance matrix (cached per call site)."""
+        return pairwise_distances(self.coords)
+
+    def min_distance(self) -> float:
+        """Minimum pairwise distance (d_min)."""
+        return min_pairwise_distance(self.coords)
+
+    def normalized(self, target: float = 1.0) -> "PointSet":
+        """Return a copy rescaled so d_min equals ``target``."""
+        return PointSet(enforce_min_distance(self.coords, target), self.name)
+
+    def translated(self, dx: float, dy: float) -> "PointSet":
+        """Return a copy translated by ``(dx, dy)``."""
+        return PointSet(self.coords + np.array([dx, dy]), self.name)
+
+    def union(self, other: "PointSet", name: str | None = None) -> "PointSet":
+        """Return the concatenation of two point sets."""
+        merged = np.vstack([self.coords, other.coords])
+        return PointSet(merged, name or f"{self.name}+{other.name}")

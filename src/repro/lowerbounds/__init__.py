@@ -1,0 +1,32 @@
+"""Lower-bound constructions and experiments.
+
+Two adversarial geometries from the paper:
+
+* the **two parallel lines** network of Theorem 6.1 / Figure 1, which
+  shows that *no* implementation — even a centrally scheduled one with
+  arbitrary power control — achieves progress faster than Δ in
+  G_{1-ε}, and
+* the **two balls** network of Theorem 8.1, on which the classic Decay
+  strategy needs Ω(Δ·log(1/ε)) slots for approximate progress while
+  Algorithm 9.1 needs polylog.
+"""
+
+from repro.lowerbounds.constructions import (
+    ProgressLowerBoundNetwork,
+    DecayLowerBoundNetwork,
+)
+from repro.lowerbounds.experiments import (
+    optimal_schedule_progress,
+    power_controlled_progress,
+    measure_decay_progress,
+    measure_approx_progress_on,
+)
+
+__all__ = [
+    "ProgressLowerBoundNetwork",
+    "DecayLowerBoundNetwork",
+    "optimal_schedule_progress",
+    "power_controlled_progress",
+    "measure_decay_progress",
+    "measure_approx_progress_on",
+]

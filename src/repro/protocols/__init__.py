@@ -1,0 +1,36 @@
+"""Higher-level algorithms running over the absMAC interface.
+
+These are the consumers that §5.1 and §12 plug the paper's absMAC
+implementation into:
+
+* :mod:`repro.protocols.bsmb` — Basic Single-Message Broadcast of
+  Khabbazian et al. [37] (Theorem 12.1),
+* :mod:`repro.protocols.bmmb` — Basic Multi-Message Broadcast of [37]
+  (Theorem 12.5),
+* :mod:`repro.protocols.consensus` — network-wide consensus in
+  O(D · f_ack) in the style of Newport [44] (Corollary 5.5).
+
+All three are written purely against
+:class:`~repro.absmac.layer.MacLayerBase` /
+:class:`~repro.absmac.layer.MacClient`, so they run unchanged over the
+ideal layer, the Decay layer, or the paper's SINR implementation — the
+plug-and-play property the paper demonstrates.
+"""
+
+from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
+from repro.protocols.consensus import (
+    ConsensusClient,
+    ConsensusResult,
+    run_consensus,
+)
+
+__all__ = [
+    "BsmbClient",
+    "run_single_message_broadcast",
+    "BmmbClient",
+    "run_multi_message_broadcast",
+    "ConsensusClient",
+    "ConsensusResult",
+    "run_consensus",
+]

@@ -1,0 +1,154 @@
+"""Network-wide consensus over an absMAC (Corollary 5.5, after [44]).
+
+Newport [44] showed consensus is solvable over an absMAC in
+O(D·f_ack) time given unique ids, knowledge of n, and a connected
+communication graph; Corollary 5.5 plugs Theorem 5.1's f_ack in to get
+the first efficient consensus algorithm for the SINR model:
+
+    f_CONS = O(D_{G_{1-ε}}·(Δ_{G_{1-ε}} + log Λ)·log(nΛ/ε_CONS)).
+
+We implement a flood-based algorithm with the same interface and the
+same O(D·f_ack) envelope (see DESIGN.md §3, substitution 3 — Newport's
+wPAXOS machinery exists to tolerate unknown diameter, which our model
+setting does not require):
+
+* every node repeatedly performs *acknowledged broadcasts* of the
+  largest (id, value) pair it has seen — each completed bcast+ack is one
+  flooding wave;
+* a value propagates at least one hop per two completed waves (a node
+  finishing wave w incorporates everything it heard before wave w
+  started, and its next wave carries it);
+* after ``2·D_bound + 2`` completed waves a node decides the value of
+  the maximum id — by then the global maximum has flooded everywhere.
+
+Properties (whenever the absMAC honors its ack guarantee, i.e. with
+probability ≥ 1 − ε_CONS after the union bound of Theorem 5.4):
+**validity** — the decided value is the max-id node's input;
+**agreement** — every node sees the same global maximum;
+**termination** — a fixed number of acked broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.absmac.layer import MacClient, MacLayerBase
+from repro.core.events import BcastMessage
+from repro.simulation.runtime import Runtime
+
+__all__ = ["ConsensusClient", "ConsensusResult", "run_consensus"]
+
+
+@dataclass(frozen=True)
+class ConsensusResult:
+    """Outcome of one consensus execution."""
+
+    decisions: dict[int, int]  # node -> decided value
+    decision_slots: dict[int, int]  # node -> slot of the decide event
+    completion_slot: int
+
+    @property
+    def agreed(self) -> bool:
+        """True iff all nodes decided the same value."""
+        return len(set(self.decisions.values())) <= 1
+
+    def decided_value(self) -> int:
+        """The common decision (requires agreement)."""
+        values = set(self.decisions.values())
+        if len(values) != 1:
+            raise ValueError(f"no agreement: {sorted(values)}")
+        return values.pop()
+
+
+class ConsensusClient(MacClient):
+    """Per-node flooding-consensus state machine.
+
+    Parameters
+    ----------
+    node_id:
+        This node's unique id (doubles as the flood priority).
+    initial_value:
+        The node's binary input (paper §4.5: values from {0, 1}).
+    waves:
+        Number of acknowledged broadcasts to perform before deciding;
+        callers use ``2·D_bound + 2``.
+    """
+
+    def __init__(self, node_id: int, initial_value: int, waves: int) -> None:
+        if initial_value not in (0, 1):
+            raise ValueError("initial values are binary (paper §4.5)")
+        if waves < 1:
+            raise ValueError("waves must be >= 1")
+        self.node_id = node_id
+        self.initial_value = initial_value
+        self.waves = waves
+        self.best: tuple[int, int] = (node_id, initial_value)  # (id, value)
+        self.waves_done = 0
+        self.decision: int | None = None
+        self.decision_slot: int | None = None
+        self.mac: MacLayerBase | None = None
+
+    # -- MAC callbacks --------------------------------------------------------
+
+    def on_mac_start(self, mac: MacLayerBase) -> None:
+        self.mac = mac
+        self._next_wave()
+
+    def on_rcv(self, slot: int, message: BcastMessage) -> None:
+        payload = message.payload
+        if isinstance(payload, tuple) and len(payload) == 2:
+            candidate = (int(payload[0]), int(payload[1]))
+            if candidate[0] > self.best[0]:
+                self.best = candidate
+
+    def on_ack(self, slot: int, message: BcastMessage) -> None:
+        self.waves_done += 1
+        if self.waves_done >= self.waves:
+            self._decide(slot)
+        else:
+            self._next_wave()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _next_wave(self) -> None:
+        if self.mac is not None and not self.mac.busy:
+            self.mac.bcast(self.best)
+
+    def _decide(self, slot: int) -> None:
+        if self.decision is None:
+            self.decision = self.best[1]
+            self.decision_slot = slot
+            if self.mac is not None and self.mac.api is not None:
+                self.mac.api.emit("decide", self.decision)
+
+    @property
+    def decided(self) -> bool:
+        """True once the irrevocable decide action happened."""
+        return self.decision is not None
+
+
+def run_consensus(
+    runtime: Runtime,
+    macs: Sequence[MacLayerBase],
+    clients: Sequence[ConsensusClient],
+    progress_callback: Callable[[int, int], None] | None = None,
+) -> ConsensusResult:
+    """Execute consensus to completion (all nodes decided)."""
+    if len(macs) != len(clients):
+        raise ValueError("macs and clients must align")
+    for mac in macs:
+        mac.wake()  # consensus starts with every node participating
+
+    def finished(rt: Runtime) -> bool:
+        count = sum(1 for c in clients if c.decided)
+        if progress_callback is not None:
+            progress_callback(rt.slot, count)
+        return count == len(clients)
+
+    completion = runtime.run_until(finished, check_every=32)
+    return ConsensusResult(
+        decisions={c.node_id: c.decision for c in clients},
+        decision_slots={c.node_id: c.decision_slot for c in clients},
+        completion_slot=completion,
+    )

@@ -1,0 +1,93 @@
+"""Node automaton base class and the runtime-facing API.
+
+A :class:`ProtocolNode` is an event-driven automaton (paper §4.4): the
+runtime calls
+
+* :meth:`ProtocolNode.on_wake` once, when the node first participates,
+* :meth:`ProtocolNode.on_slot` each slot while awake — the node returns a
+  payload to transmit or ``None`` to listen,
+* :meth:`ProtocolNode.on_receive` when a listened slot decoded a message.
+
+Sleeping nodes (conditional wakeup, Definition 4.4) are pure listeners:
+they transmit nothing, but a successful decode wakes them.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = ["NodeAPI", "ProtocolNode"]
+
+
+class NodeAPI:
+    """Capabilities the runtime hands to each node.
+
+    Deliberately narrow: a node can read its id, the current slot, draw
+    randomness, emit trace events, and request its own wakeup state.  It
+    cannot see positions, other nodes, or the channel — matching the
+    paper's assumptions (unknown positions, no carrier sensing, §4.6).
+    """
+
+    def __init__(self, node_id: int, rng: np.random.Generator, runtime) -> None:
+        self.node_id = node_id
+        self.rng = rng
+        self._runtime = runtime
+
+    @property
+    def slot(self) -> int:
+        """Current slot index."""
+        return self._runtime.slot
+
+    def emit(self, kind: str, data: Any = None) -> None:
+        """Record a protocol-level trace event at this node."""
+        self._runtime.trace.record(self._runtime.slot, kind, self.node_id, data)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1) from this node's private source."""
+        return float(self.rng.random())
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] from this node's private source."""
+        return int(self.rng.integers(low, high + 1))
+
+
+class ProtocolNode:
+    """Base class for protocol automata.
+
+    Subclasses override the three hooks.  The default implementation is an
+    inert listener, which is a legal (if useless) protocol.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.api: NodeAPI | None = None
+        self.awake = False
+
+    def bind(self, api: NodeAPI) -> None:
+        """Called once by the runtime before the first slot."""
+        self.api = api
+
+    # -- hooks ----------------------------------------------------------
+
+    def on_wake(self) -> None:
+        """Called when the node starts participating (Definition 4.4)."""
+
+    def on_slot(self, slot: int) -> Any | None:
+        """Decide this slot's action: return a payload to transmit it,
+        or ``None`` to listen."""
+        return None
+
+    def on_receive(self, slot: int, sender: int, payload: Any) -> None:
+        """Called when this node decoded ``payload`` from ``sender``."""
+
+    # -- helpers ---------------------------------------------------------
+
+    def wake(self) -> None:
+        """Transition to awake, firing :meth:`on_wake` exactly once."""
+        if not self.awake:
+            self.awake = True
+            if self.api is not None:
+                self.api.emit("wake")
+            self.on_wake()

@@ -1,0 +1,21 @@
+"""Per-node random sources.
+
+The paper assumes each node has private access to a perfect random source
+(§4.6).  We realize this with independent numpy generators spawned from a
+single seed sequence, so whole experiments are reproducible from one seed
+while nodes remain statistically independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["spawn_node_rngs"]
+
+
+def spawn_node_rngs(n: int, seed: int | None = 0) -> list[np.random.Generator]:
+    """Return ``n`` independent generators derived from ``seed``."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(n)]

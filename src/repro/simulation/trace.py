@@ -1,0 +1,82 @@
+"""Execution traces.
+
+Every externally visible event of a run — transmissions, receptions,
+wakeups, MAC-layer events (bcast/rcv/ack/abort), protocol outputs — is
+recorded as a :class:`TraceEvent`.  The spec-conformance checker
+(:mod:`repro.core.spec`) and all latency measurements operate on traces,
+decoupling measurement from protocol code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped event.
+
+    Attributes
+    ----------
+    slot:
+        Slot index at which the event occurred.
+    kind:
+        Event type tag, e.g. ``"transmit"``, ``"receive"``, ``"wake"``,
+        ``"bcast"``, ``"rcv"``, ``"ack"``, ``"abort"``, ``"decide"``.
+    node:
+        Node id the event happened at.
+    data:
+        Event-specific payload (message id, sender id, value, ...).
+    """
+
+    slot: int
+    kind: str
+    node: int
+    data: Any = None
+
+
+@dataclass
+class EventTrace:
+    """Append-only list of :class:`TraceEvent` with query helpers."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(self, slot: int, kind: str, node: int, data: Any = None) -> None:
+        """Append one event."""
+        self.events.append(TraceEvent(slot, kind, node, data))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events with the given kind, in slot order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def at_node(self, node: int) -> list[TraceEvent]:
+        """All events at the given node, in slot order."""
+        return [e for e in self.events if e.node == node]
+
+    def first(
+        self, kind: str, predicate: Callable[[TraceEvent], bool] | None = None
+    ) -> TraceEvent | None:
+        """Earliest event of ``kind`` satisfying ``predicate`` (if any)."""
+        for event in self.events:
+            if event.kind == kind and (predicate is None or predicate(event)):
+                return event
+        return None
+
+    def last_slot(self) -> int:
+        """Slot of the latest event; -1 for an empty trace."""
+        if not self.events:
+            return -1
+        return max(e.slot for e in self.events)
+
+    def count(self, kind: str) -> int:
+        """Number of events of the given kind."""
+        return sum(1 for e in self.events if e.kind == kind)

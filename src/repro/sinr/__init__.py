@@ -1,0 +1,49 @@
+"""SINR (physical) wireless model substrate.
+
+Implements the reception rule of paper Eq. (1), the transmission-range
+algebra (R, R_a), and the SINR-induced connectivity graphs G_a of §4.3,
+including the strong connectivity graphs G_{1-ε} and G_{1-2ε} that the
+absMAC is implemented and analyzed over.
+"""
+
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import (
+    received_power,
+    interference_at,
+    sinr_matrix,
+    sinr_of_link,
+    successful_receptions,
+)
+from repro.sinr.channel import (
+    Channel,
+    GrayZoneAdversary,
+    JammingAdversary,
+    SlotOutcome,
+)
+from repro.sinr.graphs import (
+    induced_graph,
+    strong_connectivity_graph,
+    weak_connectivity_graph,
+    link_length_ratio,
+    graph_degree,
+    graph_diameter,
+)
+
+__all__ = [
+    "SINRParameters",
+    "received_power",
+    "interference_at",
+    "sinr_matrix",
+    "sinr_of_link",
+    "successful_receptions",
+    "Channel",
+    "GrayZoneAdversary",
+    "JammingAdversary",
+    "SlotOutcome",
+    "induced_graph",
+    "strong_connectivity_graph",
+    "weak_connectivity_graph",
+    "link_length_ratio",
+    "graph_degree",
+    "graph_diameter",
+]

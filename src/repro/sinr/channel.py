@@ -1,0 +1,207 @@
+"""The slot-resolution channel with optional failure injection.
+
+:class:`Channel` owns the geometry + SINR parameters for a deployment and
+resolves one slot at a time: given the set of transmitting nodes (and
+their payloads), it returns which listeners decode which message.
+
+Failure injection (:class:`JammingAdversary`) lets the tests exercise the
+unreliability paths of the protocols: a jammer raises the effective noise
+floor at chosen slots, or erases individual receptions.  This models the
+"unreliable communication" regimes discussed in §4.4/Remark 7.2 without
+changing the protocol code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import successful_receptions, sinr_of_link
+
+__all__ = ["Channel", "JammingAdversary", "GrayZoneAdversary", "SlotOutcome"]
+
+
+@dataclass(frozen=True)
+class SlotOutcome:
+    """The result of resolving one slot.
+
+    Attributes
+    ----------
+    transmitters:
+        Sorted tuple of node ids that transmitted this slot.
+    receptions:
+        Mapping listener id → (sender id, payload) for every successful
+        decode.  Half-duplex: transmitters never appear as listeners.
+    """
+
+    transmitters: tuple[int, ...]
+    receptions: dict[int, tuple[int, Any]]
+
+
+class JammingAdversary:
+    """Erasure/jamming failure injector for tests and robustness benches.
+
+    Parameters
+    ----------
+    drop_probability:
+        Each successful reception is independently erased with this
+        probability (models fading bursts / adversarial erasures).
+    jam_slots:
+        Set of slot indices in which *all* receptions are erased.
+    rng:
+        Numpy generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        jam_slots: set[int] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.drop_probability = drop_probability
+        self.jam_slots = jam_slots or set()
+        self.rng = rng or np.random.default_rng(0)
+        self.erased_count = 0
+
+    def filter(
+        self, slot: int, receptions: dict[int, tuple[int, Any]]
+    ) -> dict[int, tuple[int, Any]]:
+        """Apply the failure model to a slot's receptions."""
+        if slot in self.jam_slots:
+            self.erased_count += len(receptions)
+            return {}
+        if self.drop_probability == 0.0:
+            return receptions
+        kept: dict[int, tuple[int, Any]] = {}
+        for listener, payload in receptions.items():
+            if self.rng.random() < self.drop_probability:
+                self.erased_count += 1
+            else:
+                kept[listener] = payload
+        return kept
+
+
+class GrayZoneAdversary:
+    """Dual-graph unreliability in the style of Ghaffari et al. [23].
+
+    Remark 7.2: the paper's setting makes all communication reliable,
+    but notes the dual-graph extension where links *outside* a reliable
+    core graph are controlled by a nondeterministic adversary.  This
+    adversary realizes that model: receptions whose (transmitter,
+    listener) pair is an edge of ``reliable_graph`` (typically G_{1-ε})
+    always pass; every other decodable reception — the gray zone
+    G_1 \\ G_{1-ε} — is erased with probability ``gray_drop``.
+
+    With ``gray_drop = 1.0`` communication is *exactly* the reliable
+    graph; intermediate values model flaky fringe links.  The paper's
+    guarantees only ever rely on strong links, so every protocol here
+    must keep its contract under any ``gray_drop`` — which the
+    failure-injection tests verify.
+    """
+
+    def __init__(
+        self,
+        reliable_graph,
+        gray_drop: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= gray_drop <= 1.0:
+            raise ValueError("gray_drop must be in [0, 1]")
+        self.reliable_graph = reliable_graph
+        self.gray_drop = gray_drop
+        self.rng = rng or np.random.default_rng(0)
+        self.erased_count = 0
+
+    def filter(
+        self, slot: int, receptions: dict[int, tuple[int, Any]]
+    ) -> dict[int, tuple[int, Any]]:
+        """Erase gray-zone receptions per the drop probability."""
+        kept: dict[int, tuple[int, Any]] = {}
+        for listener, (sender, payload) in receptions.items():
+            if self.reliable_graph.has_edge(sender, listener):
+                kept[listener] = (sender, payload)
+            elif self.gray_drop >= 1.0 or self.rng.random() < self.gray_drop:
+                self.erased_count += 1
+            else:
+                kept[listener] = (sender, payload)
+        return kept
+
+
+class Channel:
+    """SINR channel bound to a fixed deployment.
+
+    Precomputes the pairwise-distance matrix once; each slot resolution is
+    then a single vectorized SINR evaluation.
+    """
+
+    def __init__(
+        self,
+        points: PointSet,
+        params: SINRParameters,
+        adversary: JammingAdversary | None = None,
+    ) -> None:
+        self.points = points
+        self.params = params
+        self.adversary = adversary
+        self.distances = pairwise_distances(points.coords)
+        self._slot_count = 0
+        self.total_transmissions = 0
+        self.total_receptions = 0
+
+    @property
+    def n(self) -> int:
+        """Number of nodes on the channel."""
+        return len(self.points)
+
+    @property
+    def slots_resolved(self) -> int:
+        """How many slots have been resolved so far."""
+        return self._slot_count
+
+    def resolve_slot(self, transmissions: dict[int, Any]) -> SlotOutcome:
+        """Resolve one slot.
+
+        ``transmissions`` maps node id → payload for every node that
+        transmits this slot.  Returns the :class:`SlotOutcome` after any
+        adversarial filtering.
+        """
+        for node in transmissions:
+            if not 0 <= node < self.n:
+                raise ValueError(f"unknown node id {node}")
+        tx_ids = np.array(sorted(transmissions), dtype=np.intp)
+        raw = successful_receptions(self.params, self.distances, tx_ids)
+        receptions = {
+            listener: (sender, transmissions[sender])
+            for listener, sender in raw.items()
+        }
+        if self.adversary is not None:
+            receptions = self.adversary.filter(self._slot_count, receptions)
+        self._slot_count += 1
+        self.total_transmissions += len(transmissions)
+        self.total_receptions += len(receptions)
+        return SlotOutcome(
+            transmitters=tuple(int(t) for t in tx_ids),
+            receptions=receptions,
+        )
+
+    def link_sinr(
+        self, sender: int, listener: int, transmitters: list[int]
+    ) -> float:
+        """SINR of a specific link under a hypothetical transmitter set.
+
+        Convenience probe used by tests and the lower-bound experiments;
+        does not advance the slot counter.
+        """
+        tx = np.asarray(sorted(set(transmitters) | {sender}), dtype=np.intp)
+        return sinr_of_link(self.params, self.distances, tx, sender, listener)
+
+    def reset_stats(self) -> None:
+        """Zero the utilization counters (slot counter is preserved)."""
+        self.total_transmissions = 0
+        self.total_receptions = 0

@@ -1,0 +1,113 @@
+"""SINR-induced connectivity graphs (paper §4.3).
+
+``G_a = (V, E_a)`` connects two nodes iff their Euclidean distance is at
+most ``R_a = a·R``.  The paper's communication graph is the *strong
+connectivity graph* ``G_{1-ε}``; approximate progress is measured against
+``G̃ = G_{1-2ε}``; the *weak* graph ``G_1`` bounds which messages can ever
+be overheard.
+
+These graphs drive all of the analysis-side quantities: degree Δ, diameter
+D, and the length ratio Λ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import networkx as nx
+
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.sinr.params import SINRParameters
+
+__all__ = [
+    "induced_graph",
+    "strong_connectivity_graph",
+    "weak_connectivity_graph",
+    "approx_connectivity_graph",
+    "link_length_ratio",
+    "graph_degree",
+    "graph_diameter",
+    "require_connected",
+]
+
+
+def induced_graph(
+    points: PointSet, params: SINRParameters, strength: float
+) -> nx.Graph:
+    """Build ``G_a`` for ``a = strength``: edges at distance <= a·R.
+
+    Nodes are integers ``0..n-1`` with a ``pos`` attribute; edges carry
+    their Euclidean ``length``.
+    """
+    if strength <= 0 or strength > 1:
+        raise ValueError("strength must be in (0, 1]")
+    radius = params.range_at(strength)
+    dists = pairwise_distances(points.coords)
+    graph = nx.Graph(strength=strength, radius=radius)
+    for i in range(len(points)):
+        graph.add_node(i, pos=points[i])
+    upper = np.triu(dists <= radius, k=1)
+    for i, j in zip(*np.nonzero(upper)):
+        graph.add_edge(int(i), int(j), length=float(dists[i, j]))
+    return graph
+
+
+def strong_connectivity_graph(
+    points: PointSet, params: SINRParameters
+) -> nx.Graph:
+    """G_{1-ε}: the graph in which local broadcast is implemented."""
+    return induced_graph(points, params, 1.0 - params.epsilon)
+
+
+def approx_connectivity_graph(
+    points: PointSet, params: SINRParameters
+) -> nx.Graph:
+    """G_{1-2ε}: the approximation graph G̃ of Definition 7.1."""
+    return induced_graph(points, params, 1.0 - 2.0 * params.epsilon)
+
+
+def weak_connectivity_graph(
+    points: PointSet, params: SINRParameters
+) -> nx.Graph:
+    """G_1: nodes within the full transmission range R."""
+    return induced_graph(points, params, 1.0)
+
+
+def link_length_ratio(graph: nx.Graph) -> float:
+    """Λ_G: ratio of the longest to the shortest edge length.
+
+    For ``G = G_{1-ε}`` this is the paper's Λ (§4.3).  Returns 1.0 for
+    graphs with no edges (a degenerate but legal input for which every
+    bound trivializes).
+    """
+    lengths = [data["length"] for _, _, data in graph.edges(data=True)]
+    if not lengths:
+        return 1.0
+    shortest = min(lengths)
+    if shortest <= 0:
+        raise ValueError("graph contains a zero-length edge")
+    return max(lengths) / shortest
+
+
+def graph_degree(graph: nx.Graph) -> int:
+    """Δ_G: maximum degree (0 for an empty or edgeless graph)."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(deg for _, deg in graph.degree)
+
+
+def graph_diameter(graph: nx.Graph) -> int:
+    """D_G: hop diameter.  Raises for disconnected graphs."""
+    if graph.number_of_nodes() == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    if not nx.is_connected(graph):
+        raise ValueError("graph is disconnected; diameter undefined")
+    return int(nx.diameter(graph))
+
+
+def require_connected(graph: nx.Graph, context: str = "G_{1-eps}") -> None:
+    """Assert the standing assumption (§4.6) that the graph is connected."""
+    if graph.number_of_nodes() == 0 or not nx.is_connected(graph):
+        raise ValueError(
+            f"{context} must be connected (paper assumption, §4.6); "
+            "increase density or transmission range"
+        )

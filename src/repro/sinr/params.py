@@ -1,0 +1,132 @@
+"""SINR model parameters (paper §4.2).
+
+The physical model is determined by four constants:
+
+* ``power`` (P): the uniform transmission power of every node,
+* ``alpha`` (α): the path-loss exponent, typically in (2, 6],
+* ``beta`` (β): the minimum SINR threshold for successful decoding, > 1,
+* ``noise`` (N): the ambient noise floor, > 0.
+
+From these the *transmission range* ``R = (P / (β·N))^(1/α)`` follows: the
+maximum distance at which a lone transmitter is decodable.  ``R_a = a·R``
+for ``a ∈ (0, 1]`` gives the *a-strong* link radius; the paper works with
+the strong connectivity graphs induced by ``R_{1-ε}`` and ``R_{1-2ε}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SINRParameters"]
+
+
+@dataclass(frozen=True)
+class SINRParameters:
+    """Immutable bundle of physical-model constants.
+
+    The default ``epsilon`` is the user-chosen strong-connectivity slack
+    of §4.2; it must satisfy ``0 < 2*epsilon < 1`` so that both G_{1-ε}
+    and G_{1-2ε} are meaningful.
+    """
+
+    power: float = 1.0
+    alpha: float = 3.0
+    beta: float = 1.5
+    noise: float = 1.0e-4
+    epsilon: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.power <= 0:
+            raise ValueError("power must be positive")
+        if self.alpha <= 2:
+            raise ValueError("alpha must exceed 2 (paper assumption, §4.6)")
+        if self.beta <= 1:
+            raise ValueError("beta must exceed 1 (paper §4.2)")
+        if self.noise <= 0:
+            raise ValueError("noise must be positive")
+        if not 0.0 < 2.0 * self.epsilon < 1.0:
+            raise ValueError("epsilon must satisfy 0 < 2*epsilon < 1")
+
+    @property
+    def transmission_range(self) -> float:
+        """R = (P / (β N))^(1/α): lone-transmitter decoding radius."""
+        return (self.power / (self.beta * self.noise)) ** (1.0 / self.alpha)
+
+    def range_at(self, a: float) -> float:
+        """R_a = a · R for a strength fraction ``a``."""
+        if a <= 0:
+            raise ValueError("strength fraction must be positive")
+        return a * self.transmission_range
+
+    @property
+    def strong_range(self) -> float:
+        """R_{1-ε}: the strong-link radius of the communication graph G."""
+        return self.range_at(1.0 - self.epsilon)
+
+    @property
+    def approx_range(self) -> float:
+        """R_{1-2ε}: the radius of the approximation graph G̃ (Def. 7.1)."""
+        return self.range_at(1.0 - 2.0 * self.epsilon)
+
+    def with_range(self, target_range: float) -> "SINRParameters":
+        """Return parameters rescaled so the transmission range R equals
+        ``target_range``, keeping α, β and N fixed (adjusts P).
+
+        Used by the lower-bound constructions, which prescribe the range
+        (e.g. ``R_{1-ε} = 10·Δ`` in Theorem 6.1).
+        """
+        if target_range <= 0:
+            raise ValueError("target_range must be positive")
+        new_power = self.beta * self.noise * target_range**self.alpha
+        return SINRParameters(
+            power=new_power,
+            alpha=self.alpha,
+            beta=self.beta,
+            noise=self.noise,
+            epsilon=self.epsilon,
+        )
+
+    def with_strong_range(self, target_strong_range: float) -> "SINRParameters":
+        """Rescale so that R_{1-ε} equals ``target_strong_range``."""
+        return self.with_range(target_strong_range / (1.0 - self.epsilon))
+
+    def lambda_ratio(self, min_distance: float) -> float:
+        """Λ: ratio of R_{1-ε} to the minimum node distance (§4.3).
+
+        Λ upper-bounds the ratio between the longest and shortest edge of
+        G_{1-ε}; the algorithms assume a polynomial bound on Λ is known.
+        """
+        if min_distance <= 0:
+            raise ValueError("min_distance must be positive")
+        return max(self.strong_range / min_distance, 1.0)
+
+    def describe(self) -> str:
+        """One-line human-readable summary for experiment reports."""
+        return (
+            f"SINR(P={self.power:g}, alpha={self.alpha:g}, beta={self.beta:g}, "
+            f"N={self.noise:g}, eps={self.epsilon:g}, R={self.transmission_range:.3g}, "
+            f"R1-eps={self.strong_range:.3g})"
+        )
+
+    @staticmethod
+    def max_contention_bound(lam: float) -> float:
+        """Ñ_x = 4Λ²: packing bound on nodes within transmission range.
+
+        Theorem 5.1 instantiates Algorithm B.1 with this bound, derived
+        from packing nodes at pairwise distance >= d_min into a disk of
+        radius R_1.
+        """
+        if lam < 1:
+            raise ValueError("Lambda must be >= 1")
+        return 4.0 * lam * lam
+
+    def log_star(self, x: float) -> int:
+        """Iterated logarithm log*(x), used in the f_approg bound."""
+        if x < 0:
+            raise ValueError("x must be >= 0")
+        count = 0
+        while x > 1.0:
+            x = math.log2(x)
+            count += 1
+        return count

@@ -1,0 +1,177 @@
+"""Vectorized SINR computations (paper Eq. 1).
+
+A transmission from ``v`` is decoded at ``u`` iff
+
+    SINR_u(v) = (P / d(v,u)^α) / (Σ_{w ∈ S\\{u,v}} P / d(w,u)^α + N) >= β,
+
+where ``S`` is the set of concurrently transmitting nodes.  Because β > 1,
+at most one transmitter can be decoded by any listener in any slot, so the
+reception outcome of a slot is a partial function listener → transmitter.
+
+All functions take a precomputed pairwise-distance matrix so the per-slot
+cost is one masked matrix reduction (numpy), keeping thousand-node
+simulations fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sinr.params import SINRParameters
+
+__all__ = [
+    "received_power",
+    "interference_at",
+    "sinr_matrix",
+    "sinr_of_link",
+    "successful_receptions",
+]
+
+# Distances below this are clamped to avoid division blow-ups; the paper
+# normalizes minimum node distance to 1, so this never binds on valid
+# layouts and only guards against degenerate test inputs.
+_MIN_DISTANCE = 1.0e-9
+
+
+def received_power(
+    params: SINRParameters,
+    dist: np.ndarray,
+    power: float | np.ndarray | None = None,
+) -> np.ndarray:
+    """P / d^α for an array of distances (elementwise).
+
+    ``power`` overrides the uniform model power; it may be an array
+    broadcastable against ``dist`` (per-sender powers).  The paper's
+    algorithms all use uniform power (§4.2), but the Theorem 6.1 lower
+    bound holds *even under arbitrary power assignment*, which the
+    corresponding experiment exercises through this hook.
+    """
+    d = np.maximum(np.asarray(dist, dtype=np.float64), _MIN_DISTANCE)
+    p = params.power if power is None else power
+    return p / d**params.alpha
+
+
+def interference_at(
+    params: SINRParameters,
+    distances: np.ndarray,
+    transmitters: np.ndarray,
+    listener: int,
+    exclude: int | None = None,
+) -> float:
+    """Total interference power at ``listener`` from ``transmitters``.
+
+    ``transmitters`` is an index array; ``exclude`` (the intended sender)
+    is removed from the sum.  The listener itself never contributes
+    (a node cannot interfere with its own reception because it cannot
+    transmit and listen in the same slot).
+    """
+    tx = np.asarray(transmitters, dtype=np.intp)
+    mask = tx != listener
+    if exclude is not None:
+        mask &= tx != exclude
+    others = tx[mask]
+    if others.size == 0:
+        return 0.0
+    powers = received_power(params, distances[others, listener])
+    return float(powers.sum())
+
+
+def sinr_of_link(
+    params: SINRParameters,
+    distances: np.ndarray,
+    transmitters: np.ndarray,
+    sender: int,
+    listener: int,
+) -> float:
+    """SINR of the (sender → listener) link under the given transmitter set."""
+    if sender == listener:
+        raise ValueError("sender and listener must differ")
+    signal = float(received_power(params, distances[sender, listener]))
+    interference = interference_at(
+        params, distances, transmitters, listener, exclude=sender
+    )
+    return signal / (interference + params.noise)
+
+
+def sinr_matrix(
+    params: SINRParameters,
+    distances: np.ndarray,
+    transmitters: np.ndarray,
+    tx_powers: np.ndarray | None = None,
+) -> np.ndarray:
+    """SINR of every (transmitter, node) pair in one shot.
+
+    Returns an array of shape ``(len(transmitters), n)`` where entry
+    ``(k, u)`` is the SINR of transmitter ``transmitters[k]`` at node
+    ``u``, with the convention that a node's SINR at itself is 0 (it
+    cannot hear while sending).  ``tx_powers`` optionally assigns a
+    transmission power to each transmitter (aligned with
+    ``transmitters``); omitted means the uniform model power.
+    """
+    tx = np.asarray(transmitters, dtype=np.intp)
+    n = distances.shape[0]
+    if tx.size == 0:
+        return np.zeros((0, n))
+    if tx_powers is not None:
+        tx_powers = np.asarray(tx_powers, dtype=np.float64)
+        if tx_powers.shape != tx.shape:
+            raise ValueError("tx_powers must align with transmitters")
+        if (tx_powers <= 0).any():
+            raise ValueError("powers must be positive")
+        per_sender = tx_powers[:, None]
+    else:
+        per_sender = None
+    # (k, u): power of transmitter k received at u.
+    powers = received_power(params, distances[tx, :], power=per_sender)
+    total = powers.sum(axis=0)  # (n,) total received power at each node
+    # Interference for transmitter k at u excludes k's own contribution.
+    interference = total[None, :] - powers
+    sinr = powers / (interference + params.noise)
+    # Half-duplex: a transmitter cannot decode anything, so every column
+    # belonging to a transmitting node is set to 0 (it would otherwise
+    # hold a meaningless self-interference artifact).
+    sinr[:, tx] = 0.0
+    return sinr
+
+
+def successful_receptions(
+    params: SINRParameters,
+    distances: np.ndarray,
+    transmitters: np.ndarray,
+    listeners: np.ndarray | None = None,
+    tx_powers: np.ndarray | None = None,
+) -> dict[int, int]:
+    """Resolve one slot: which listener decodes which transmitter.
+
+    Returns a dict ``listener -> transmitter`` containing exactly the
+    pairs whose SINR meets β.  Nodes in ``transmitters`` never appear as
+    keys (half-duplex).  If ``listeners`` is given, only those nodes are
+    considered as receivers; otherwise every non-transmitting node is.
+    ``tx_powers`` optionally assigns per-transmitter powers (Theorem 6.1
+    experiments); the default is the uniform model power.
+
+    Because β > 1 guarantees uniqueness, ties are impossible and the
+    result is well-defined.
+    """
+    tx = np.asarray(transmitters, dtype=np.intp)
+    n = distances.shape[0]
+    if tx.size == 0:
+        return {}
+    if listeners is None:
+        listener_mask = np.ones(n, dtype=bool)
+    else:
+        listener_mask = np.zeros(n, dtype=bool)
+        listener_mask[np.asarray(listeners, dtype=np.intp)] = True
+    listener_mask[tx] = False  # half-duplex
+
+    sinr = sinr_matrix(params, distances, tx, tx_powers=tx_powers)
+    ok = sinr >= params.beta  # (k, n)
+    ok[:, ~listener_mask] = False
+
+    result: dict[int, int] = {}
+    k_idx, u_idx = np.nonzero(ok)
+    for k, u in zip(k_idx.tolist(), u_idx.tolist()):
+        # beta > 1 makes duplicates impossible, but assert defensively.
+        assert u not in result, "beta > 1 violated: two decodable senders"
+        result[u] = int(tx[k])
+    return result

@@ -1,0 +1,105 @@
+"""Tests for the ideal absMAC layer (repro.absmac.ideal)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.absmac.ideal import IdealMacConfig, IdealMacLayer, IdealMacNetwork
+from repro.absmac.layer import MacClient
+from repro.core.events import MessageRegistry
+from repro.geometry.deployment import line_deployment
+from repro.simulation.runtime import Runtime, RuntimeConfig
+from repro.sinr.channel import Channel
+from repro.sinr.params import SINRParameters
+
+
+class RecordingClient(MacClient):
+    def __init__(self):
+        self.rcvs = []
+        self.acks = []
+
+    def on_rcv(self, slot, message):
+        self.rcvs.append((slot, message))
+
+    def on_ack(self, slot, message):
+        self.acks.append((slot, message))
+
+
+def make_ideal(graph, config=None, n=None, seed=0):
+    n = n or graph.number_of_nodes()
+    net = IdealMacNetwork(graph, config or IdealMacConfig(), seed=seed)
+    reg = MessageRegistry()
+    clients = [RecordingClient() for _ in range(n)]
+    macs = [IdealMacLayer(i, reg, net, clients[i]) for i in range(n)]
+    pts = line_deployment(n, spacing=4.0)
+    rt = Runtime(Channel(pts, SINRParameters()), macs, RuntimeConfig(seed=seed))
+    return rt, macs, clients
+
+
+class TestIdealMacConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdealMacConfig(ack_latency=1, rcv_latency=2)
+        with pytest.raises(ValueError):
+            IdealMacConfig(rcv_latency=0)
+        with pytest.raises(ValueError):
+            IdealMacConfig(delivery_probability=0.0)
+
+
+class TestIdealMacLayer:
+    def test_delivers_to_exactly_graph_neighbors(self):
+        g = nx.path_graph(4)  # 0-1-2-3
+        rt, macs, clients = make_ideal(g)
+        macs[1].bcast(payload="p")
+        rt.run(10)
+        assert len(clients[0].rcvs) == 1
+        assert len(clients[2].rcvs) == 1
+        assert len(clients[3].rcvs) == 0
+
+    def test_latencies_respected(self):
+        g = nx.path_graph(2)
+        cfg = IdealMacConfig(ack_latency=7, rcv_latency=3)
+        rt, macs, clients = make_ideal(g, cfg)
+        macs[0].bcast()
+        rt.run(12)
+        rcv_slot = clients[1].rcvs[0][0]
+        ack_slot = clients[0].acks[0][0]
+        assert ack_slot - rcv_slot == 4  # 7 - 3
+
+    def test_rcv_precedes_ack(self):
+        """Nice broadcasts (Definition 12.2): every neighbor receives
+        before the ack."""
+        g = nx.star_graph(5)
+        rt, macs, clients = make_ideal(g)
+        macs[0].bcast()
+        rt.run(10)
+        ack_slot = clients[0].acks[0][0]
+        for i in range(1, 6):
+            assert clients[i].rcvs[0][0] <= ack_slot
+
+    def test_reception_wakes_sleeping_node(self):
+        g = nx.path_graph(3)
+        rt, macs, clients = make_ideal(g)
+        macs[0].bcast()
+        assert not macs[1].awake
+        rt.run(5)
+        assert macs[1].awake
+
+    def test_lossy_delivery(self):
+        g = nx.star_graph(30)
+        cfg = IdealMacConfig(delivery_probability=0.5)
+        rt, macs, clients = make_ideal(g, cfg, seed=3)
+        macs[0].bcast()
+        rt.run(10)
+        delivered = sum(1 for c in clients[1:] if c.rcvs)
+        assert 5 < delivered < 25  # ~15 expected
+
+    def test_sequential_broadcasts(self):
+        g = nx.path_graph(2)
+        rt, macs, clients = make_ideal(g)
+        macs[0].bcast(payload="a")
+        rt.run(10)
+        macs[0].bcast(payload="b")
+        rt.run(10)
+        payloads = [m.payload for _, m in clients[1].rcvs]
+        assert payloads == ["a", "b"]

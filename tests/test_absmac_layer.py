@@ -1,0 +1,150 @@
+"""Tests for the MAC layer base machinery (repro.absmac.layer)."""
+
+import numpy as np
+import pytest
+
+from repro.absmac.layer import MacClient, MacLayerBase
+from repro.core.events import BcastMessage, MessageRegistry
+from repro.geometry.points import PointSet
+from repro.simulation.runtime import Runtime, RuntimeConfig
+from repro.sinr.channel import Channel
+from repro.sinr.params import SINRParameters
+
+
+class ScriptedMac(MacLayerBase):
+    """Minimal concrete MAC: acks after a fixed number of slots."""
+
+    ACK_AFTER = 5
+
+    def __init__(self, node_id, registry, client=None):
+        super().__init__(node_id, registry, client)
+        self._slots_busy = 0
+
+    def on_slot(self, slot):
+        if not self.busy:
+            return None
+        self._slots_busy += 1
+        if self._slots_busy >= self.ACK_AFTER:
+            self._slots_busy = 0
+            self._acknowledge(slot)
+            return None
+        return self.current
+
+    def on_receive(self, slot, sender, payload):
+        if isinstance(payload, BcastMessage) and self._sender_in_range(
+            sender
+        ):
+            self._deliver(slot, payload)
+
+
+class RecordingClient(MacClient):
+    def __init__(self):
+        self.started = False
+        self.rcvs = []
+        self.acks = []
+
+    def on_mac_start(self, mac):
+        self.started = True
+
+    def on_rcv(self, slot, message):
+        self.rcvs.append(message)
+
+    def on_ack(self, slot, message):
+        self.acks.append(message)
+
+
+def make_pair(seed=0):
+    params = SINRParameters()
+    pts = PointSet(np.array([[0.0, 0.0], [5.0, 0.0]]))
+    reg = MessageRegistry()
+    clients = [RecordingClient(), RecordingClient()]
+    macs = [ScriptedMac(i, reg, clients[i]) for i in range(2)]
+    rt = Runtime(Channel(pts, params), macs, RuntimeConfig(seed=seed))
+    return rt, macs, clients
+
+
+class TestBusyDiscipline:
+    def test_busy_toggles_around_ack(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast()
+        assert macs[0].busy
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        assert not macs[0].busy
+
+    def test_second_bcast_while_busy_raises(self):
+        rt, macs, _ = make_pair()
+        macs[0].bcast()
+        with pytest.raises(RuntimeError):
+            macs[0].bcast()
+
+    def test_bcast_wakes_node(self):
+        rt, macs, clients = make_pair()
+        assert not macs[0].awake
+        macs[0].bcast()
+        assert macs[0].awake
+        assert clients[0].started
+
+    def test_client_on_ack_called_once(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast()
+        rt.run(3 * ScriptedMac.ACK_AFTER)
+        assert len(clients[0].acks) == 1
+
+
+class TestAbortSemantics:
+    def test_abort_idempotent_when_idle(self):
+        rt, macs, _ = make_pair()
+        macs[0].abort()  # no-op, must not raise
+        assert not macs[0].busy
+
+    def test_abort_suppresses_ack(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast()
+        rt.run(2)
+        macs[0].abort()
+        rt.run(3 * ScriptedMac.ACK_AFTER)
+        assert clients[0].acks == []
+        assert rt.trace.count("abort") == 1
+
+    def test_rebroadcast_after_abort_allowed(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast()
+        macs[0].abort()
+        second = macs[0].bcast()
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        assert clients[0].acks == [second]
+
+
+class TestDeliveryDiscipline:
+    def test_duplicate_delivery_suppressed(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast()
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        # The message was transmitted several slots; delivered once.
+        assert len(clients[1].rcvs) == 1
+
+    def test_own_broadcast_never_delivered_to_self(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast()
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        assert clients[0].rcvs == []
+
+    def test_trace_event_order_bcast_rcv_ack(self):
+        rt, macs, _ = make_pair()
+        macs[0].bcast()
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        kinds = [
+            e.kind
+            for e in rt.trace
+            if e.kind in ("bcast", "rcv", "ack")
+        ]
+        assert kinds[0] == "bcast"
+        assert kinds.index("rcv") < kinds.index("ack")
+
+    def test_distinct_messages_each_delivered(self):
+        rt, macs, clients = make_pair()
+        macs[0].bcast(payload="a")
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        macs[0].bcast(payload="b")
+        rt.run(ScriptedMac.ACK_AFTER + 1)
+        assert [m.payload for m in clients[1].rcvs] == ["a", "b"]

@@ -1,0 +1,179 @@
+"""Tests for repro.analysis (bounds, metrics, harness)."""
+
+import math
+
+import pytest
+
+from repro.analysis.bounds import (
+    consensus_upper_bound,
+    decay_approg_lower_bound,
+    fack_upper_bound,
+    fapprog_upper_bound,
+    fprog_lower_bound,
+    log2c,
+    log_star,
+    mmb_bound_decay_pipeline,
+    mmb_upper_bound,
+    smb_bound_daum,
+    smb_bound_jurdzinski,
+    smb_lower_bound,
+    smb_upper_bound,
+)
+from repro.analysis.harness import correlation_with_shape, format_table
+from repro.analysis.metrics import compute_metrics
+from repro.geometry.deployment import line_deployment, uniform_disk
+from repro.sinr.params import SINRParameters
+
+
+class TestHelpers:
+    def test_log2c_clamps(self):
+        assert log2c(0.5) == 1.0
+        assert log2c(8.0) == 3.0
+
+    def test_log_star(self):
+        assert log_star(2.0) == 1
+        assert log_star(16.0) == 3
+        assert log_star(0.5) == 1  # clamped to >= 1
+
+
+class TestBoundShapes:
+    def test_fack_linear_in_delta(self):
+        lo = fack_upper_bound(4, 16, 0.1)
+        hi = fack_upper_bound(8, 16, 0.1)
+        # Doubling delta roughly doubles the dominant term (the additive
+        # log·log term dampens the ratio below 2).
+        assert 1.4 <= hi / lo < 2.1
+
+    def test_fapprog_independent_of_delta(self):
+        # The formula simply has no delta argument: structural check
+        # that it grows only polylogarithmically in Lambda.
+        small = fapprog_upper_bound(16, 0.1, alpha=3.0)
+        large = fapprog_upper_bound(256, 0.1, alpha=3.0)
+        assert large / small < (256 / 16) ** 1.0  # strictly sub-linear
+
+    def test_fapprog_vs_fprog_separation_grows(self):
+        """Remark 11.2: for Δ = Λ^c the f_prog >= Δ lower bound grows
+        polynomially while f_approg grows polylogarithmically, so their
+        ratio diverges (Θ-constants cancel in the ratio-of-ratios)."""
+
+        def ratio(lam):
+            delta = lam**1.5
+            return fprog_lower_bound(delta) / fapprog_upper_bound(
+                lam, 0.1, 3.0
+            )
+
+        assert ratio(2.0**20) > 10 * ratio(2.0**8)
+
+    def test_smb_improves_on_daum_everywhere(self):
+        """Table 2: ours beats [14] in the full parameter range (their
+        bound carries an extra multiplicative log n on the D term)."""
+        for d in (4, 32, 256):
+            for n in (64, 1024):
+                for lam in (4, 64):
+                    ours = smb_upper_bound(d, n, 1.0 / n, lam, 3.0)
+                    daum = smb_bound_daum(d, n, lam, 3.0)
+                    assert ours <= daum * 1.01
+
+    def test_smb_vs_jurdzinski_crossover(self):
+        """Table 2: [32] wins when log^{α+1} Λ >> log² n, we win in the
+        opposite regime."""
+        # Small Lambda, big n: we win.
+        ours = smb_upper_bound(10, 2**20, 2.0**-20, 4.0, 3.0)
+        theirs = smb_bound_jurdzinski(10, 2**20)
+        assert ours < theirs
+        # Huge Lambda, small n: they win.
+        ours2 = smb_upper_bound(10, 64, 1 / 64, 2.0**12, 3.0)
+        theirs2 = smb_bound_jurdzinski(10, 64)
+        assert theirs2 < ours2
+
+    def test_mmb_drops_delta_from_the_diameter_term(self):
+        """§2.1: the pipeline bound pays D·Δ·log n while ours pays only
+        D·polylog Λ — scaling D and Δ together makes the pipeline/ours
+        ratio grow without bound (constants cancel in the
+        ratio-of-ratios)."""
+
+        def ratio(scale):
+            d, delta = 64 * scale, 64 * scale
+            k, n, lam = 8, 4096, 16
+            ours = mmb_upper_bound(d, k, delta, n, 0.01, lam, 3.0)
+            pipeline = mmb_bound_decay_pipeline(d, k, delta, n)
+            return pipeline / ours
+
+        assert ratio(64) > 2 * ratio(1)
+
+    def test_consensus_bound_formula(self):
+        value = consensus_upper_bound(10, 8, 16, 100, 0.1)
+        expected = 10 * (8 + 4) * log2c(100 * 16 / 0.1)
+        assert value == pytest.approx(expected)
+
+    def test_decay_lower_bound_linear_in_delta(self):
+        assert decay_approg_lower_bound(64, 0.1) == pytest.approx(
+            2 * decay_approg_lower_bound(32, 0.1)
+        )
+
+    def test_smb_lower_bound_shape(self):
+        assert smb_lower_bound(1, 1024) >= log2c(1024) ** 2
+
+
+class TestMetrics:
+    def test_line_metrics(self):
+        params = SINRParameters()
+        spacing = params.strong_range * 0.9
+        pts = line_deployment(6, spacing=spacing)
+        m = compute_metrics(pts, params)
+        assert m.n == 6
+        assert m.degree == 2
+        assert m.diameter == 5
+        assert m.connected
+
+    def test_gtilde_weaker_than_g(self):
+        params = SINRParameters()
+        pts = uniform_disk(25, radius=15.0, seed=19)
+        m = compute_metrics(pts, params)
+        assert m.degree_tilde <= m.degree
+        if m.connected_tilde and m.connected:
+            assert m.diameter_tilde >= m.diameter
+
+    def test_disconnected_reports_none(self):
+        params = SINRParameters()
+        far = 5 * params.transmission_range
+        import numpy as np
+
+        from repro.geometry.points import PointSet
+
+        pts = PointSet(np.array([[0.0, 0.0], [far, 0.0]]))
+        m = compute_metrics(pts, params)
+        assert not m.connected
+        assert m.diameter is None
+
+    def test_describe(self):
+        params = SINRParameters()
+        pts = line_deployment(3, spacing=4.0)
+        assert "n=3" in compute_metrics(pts, params).describe()
+
+
+class TestHarnessHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+
+    def test_correlation_perfect_shape(self):
+        measured = [2.0, 4.0, 8.0]
+        predicted = [1.0, 2.0, 4.0]
+        result = correlation_with_shape(measured, predicted)
+        assert result["pearson"] == pytest.approx(1.0)
+        assert result["ratio_spread"] == pytest.approx(1.0)
+
+    def test_correlation_bad_shape(self):
+        measured = [1.0, 10.0, 1.0]
+        predicted = [1.0, 2.0, 4.0]
+        result = correlation_with_shape(measured, predicted)
+        assert result["pearson"] < 0.8
+
+    def test_correlation_validates_input(self):
+        with pytest.raises(ValueError):
+            correlation_with_shape([1.0], [1.0])
+        with pytest.raises(ValueError):
+            correlation_with_shape([1, 2], [1, 2, 3])

@@ -1,0 +1,184 @@
+"""Tests for Algorithm 11.1 (combined MAC) and the Decay baseline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import (
+    build_combined_stack,
+    build_decay_stack,
+    run_local_broadcast_experiment,
+)
+from repro.core.ack_protocol import AckConfig
+from repro.core.approx_progress import ApproxProgressConfig, EpochSchedule
+from repro.core.combined import CombinedMacLayer
+from repro.core.decay import DecayConfig, DecayEngine, DecayMacLayer
+from repro.core.events import MessageRegistry
+from repro.geometry.deployment import uniform_disk
+from repro.geometry.points import PointSet
+from repro.simulation.runtime import Runtime, RuntimeConfig
+from repro.sinr.channel import Channel
+from repro.sinr.params import SINRParameters
+
+
+def small_combined_setup(n_points=2, distance=5.0, seed=0):
+    params = SINRParameters()
+    coords = np.column_stack(
+        [np.arange(n_points) * distance, np.zeros(n_points)]
+    )
+    pts = PointSet(coords)
+    reg = MessageRegistry()
+    ack_cfg = AckConfig(contention_bound=8.0, eps_ack=0.1)
+    ap_cfg = ApproxProgressConfig(
+        lambda_bound=4.0, eps_approg=0.2, alpha=3.0, t_scale=0.2
+    )
+    schedule = EpochSchedule(ap_cfg)
+    macs = [
+        CombinedMacLayer(i, reg, ack_cfg, schedule) for i in range(n_points)
+    ]
+    rt = Runtime(Channel(pts, params), macs, RuntimeConfig(seed=seed))
+    return rt, macs, schedule
+
+
+class TestCombinedMacLayer:
+    def test_broadcast_acks_and_delivers(self):
+        rt, macs, _ = small_combined_setup()
+        message = macs[0].bcast(payload="x")
+        rt.run_until(lambda r: not macs[0].busy)
+        assert message.mid in macs[0].acked_mids
+        assert message.mid in macs[1].delivered_mids
+
+    def test_even_slots_run_ack_engine_only(self):
+        """Engine separation: B.1 transmissions happen on even physical
+        slots, Algorithm 9.1 tuples on odd ones."""
+        rt, macs, _ = small_combined_setup()
+        macs[0].bcast(payload="x")
+        rt.run_until(lambda r: not macs[0].busy)
+        for event in rt.trace.of_kind("transmit"):
+            payload = event.data
+            if isinstance(payload, tuple):  # est/mis coordination message
+                assert event.slot % 2 == 1
+        # BcastMessages can appear on both parities (both engines carry
+        # them), so no assertion on those.
+
+    def test_ack_latency_doubles_engine_time(self):
+        """The interleave costs exactly 2x: the ack arrives at an even
+        physical slot ~ 2x the engine's internal halt time."""
+        rt, macs, _ = small_combined_setup()
+        macs[0].bcast()
+        rt.run_until(lambda r: not macs[0].busy)
+        ack_event = rt.trace.of_kind("ack")[0]
+        engine_slots = (ack_event.slot // 2) + 1
+        cfg = macs[0].ack_config
+        # Engine halts within its budget-driven schedule; sanity-check
+        # the physical latency is about twice the engine's slot count.
+        assert ack_event.slot >= engine_slots
+
+    def test_abort_silences_node(self):
+        rt, macs, schedule = small_combined_setup()
+        macs[0].bcast()
+        rt.run(10)
+        macs[0].abort()
+        start = len(
+            [
+                e
+                for e in rt.trace.of_kind("transmit")
+                if e.node == 0
+            ]
+        )
+        # After the abort the node has no message: B.1 stops instantly,
+        # Algorithm 9.1 leaves S_1 at the next epoch boundary (§11.1),
+        # so transmissions must stop within one epoch.
+        rt.run(2 * 2 * schedule.epoch_slots)
+        tail = [
+            e
+            for e in rt.trace.of_kind("transmit")
+            if e.node == 0 and e.slot >= 2 * 2 * schedule.epoch_slots
+        ]
+        assert not tail
+
+    def test_full_contract_on_deployment(self):
+        params = SINRParameters()
+        pts = uniform_disk(15, radius=9.0, seed=41)
+        stack = build_combined_stack(
+            pts,
+            params,
+            approg_config=ApproxProgressConfig(
+                lambda_bound=8.0, eps_approg=0.2, t_scale=0.2
+            ),
+            seed=5,
+        )
+        report, progress = run_local_broadcast_experiment(
+            stack, broadcasters=[0, 5, 10]
+        )
+        assert all(r.ack_slot is not None for r in report.records)
+        assert report.completeness_fraction() >= 0.6
+        assert progress.records
+        # Everyone with a broadcasting G-tilde neighbor heard something.
+        assert progress.success_fraction(stack.runtime.slot) >= 0.8
+
+
+class TestDecayEngine:
+    def test_probability_sweep(self):
+        cfg = DecayConfig(contention_bound=16.0, eps_ack=0.1)
+        assert cfg.phase_length == 5  # ceil(log2 16) + 1
+
+    def test_budget_is_whole_phases(self):
+        cfg = DecayConfig(contention_bound=16.0, eps_ack=0.1)
+        assert cfg.ack_budget_slots % cfg.phase_length == 0
+
+    def test_halts_exactly_at_budget(self):
+        cfg = DecayConfig(contention_bound=8.0, eps_ack=0.2)
+        engine = DecayEngine(cfg, np.random.default_rng(0))
+        for _ in range(cfg.ack_budget_slots):
+            assert not engine.halted
+            engine.step()
+        assert engine.halted
+
+    def test_transmits_sometimes(self):
+        cfg = DecayConfig(contention_bound=8.0, eps_ack=0.2)
+        engine = DecayEngine(cfg, np.random.default_rng(1))
+        while not engine.halted:
+            engine.step()
+        assert engine.transmissions > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecayConfig(contention_bound=1.0)
+        with pytest.raises(ValueError):
+            DecayConfig(contention_bound=8.0, eps_ack=0.0)
+        with pytest.raises(ValueError):
+            DecayConfig(contention_bound=8.0, ack_factor=0.0)
+
+
+class TestDecayMacLayer:
+    def test_broadcast_and_ack(self):
+        params = SINRParameters()
+        pts = PointSet(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        reg = MessageRegistry()
+        cfg = DecayConfig(contention_bound=4.0, eps_ack=0.2)
+        macs = [DecayMacLayer(i, reg, cfg) for i in range(2)]
+        rt = Runtime(Channel(pts, params), macs, RuntimeConfig(seed=0))
+        m = macs[0].bcast(payload="d")
+        rt.run_until(lambda r: not macs[0].busy)
+        assert m.mid in macs[0].acked_mids
+        assert m.mid in macs[1].delivered_mids
+
+    def test_ack_latency_matches_budget(self):
+        params = SINRParameters()
+        pts = PointSet(np.array([[0.0, 0.0], [5.0, 0.0]]))
+        reg = MessageRegistry()
+        cfg = DecayConfig(contention_bound=4.0, eps_ack=0.2)
+        macs = [DecayMacLayer(i, reg, cfg) for i in range(2)]
+        rt = Runtime(Channel(pts, params), macs, RuntimeConfig(seed=0))
+        macs[0].bcast()
+        rt.run_until(lambda r: not macs[0].busy)
+        ack = rt.trace.of_kind("ack")[0]
+        assert ack.slot == cfg.ack_budget_slots - 1
+
+    def test_decay_stack_on_deployment(self):
+        params = SINRParameters()
+        pts = uniform_disk(12, radius=8.0, seed=51)
+        stack = build_decay_stack(pts, params, eps_ack=0.1, seed=6)
+        report, _ = run_local_broadcast_experiment(stack, [0, 4, 8])
+        assert all(r.ack_slot is not None for r in report.records)
+        assert report.completeness_fraction() >= 0.6

@@ -1,0 +1,59 @@
+"""Unit tests for repro.core.events."""
+
+import pytest
+
+from repro.core.events import BcastMessage, MessageRegistry
+
+
+class TestBcastMessage:
+    def test_fields(self):
+        m = BcastMessage(5, 2, payload="x")
+        assert m.mid == 5
+        assert m.origin == 2
+        assert m.payload == "x"
+
+    def test_ordering_by_mid(self):
+        assert BcastMessage(1, 0) < BcastMessage(2, 0)
+
+    def test_hashable(self):
+        assert len({BcastMessage(1, 0), BcastMessage(1, 0)}) == 1
+
+    def test_repr_compact(self):
+        assert "mid=1" in repr(BcastMessage(1, 0))
+
+
+class TestMessageRegistry:
+    def test_unique_across_nodes(self):
+        reg = MessageRegistry()
+        mids = {reg.mint(origin).mid for origin in range(10)}
+        assert len(mids) == 10
+
+    def test_unique_within_node(self):
+        reg = MessageRegistry()
+        mids = {reg.mint(3).mid for _ in range(100)}
+        assert len(mids) == 100
+
+    def test_origin_recorded(self):
+        reg = MessageRegistry()
+        assert reg.mint(7).origin == 7
+
+    def test_lookup(self):
+        reg = MessageRegistry()
+        m = reg.mint(1, payload="data")
+        assert reg.lookup(m.mid) is m
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MessageRegistry().lookup(12345)
+
+    def test_len_counts_minted(self):
+        reg = MessageRegistry()
+        for _ in range(5):
+            reg.mint(0)
+        assert len(reg) == 5
+
+    def test_payloads_do_not_affect_identity(self):
+        reg = MessageRegistry()
+        a = reg.mint(0, payload="same")
+        b = reg.mint(0, payload="same")
+        assert a.mid != b.mid  # unique messages per bcast (paper §4.4)

@@ -1,0 +1,158 @@
+"""Edge-case tests across modules: empty inputs, boundary values,
+and degenerate networks that the main suites do not reach."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import MessageRegistry
+from repro.core.spec import (
+    AckRecord,
+    AckReport,
+    ProgressRecord,
+    ProgressReport,
+    measure_acknowledgments,
+)
+from repro.geometry.points import PointSet
+from repro.simulation.trace import EventTrace
+from repro.sinr.channel import Channel
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import successful_receptions
+
+
+class TestSpecReportHelpers:
+    def make_record(self, latency, complete=True, neighbors=3):
+        covered = neighbors if complete else neighbors - 1
+        return AckRecord(
+            mid=1,
+            origin=0,
+            bcast_slot=0,
+            ack_slot=latency,
+            neighbor_count=neighbors,
+            covered_by_ack=covered,
+        )
+
+    def test_ack_report_mixed_latencies(self):
+        report = AckReport(
+            records=[self.make_record(10), self.make_record(30)]
+        )
+        assert report.mean_latency() == 20
+        assert report.max_latency() == 30
+        assert report.success_fraction(15) == 0.5
+
+    def test_incomplete_ack_fails_success(self):
+        report = AckReport(records=[self.make_record(10, complete=False)])
+        assert report.success_fraction(100) == 0.0
+        assert report.completeness_fraction() == 0.0
+
+    def test_never_acked_record(self):
+        record = AckRecord(
+            mid=1,
+            origin=0,
+            bcast_slot=5,
+            ack_slot=None,
+            neighbor_count=2,
+            covered_by_ack=0,
+        )
+        assert record.latency is None
+        assert not record.complete
+        report = AckReport(records=[record])
+        assert report.latencies() == []
+        assert report.completeness_fraction() == 1.0  # no acked records
+
+    def test_progress_report_empty(self):
+        report = ProgressReport()
+        assert report.success_fraction(10) == 1.0
+        assert report.max_latency() is None
+        assert report.mean_latency() is None
+
+    def test_progress_report_unsatisfied_counts_against(self):
+        report = ProgressReport(
+            records=[
+                ProgressRecord(0, 0, 5),
+                ProgressRecord(1, 0, None),
+            ]
+        )
+        assert report.success_fraction(10) == 0.5
+
+    def test_isolated_origin_ack_trivially_complete(self):
+        """A broadcaster with zero graph neighbors is complete as soon
+        as it acks (vacuous coverage)."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0)
+        trace = EventTrace()
+        trace.record(0, "bcast", 0, 1)
+        trace.record(4, "ack", 0, 1)
+        report = measure_acknowledgments(trace, graph)
+        assert report.records[0].complete
+
+
+class TestDegenerateNetworks:
+    def test_single_node_channel(self):
+        params = SINRParameters()
+        pts = PointSet(np.array([[0.0, 0.0]]))
+        channel = Channel(pts, params)
+        out = channel.resolve_slot({0: "solo"})
+        assert out.receptions == {}  # nobody to hear it
+
+    def test_all_nodes_transmitting_nobody_receives(self):
+        params = SINRParameters()
+        pts = PointSet(np.array([[0.0, 0.0], [3.0, 0.0], [6.0, 0.0]]))
+        dists = Channel(pts, params).distances
+        result = successful_receptions(
+            params, dists, np.array([0, 1, 2])
+        )
+        assert result == {}
+
+    def test_coincident_listener_distance_clamped(self):
+        """Distances are clamped away from zero so degenerate layouts
+        do not produce NaNs (the near-field guard)."""
+        params = SINRParameters()
+        dists = np.array([[0.0, 1e-15], [1e-15, 0.0]])
+        result = successful_receptions(params, dists, np.array([0]))
+        assert result == {1: 0}  # astronomically strong, still decoded
+
+
+class TestMessageRegistryLimits:
+    def test_sequence_space_exhaustion(self):
+        reg = MessageRegistry()
+        reg._next_seq[7] = MessageRegistry._SEQ_SPACE  # simulate wrap
+        with pytest.raises(OverflowError):
+            reg.mint(7)
+
+    def test_distinct_origins_do_not_collide_at_high_seq(self):
+        reg = MessageRegistry()
+        reg._next_seq[1] = MessageRegistry._SEQ_SPACE - 1
+        a = reg.mint(1)
+        b = reg.mint(2)
+        assert a.mid != b.mid
+
+
+class TestEpochScheduleBoundaries:
+    def test_last_slot_of_epoch_is_bcast(self):
+        from repro.core.approx_progress import (
+            ApproxProgressConfig,
+            EpochSchedule,
+        )
+
+        schedule = EpochSchedule(
+            ApproxProgressConfig(lambda_bound=8.0, eps_approg=0.1)
+        )
+        epoch, phase, block, off = schedule.locate(schedule.epoch_slots - 1)
+        assert epoch == 0
+        assert phase == schedule.phi - 1
+        assert block == EpochSchedule.BCAST
+        assert off == schedule.bcast_slots - 1
+
+    def test_first_slot_of_second_epoch(self):
+        from repro.core.approx_progress import (
+            ApproxProgressConfig,
+            EpochSchedule,
+        )
+
+        schedule = EpochSchedule(
+            ApproxProgressConfig(lambda_bound=8.0, eps_approg=0.1)
+        )
+        epoch, phase, block, off = schedule.locate(schedule.epoch_slots)
+        assert (epoch, phase, block, off) == (1, 0, EpochSchedule.EST1, 0)

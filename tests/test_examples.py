@@ -1,0 +1,57 @@
+"""Smoke tests: the shipped examples run to completion.
+
+Only the fast examples are exercised here (the heavier ones are covered
+functionally by the integration tests and benchmarks that share their
+code paths).
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Execute an example as __main__ and return its stdout."""
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        expected = {
+            "quickstart.py",
+            "sensor_field_broadcast.py",
+            "emergency_consensus.py",
+            "lower_bound_demo.py",
+            "dual_graph_links.py",
+        }
+        assert expected <= present
+
+    def test_lower_bound_demo_runs(self, capsys):
+        out = run_example("lower_bound_demo.py", capsys)
+        assert "worst-case progress = 5 = Δ" in out
+        assert "escape hatch" in out
+
+    def test_dual_graph_links_runs(self, capsys):
+        out = run_example("dual_graph_links.py", capsys)
+        assert "default (paper setting)" in out
+        assert "exact broadcast" in out
+        # The table must show: strong link always delivered, gray-zone
+        # delivery suppressed in the filtered modes.
+        lines = [
+            line
+            for line in out.splitlines()
+            if line.startswith(
+                ("default (", "gray zone jammed", "exact broadcast")
+            )
+        ]
+        assert len(lines) == 3
+        for line in lines:
+            assert "True" in line  # strong rcv and ack everywhere
+        assert "False" in lines[1]  # jammed gray zone
+        assert "False" in lines[2]  # Rmk 4.6 filtering

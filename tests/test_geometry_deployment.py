@@ -1,0 +1,167 @@
+"""Unit tests for repro.geometry.deployment."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.deployment import (
+    DeploymentError,
+    annulus_deployment,
+    cluster_deployment,
+    grid_deployment,
+    line_deployment,
+    two_balls,
+    two_parallel_lines,
+    uniform_disk,
+    uniform_square,
+    verify_min_separation,
+)
+from repro.geometry.points import min_pairwise_distance
+
+
+class TestUniformDisk:
+    def test_count_and_radius(self):
+        ps = uniform_disk(30, radius=15.0, seed=0)
+        assert len(ps) == 30
+        radii = np.hypot(ps.coords[:, 0], ps.coords[:, 1])
+        assert radii.max() <= 15.0 + 1e-9
+
+    def test_min_separation_respected(self):
+        ps = uniform_disk(40, radius=20.0, min_separation=1.5, seed=1)
+        assert min_pairwise_distance(ps.coords) >= 1.5 - 1e-9
+
+    def test_reproducible_with_seed(self):
+        a = uniform_disk(10, radius=10.0, seed=5)
+        b = uniform_disk(10, radius=10.0, seed=5)
+        assert np.allclose(a.coords, b.coords)
+
+    def test_different_seeds_differ(self):
+        a = uniform_disk(10, radius=10.0, seed=5)
+        b = uniform_disk(10, radius=10.0, seed=6)
+        assert not np.allclose(a.coords, b.coords)
+
+    def test_too_dense_raises(self):
+        with pytest.raises(DeploymentError, match="too dense"):
+            uniform_disk(500, radius=2.0, min_separation=1.0, seed=0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            uniform_disk(0, radius=5.0)
+        with pytest.raises(ValueError):
+            uniform_disk(5, radius=-1.0)
+
+
+class TestUniformSquare:
+    def test_inside_square(self):
+        ps = uniform_square(25, side=30.0, seed=2)
+        assert (ps.coords >= 0).all()
+        assert (ps.coords <= 30.0).all()
+
+    def test_min_separation(self):
+        ps = uniform_square(25, side=30.0, min_separation=2.0, seed=2)
+        assert min_pairwise_distance(ps.coords) >= 2.0 - 1e-9
+
+
+class TestGrid:
+    def test_count(self):
+        assert len(grid_deployment(3, 4)) == 12
+
+    def test_spacing(self):
+        ps = grid_deployment(2, 2, spacing=3.0)
+        assert min_pairwise_distance(ps.coords) == pytest.approx(3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            grid_deployment(0, 3)
+
+
+class TestLine:
+    def test_collinear_and_spaced(self):
+        ps = line_deployment(5, spacing=2.0)
+        assert np.allclose(ps.coords[:, 1], 0.0)
+        assert min_pairwise_distance(ps.coords) == pytest.approx(2.0)
+
+    def test_single_node(self):
+        assert len(line_deployment(1)) == 1
+
+
+class TestClusters:
+    def test_total_count(self):
+        ps = cluster_deployment(
+            3, 8, cluster_radius=3.0, cluster_spacing=30.0, seed=3
+        )
+        assert len(ps) == 24
+
+    def test_clusters_are_separated(self):
+        ps = cluster_deployment(
+            2, 5, cluster_radius=2.0, cluster_spacing=50.0, seed=3
+        )
+        xs = ps.coords[:, 0]
+        # First cluster near x=0, second near x=50.
+        assert (np.sort(xs)[:5] < 10).all()
+        assert (np.sort(xs)[5:] > 40).all()
+
+
+class TestAnnulus:
+    def test_radial_band(self):
+        ps = annulus_deployment(20, inner_radius=10.0, outer_radius=20.0, seed=4)
+        radii = np.hypot(ps.coords[:, 0], ps.coords[:, 1])
+        assert radii.min() >= 10.0 - 1e-9
+        assert radii.max() <= 20.0 + 1e-9
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            annulus_deployment(5, inner_radius=5.0, outer_radius=5.0)
+
+
+class TestTwoParallelLines:
+    def test_geometry(self):
+        ps = two_parallel_lines(delta=4, line_distance=40.0)
+        assert len(ps) == 8
+        # First 4 on y=0, last 4 on y=40.
+        assert np.allclose(ps.coords[:4, 1], 0.0)
+        assert np.allclose(ps.coords[4:, 1], 40.0)
+
+    def test_partner_distance(self):
+        ps = two_parallel_lines(delta=3, line_distance=30.0)
+        for i in range(3):
+            dx = ps.coords[i] - ps.coords[i + 3]
+            assert math.hypot(*dx) == pytest.approx(30.0)
+
+
+class TestTwoBalls:
+    def test_populations_and_separation(self):
+        ps = two_balls(
+            n_sparse=2,
+            n_dense=10,
+            ball_radius=5.0,
+            center_distance=50.0,
+            seed=5,
+        )
+        assert len(ps) == 12
+        assert verify_min_separation(ps, 1.0)
+
+    def test_balls_disjoint(self):
+        ps = two_balls(
+            n_sparse=3,
+            n_dense=7,
+            ball_radius=4.0,
+            center_distance=100.0,
+            seed=6,
+        )
+        sparse_x = ps.coords[:3, 0]
+        dense_x = ps.coords[3:, 0]
+        assert sparse_x.max() < 10
+        assert dense_x.min() > 90
+
+
+class TestVerifyMinSeparation:
+    def test_accepts_good_layout(self):
+        assert verify_min_separation(line_deployment(5, spacing=2.0), 2.0)
+
+    def test_rejects_bad_layout(self):
+        assert not verify_min_separation(line_deployment(5, spacing=0.5), 1.0)
+
+    def test_single_point_trivially_ok(self):
+        assert verify_min_separation(line_deployment(1), 100.0)

@@ -1,0 +1,84 @@
+"""Tests for growth-bounded graph utilities (repro.geometry.growth)."""
+
+import networkx as nx
+import pytest
+
+from repro.geometry.deployment import uniform_disk
+from repro.geometry.growth import (
+    growth_bound_function,
+    independence_number_in_radius,
+    is_growth_bounded_sample,
+    neighborhood_size_bound,
+)
+from repro.sinr.graphs import strong_connectivity_graph
+from repro.sinr.params import SINRParameters
+
+
+class TestGrowthBoundFunction:
+    def test_quadratic(self):
+        assert growth_bound_function(0.0, constant=5.0) == 5.0
+        assert growth_bound_function(1.0, constant=5.0) == 20.0
+
+    def test_monotone(self):
+        values = [growth_bound_function(r) for r in range(6)]
+        assert values == sorted(values)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            growth_bound_function(-1.0)
+
+
+class TestIndependenceNumber:
+    def test_radius_zero_is_one(self):
+        g = nx.path_graph(5)
+        assert independence_number_in_radius(g, 2, 0) == 1
+
+    def test_path_graph_known_value(self):
+        g = nx.path_graph(9)
+        # 2-ball around the middle: nodes 2..6, max independent ~3.
+        count = independence_number_in_radius(g, 4, 2)
+        assert 2 <= count <= 3
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            independence_number_in_radius(nx.path_graph(3), 1, -1)
+
+
+class TestGrowthBoundedSample:
+    def test_sinr_induced_graph_is_growth_bounded(self):
+        """The foundational fact behind the MIS runtime (§4.1): strong
+        connectivity graphs over min-separated deployments are growth
+        bounded."""
+        params = SINRParameters()
+        pts = uniform_disk(40, radius=25.0, seed=17)
+        g = strong_connectivity_graph(pts, params)
+        assert is_growth_bounded_sample(g, max_radius=3, constant=12.0)
+
+    def test_star_violates_small_constant(self):
+        # A star with many leaves has a large independent 1-ball.
+        g = nx.star_graph(200)
+        assert not is_growth_bounded_sample(
+            g, max_radius=1, constant=5.0, sample_nodes=[0]
+        )
+
+
+class TestNeighborhoodBound:
+    def test_lemma_4_2_formula(self):
+        assert neighborhood_size_bound(3, 2.0, constant=5.0) == 3 * 45.0
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_size_bound(-1, 1.0)
+
+    def test_holds_on_sinr_graph(self):
+        """|N_{G,r}(v)| <= Δ·f(r) on a real deployment (Lemma 4.2)."""
+        params = SINRParameters()
+        pts = uniform_disk(40, radius=22.0, seed=18)
+        g = strong_connectivity_graph(pts, params)
+        delta = max(d for _, d in g.degree)
+        for v in list(g.nodes)[:10]:
+            for r in (1, 2):
+                ball = nx.ego_graph(g, v, radius=r)
+                assert ball.number_of_nodes() <= neighborhood_size_bound(
+                    delta, r, constant=12.0
+                )

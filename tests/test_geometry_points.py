@@ -1,0 +1,132 @@
+"""Unit tests for repro.geometry.points."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import (
+    PointSet,
+    bounding_box,
+    distance,
+    enforce_min_distance,
+    min_pairwise_distance,
+    pairwise_distances,
+)
+
+
+class TestPairwiseDistances:
+    def test_two_points(self):
+        dists = pairwise_distances(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert dists.shape == (2, 2)
+        assert dists[0, 1] == pytest.approx(5.0)
+        assert dists[1, 0] == pytest.approx(5.0)
+
+    def test_diagonal_is_zero(self):
+        coords = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        dists = pairwise_distances(coords)
+        assert np.allclose(np.diag(dists), 0.0)
+
+    def test_symmetry(self):
+        coords = np.random.default_rng(0).random((10, 2)) * 100
+        dists = pairwise_distances(coords)
+        assert np.allclose(dists, dists.T)
+
+    def test_single_point(self):
+        dists = pairwise_distances(np.array([[1.0, 1.0]]))
+        assert dists.shape == (1, 1)
+        assert dists[0, 0] == 0.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            pairwise_distances(np.zeros((3, 3)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            pairwise_distances(np.array([[0.0, np.nan]]))
+
+
+class TestDistance:
+    def test_pythagorean(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance((2.5, -1.0), (2.5, -1.0)) == 0.0
+
+    def test_matches_matrix(self):
+        coords = np.array([[1.0, 2.0], [4.0, 6.0]])
+        dists = pairwise_distances(coords)
+        assert distance(coords[0], coords[1]) == pytest.approx(dists[0, 1])
+
+
+class TestMinPairwiseDistance:
+    def test_known_min(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0]])
+        assert min_pairwise_distance(coords) == pytest.approx(1.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            min_pairwise_distance(np.array([[0.0, 0.0]]))
+
+
+class TestEnforceMinDistance:
+    def test_rescales_to_target(self):
+        coords = np.array([[0.0, 0.0], [0.5, 0.0], [3.0, 0.0]])
+        scaled = enforce_min_distance(coords, target=1.0)
+        assert min_pairwise_distance(scaled) == pytest.approx(1.0)
+
+    def test_preserves_shape_ratios(self):
+        coords = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 4.0]])
+        scaled = enforce_min_distance(coords, target=1.0)
+        orig = pairwise_distances(coords)
+        new = pairwise_distances(scaled)
+        ratio = new[0, 1] / orig[0, 1]
+        assert new[0, 2] / orig[0, 2] == pytest.approx(ratio)
+
+    def test_coincident_points_rejected(self):
+        coords = np.array([[1.0, 1.0], [1.0, 1.0]])
+        with pytest.raises(ValueError, match="coincident"):
+            enforce_min_distance(coords)
+
+
+class TestBoundingBox:
+    def test_known_box(self):
+        coords = np.array([[1.0, -2.0], [3.0, 5.0], [-1.0, 0.0]])
+        assert bounding_box(coords) == (-1.0, -2.0, 3.0, 5.0)
+
+
+class TestPointSet:
+    def test_len_and_indexing(self):
+        ps = PointSet(np.array([[0.0, 0.0], [1.0, 2.0]]))
+        assert len(ps) == 2
+        assert ps.n == 2
+        assert ps[1] == (1.0, 2.0)
+
+    def test_immutability(self):
+        ps = PointSet(np.array([[0.0, 0.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            ps.coords[0, 0] = 99.0
+
+    def test_translated(self):
+        ps = PointSet(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        moved = ps.translated(10.0, -5.0)
+        assert moved[0] == (10.0, -5.0)
+        assert moved[1] == (11.0, -5.0)
+        # Distances are translation-invariant.
+        assert moved.min_distance() == pytest.approx(ps.min_distance())
+
+    def test_union_concatenates(self):
+        a = PointSet(np.array([[0.0, 0.0]]), name="a")
+        b = PointSet(np.array([[5.0, 5.0]]), name="b")
+        merged = a.union(b)
+        assert len(merged) == 2
+        assert merged.name == "a+b"
+
+    def test_normalized(self):
+        ps = PointSet(np.array([[0.0, 0.0], [0.25, 0.0]]))
+        assert ps.normalized().min_distance() == pytest.approx(1.0)
+
+    def test_single_coordinate_pair_promoted(self):
+        ps = PointSet(np.array([3.0, 4.0]))
+        assert len(ps) == 1
+        assert ps[0] == (3.0, 4.0)

@@ -1,0 +1,119 @@
+"""Tests for the dual-graph gray-zone adversary (Remark 7.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import (
+    build_combined_stack,
+    run_local_broadcast_experiment,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.geometry.deployment import uniform_disk
+from repro.geometry.points import PointSet
+from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.sinr.channel import Channel, GrayZoneAdversary
+from repro.sinr.graphs import strong_connectivity_graph
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def params():
+    return SINRParameters()
+
+
+def weak_strong_triple(params):
+    """0-1 strong link; 1-2 in the gray zone (decodable, not strong)."""
+    weak = 0.95 * params.transmission_range
+    return PointSet(np.array([[0.0, 0.0], [5.0, 0.0], [5.0 + weak, 0.0]]))
+
+
+class TestGrayZoneAdversary:
+    def test_strong_links_always_pass(self, params):
+        pts = weak_strong_triple(params)
+        graph = strong_connectivity_graph(pts, params)
+        channel = Channel(
+            pts, params, adversary=GrayZoneAdversary(graph, gray_drop=1.0)
+        )
+        out = channel.resolve_slot({1: "x"})
+        assert 0 in out.receptions  # strong neighbor receives
+
+    def test_full_drop_silences_gray_zone(self, params):
+        pts = weak_strong_triple(params)
+        graph = strong_connectivity_graph(pts, params)
+        adversary = GrayZoneAdversary(graph, gray_drop=1.0)
+        channel = Channel(pts, params, adversary=adversary)
+        out = channel.resolve_slot({1: "x"})
+        assert 2 not in out.receptions  # gray-zone link erased
+        assert adversary.erased_count == 1
+
+    def test_zero_drop_is_transparent(self, params):
+        pts = weak_strong_triple(params)
+        graph = strong_connectivity_graph(pts, params)
+        channel = Channel(
+            pts, params, adversary=GrayZoneAdversary(graph, gray_drop=0.0)
+        )
+        out = channel.resolve_slot({1: "x"})
+        assert set(out.receptions) == {0, 2}
+
+    def test_partial_drop_is_statistical(self, params):
+        pts = weak_strong_triple(params)
+        graph = strong_connectivity_graph(pts, params)
+        adversary = GrayZoneAdversary(
+            graph, gray_drop=0.5, rng=np.random.default_rng(1)
+        )
+        channel = Channel(pts, params, adversary=adversary)
+        gray_received = 0
+        for _ in range(200):
+            out = channel.resolve_slot({1: "x"})
+            if 2 in out.receptions:
+                gray_received += 1
+        assert 60 < gray_received < 140
+
+    def test_validation(self, params):
+        pts = weak_strong_triple(params)
+        graph = strong_connectivity_graph(pts, params)
+        with pytest.raises(ValueError):
+            GrayZoneAdversary(graph, gray_drop=1.5)
+
+
+class TestProtocolsUnderGrayZone:
+    """The paper's guarantees rely only on strong links, so the full
+    stack must keep its contract when the entire gray zone is erased —
+    i.e. when communication is *exactly* G_{1-ε}."""
+
+    def test_acks_complete_with_gray_zone_erased(self, params):
+        pts = uniform_disk(12, radius=9.0, seed=66)
+        graph = strong_connectivity_graph(pts, params)
+        stack = build_combined_stack(
+            pts,
+            params,
+            approg_config=ApproxProgressConfig(
+                lambda_bound=8.0, eps_approg=0.2, t_scale=0.2
+            ),
+            adversary=GrayZoneAdversary(graph, gray_drop=1.0),
+            seed=4,
+        )
+        report, _ = run_local_broadcast_experiment(stack, [0, 4, 8])
+        assert all(r.ack_slot is not None for r in report.records)
+        assert report.completeness_fraction() >= 0.6
+
+    def test_bsmb_completes_with_gray_zone_erased(self, params):
+        from repro.geometry.deployment import line_deployment
+
+        spacing = params.approx_range * 0.9
+        pts = line_deployment(5, spacing=spacing)
+        graph = strong_connectivity_graph(pts, params)
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: BsmbClient(),
+            approg_config=ApproxProgressConfig(
+                lambda_bound=4.0, eps_approg=0.2, t_scale=0.2
+            ),
+            adversary=GrayZoneAdversary(graph, gray_drop=1.0),
+            seed=5,
+        )
+        run_single_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, source=0
+        )
+        assert all(c.done for c in stack.clients)

@@ -1,0 +1,108 @@
+"""Tests for the experiment harness (repro.analysis.harness builders)."""
+
+import numpy as np
+import pytest
+
+from repro.absmac.layer import MacClient
+from repro.analysis.harness import (
+    build_ack_stack,
+    build_approg_stack,
+    build_combined_stack,
+    build_decay_stack,
+)
+from repro.core.ack_protocol import AckMacLayer
+from repro.core.approx_progress import ApproxProgressConfig, ApproxProgressMacLayer
+from repro.core.combined import CombinedMacLayer
+from repro.core.decay import DecayMacLayer
+from repro.geometry.deployment import uniform_disk
+from repro.sinr.channel import JammingAdversary
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def points():
+    return uniform_disk(12, radius=9.0, seed=55)
+
+
+@pytest.fixture
+def params():
+    return SINRParameters()
+
+
+class TestBuilders:
+    def test_combined_stack_layers(self, points, params):
+        stack = build_combined_stack(points, params)
+        assert all(isinstance(m, CombinedMacLayer) for m in stack.macs)
+        assert len(stack.macs) == len(points)
+
+    def test_ack_stack_layers(self, points, params):
+        stack = build_ack_stack(points, params)
+        assert all(isinstance(m, AckMacLayer) for m in stack.macs)
+
+    def test_approg_stack_layers(self, points, params):
+        stack = build_approg_stack(points, params)
+        assert all(isinstance(m, ApproxProgressMacLayer) for m in stack.macs)
+
+    def test_decay_stack_layers(self, points, params):
+        stack = build_decay_stack(points, params)
+        assert all(isinstance(m, DecayMacLayer) for m in stack.macs)
+
+    def test_clients_wired_per_node(self, points, params):
+        created = []
+
+        def factory(i):
+            client = MacClient()
+            created.append((i, client))
+            return client
+
+        stack = build_combined_stack(points, params, client_factory=factory)
+        assert len(created) == len(points)
+        for (i, client), mac in zip(created, stack.macs):
+            assert mac.client is client
+            assert mac.node_id == i
+
+    def test_metrics_and_graphs_consistent(self, points, params):
+        stack = build_combined_stack(points, params)
+        assert stack.metrics.n == len(points)
+        assert stack.graph.number_of_nodes() == len(points)
+        assert set(stack.approx_graph.edges) <= set(stack.graph.edges)
+
+    def test_adversary_reaches_channel(self, points, params):
+        adversary = JammingAdversary(drop_probability=1.0)
+        stack = build_ack_stack(points, params, adversary=adversary)
+        stack.macs[0].bcast()
+        stack.runtime.run_until(lambda r: not stack.macs[0].busy)
+        # Total erasure: nobody ever delivered anything.
+        assert all(not m.delivered_mids for m in stack.macs)
+        assert adversary.erased_count > 0
+
+    def test_default_configs_derived_from_lambda(self, points, params):
+        stack = build_combined_stack(points, params)
+        lam = max(stack.metrics.lam, 2.0)
+        assert stack.macs[0].ack_config.contention_bound == pytest.approx(
+            4.0 * lam * lam
+        )
+        assert stack.macs[0].schedule.config.lambda_bound == pytest.approx(
+            lam
+        )
+
+    def test_explicit_configs_honored(self, points, params):
+        config = ApproxProgressConfig(
+            lambda_bound=5.0, eps_approg=0.3, alpha=params.alpha
+        )
+        stack = build_approg_stack(points, params, approg_config=config)
+        assert stack.macs[0].schedule.config is config
+
+    def test_seeds_reproduce_runs(self, points, params):
+        def run(seed):
+            stack = build_ack_stack(points, params, seed=seed)
+            stack.macs[0].bcast()
+            stack.runtime.run_until(lambda r: not stack.macs[0].busy)
+            return stack.runtime.slot
+
+        assert run(42) == run(42)
+
+    def test_reports_empty_before_running(self, points, params):
+        stack = build_combined_stack(points, params)
+        assert stack.ack_report().records == []
+        assert stack.approg_report().records == []

@@ -1,0 +1,184 @@
+"""Integration tests: full protocol stacks over the real SINR MAC.
+
+The plug-and-play claim of the paper (§1): algorithms written against
+the absMAC interface run unchanged over the SINR implementation.  These
+tests run BSMB, BMMB and consensus end-to-end over
+:class:`~repro.core.combined.CombinedMacLayer` on multihop deployments.
+"""
+
+import pytest
+
+from repro.analysis.harness import build_combined_stack, build_decay_stack
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.geometry.deployment import line_deployment, uniform_disk
+from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
+from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.protocols.consensus import ConsensusClient, run_consensus
+from repro.sinr.params import SINRParameters
+
+
+FAST_APPROG = ApproxProgressConfig(
+    lambda_bound=4.0, eps_approg=0.2, alpha=3.0, t_scale=0.2, bcast_scale=4.0
+)
+
+
+def multihop_line(params, hops=4):
+    """A line network with ~hops G_{1-eps} diameter."""
+    spacing = params.strong_range * 0.9
+    return line_deployment(hops + 1, spacing=spacing)
+
+
+class TestBsmbOverSinr:
+    def test_line_network_full_delivery(self):
+        params = SINRParameters()
+        pts = multihop_line(params, hops=4)
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: BsmbClient(),
+            approg_config=FAST_APPROG,
+            seed=1,
+        )
+        final = run_single_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, source=0
+        )
+        assert all(c.done for c in stack.clients)
+        slots = [c.delivered_slot for c in stack.clients]
+        assert slots == sorted(slots)  # front moves outward on a line
+
+    def test_disk_network_full_delivery(self):
+        params = SINRParameters()
+        pts = uniform_disk(16, radius=12.0, seed=61)
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: BsmbClient(),
+            approg_config=FAST_APPROG,
+            seed=2,
+        )
+        run_single_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, source=0
+        )
+        assert all(c.done for c in stack.clients)
+
+    def test_bsmb_over_decay_mac_also_works(self):
+        """Same protocol object, different MAC implementation."""
+        params = SINRParameters()
+        pts = multihop_line(params, hops=3)
+        stack = build_decay_stack(
+            pts,
+            params,
+            client_factory=lambda i: BsmbClient(),
+            seed=3,
+        )
+        run_single_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, source=0
+        )
+        assert all(c.done for c in stack.clients)
+
+
+class TestBmmbOverSinr:
+    def test_multi_message_full_delivery(self):
+        params = SINRParameters()
+        pts = multihop_line(params, hops=3)
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: BmmbClient(),
+            approg_config=FAST_APPROG,
+            seed=4,
+        )
+        tokens = {0: ["a", "b"], 2: ["c"]}
+        run_multi_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, arrivals=tokens
+        )
+        for client in stack.clients:
+            assert client.has_all(["a", "b", "c"])
+
+
+class TestConsensusOverSinr:
+    def test_agreement_on_line(self):
+        params = SINRParameters()
+        pts = multihop_line(params, hops=3)
+        n = len(pts)
+        diameter_bound = n  # conservative
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: ConsensusClient(
+                i, i % 2, waves=2 * diameter_bound + 2
+            ),
+            approg_config=FAST_APPROG,
+            seed=5,
+        )
+        result = run_consensus(stack.runtime, stack.macs, stack.clients)
+        assert result.agreed
+        # Validity: the max id is n-1 with value (n-1) % 2.
+        assert result.decided_value() == (n - 1) % 2
+
+    def test_agreement_on_disk(self):
+        params = SINRParameters()
+        pts = uniform_disk(10, radius=9.0, seed=62)
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: ConsensusClient(i, 1, waves=2 * 10 + 2),
+            approg_config=FAST_APPROG,
+            seed=6,
+        )
+        result = run_consensus(stack.runtime, stack.macs, stack.clients)
+        assert result.agreed
+        assert result.decided_value() == 1
+
+
+class TestCrossMacAgreement:
+    """The same protocol yields the same outcome over the ideal MAC and
+    the SINR MAC — only the timing differs."""
+
+    def test_bsmb_same_delivery_set(self):
+        import networkx as nx
+
+        from repro.absmac.ideal import (
+            IdealMacConfig,
+            IdealMacLayer,
+            IdealMacNetwork,
+        )
+        from repro.core.events import MessageRegistry
+        from repro.simulation.runtime import Runtime, RuntimeConfig
+        from repro.sinr.channel import Channel
+        from repro.sinr.graphs import strong_connectivity_graph
+
+        params = SINRParameters()
+        pts = multihop_line(params, hops=3)
+        graph = strong_connectivity_graph(pts, params)
+
+        # Ideal run.
+        net = IdealMacNetwork(graph, IdealMacConfig(), seed=0)
+        reg = MessageRegistry()
+        ideal_clients = [BsmbClient() for _ in range(len(pts))]
+        ideal_macs = [
+            IdealMacLayer(i, reg, net, ideal_clients[i])
+            for i in range(len(pts))
+        ]
+        ideal_rt = Runtime(
+            Channel(pts, params), ideal_macs, RuntimeConfig(seed=0)
+        )
+        run_single_message_broadcast(
+            ideal_rt, ideal_macs, ideal_clients, source=0
+        )
+
+        # SINR run.
+        stack = build_combined_stack(
+            pts,
+            params,
+            client_factory=lambda i: BsmbClient(),
+            approg_config=FAST_APPROG,
+            seed=7,
+        )
+        run_single_message_broadcast(
+            stack.runtime, stack.macs, stack.clients, source=0
+        )
+
+        ideal_done = [c.done for c in ideal_clients]
+        sinr_done = [c.done for c in stack.clients]
+        assert ideal_done == sinr_done == [True] * len(pts)

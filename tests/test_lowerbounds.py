@@ -1,0 +1,104 @@
+"""Tests for the Theorem 6.1 and Theorem 8.1 constructions."""
+
+import pytest
+
+from repro.lowerbounds.constructions import (
+    DecayLowerBoundNetwork,
+    ProgressLowerBoundNetwork,
+)
+from repro.lowerbounds.experiments import (
+    measure_approx_progress_on,
+    measure_decay_progress,
+    optimal_schedule_progress,
+)
+
+
+class TestProgressLowerBoundNetwork:
+    @pytest.mark.parametrize("delta", [2, 4, 7])
+    def test_structure_matches_proof(self, delta):
+        network = ProgressLowerBoundNetwork(delta=delta)
+        summary = network.verify_structure()
+        assert summary["delta"] == delta
+        assert summary["cross_links_in_Gtilde"] == 0
+
+    def test_degree_equals_delta(self):
+        network = ProgressLowerBoundNetwork(delta=6)
+        degrees = dict(network.graph.degree)
+        assert all(d == 6 for d in degrees.values())
+
+    def test_partner_mapping(self):
+        network = ProgressLowerBoundNetwork(delta=4)
+        assert network.partner(0) == 4
+        assert network.partner(3) == 7
+        with pytest.raises(ValueError):
+            network.partner(5)  # a U-node has no partner lookup
+
+    def test_minimum_delta(self):
+        with pytest.raises(ValueError):
+            ProgressLowerBoundNetwork(delta=1)
+
+    @pytest.mark.parametrize("delta", [2, 5, 10])
+    def test_optimal_schedule_needs_delta_slots(self, delta):
+        """The Theorem 6.1 statement: even the optimal centralized
+        schedule leaves some U-node waiting Δ slots."""
+        network = ProgressLowerBoundNetwork(delta=delta)
+        result = optimal_schedule_progress(network)
+        assert result["served_all"]
+        assert result["max_progress"] == delta
+        assert result["concurrent_receptions"] == 0
+
+    def test_single_concurrent_pair_blocks_everything(self):
+        network = ProgressLowerBoundNetwork(delta=5)
+        channel = network.channel()
+        # Any two cross pairs transmitting concurrently: all blocked.
+        sinr = channel.link_sinr(0, network.partner(0), [0, 3])
+        assert sinr < network.params.beta
+
+
+class TestDecayLowerBoundNetwork:
+    def test_structure(self):
+        network = DecayLowerBoundNetwork(delta=16, seed=1)
+        summary = network.verify_structure()
+        assert summary["delta"] == 16
+        assert summary["b1_link_lone_sinr"] >= network.params.beta
+
+    def test_interference_grows_with_delta(self):
+        """The crushing mechanism: all-B2 interference lowers B1's SINR
+        monotonically in Δ, crossing below β for large Δ."""
+        sinrs = {}
+        for delta in (8, 32, 64):
+            network = DecayLowerBoundNetwork(delta=delta, seed=1)
+            summary = network.verify_structure()
+            sinrs[delta] = summary["b1_link_all_b2_sinr"]
+        assert sinrs[8] > sinrs[32] > sinrs[64]
+        assert sinrs[64] < network.params.beta
+
+    def test_balls_not_connected(self):
+        network = DecayLowerBoundNetwork(delta=8, seed=2)
+        for b1 in network.b1_nodes:
+            for b2 in network.b2_nodes:
+                assert not network.graph.has_edge(b1, b2)
+
+
+class TestTheorem81Separation:
+    """Decay vs Algorithm 9.1 on the two-ball network (small instance;
+    the full sweep lives in the benchmark)."""
+
+    def test_both_protocols_achieve_b1_progress(self):
+        network = DecayLowerBoundNetwork(delta=8, seed=3)
+        decay = measure_decay_progress(network, eps=0.2, seed=1)
+        assert decay["completed"], "Decay should finish on a small instance"
+        approg = measure_approx_progress_on(network, eps=0.2, seed=1)
+        assert approg["completed"]
+
+    def test_decay_degrades_with_delta(self):
+        slow = measure_decay_progress(
+            DecayLowerBoundNetwork(delta=48, seed=4), eps=0.2, seed=2
+        )
+        fast = measure_decay_progress(
+            DecayLowerBoundNetwork(delta=6, seed=4), eps=0.2, seed=2
+        )
+        assert fast["completed"]
+        # Either the large instance timed out, or it took longer.
+        if slow["completed"]:
+            assert slow["progress_slot"] > fast["progress_slot"]

@@ -1,0 +1,155 @@
+"""Unit tests for the temporary-label MIS (repro.core.mis)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.mis import (
+    COMPETITOR,
+    DOMINATED,
+    DOMINATOR,
+    DistributedMIS,
+    greedy_mis,
+    is_independent_set,
+    is_maximal_independent_set,
+    next_state,
+)
+
+
+class TestNextState:
+    def test_isolated_competitor_becomes_dominator(self):
+        assert next_state(5, COMPETITOR, []) == DOMINATOR
+
+    def test_local_minimum_wins(self):
+        views = [(7, COMPETITOR), (9, COMPETITOR)]
+        assert next_state(5, COMPETITOR, views) == DOMINATOR
+
+    def test_non_minimum_stays_competitor(self):
+        views = [(3, COMPETITOR)]
+        assert next_state(5, COMPETITOR, views) == COMPETITOR
+
+    def test_dominator_neighbor_dominates(self):
+        views = [(3, DOMINATOR), (9, COMPETITOR)]
+        assert next_state(5, COMPETITOR, views) == DOMINATED
+
+    def test_equal_labels_block_each_other(self):
+        # Collision: neither strictly smaller => stay competitor.
+        views = [(5, COMPETITOR)]
+        assert next_state(5, COMPETITOR, views) == COMPETITOR
+
+    def test_settled_states_never_change(self):
+        views = [(1, COMPETITOR)]
+        assert next_state(5, DOMINATOR, views) == DOMINATOR
+        assert next_state(5, DOMINATED, views) == DOMINATED
+
+    def test_dominated_neighbors_are_ignored_for_minimum(self):
+        views = [(1, DOMINATED), (9, COMPETITOR)]
+        assert next_state(5, COMPETITOR, views) == DOMINATOR
+
+
+class TestDistributedMIS:
+    def run_on(self, graph, seed=0, budget=30, label_space=10_000):
+        rng = np.random.default_rng(seed)
+        labels = DistributedMIS.random_labels(
+            graph.nodes, label_space, rng
+        )
+        mis = DistributedMIS(graph, labels, round_budget=budget)
+        mis.run()
+        return mis
+
+    def test_path_graph(self):
+        mis = self.run_on(nx.path_graph(10))
+        doms = mis.dominators()
+        assert is_independent_set(mis.graph, doms)
+        assert is_maximal_independent_set(mis.graph, doms)
+
+    def test_cycle_graph(self):
+        mis = self.run_on(nx.cycle_graph(12))
+        doms = mis.dominators()
+        assert is_maximal_independent_set(mis.graph, doms)
+
+    def test_complete_graph_selects_exactly_one(self):
+        mis = self.run_on(nx.complete_graph(8))
+        assert len(mis.dominators()) == 1
+
+    def test_empty_graph(self):
+        mis = self.run_on(nx.empty_graph(5))
+        # No edges: everyone is an isolated local minimum.
+        assert mis.dominators() == set(range(5))
+
+    def test_independence_holds_every_round(self):
+        graph = nx.random_geometric_graph(40, 0.25, seed=3)
+        rng = np.random.default_rng(4)
+        labels = DistributedMIS.random_labels(graph.nodes, 1000, rng)
+        mis = DistributedMIS(graph, labels, round_budget=25)
+        for _ in range(25):
+            mis.step()
+            assert is_independent_set(graph, mis.dominators())
+
+    def test_label_collisions_preserve_independence(self):
+        # Tiny label space forces collisions; independence must survive.
+        graph = nx.random_geometric_graph(30, 0.3, seed=5)
+        rng = np.random.default_rng(6)
+        labels = DistributedMIS.random_labels(graph.nodes, 2, rng)
+        mis = DistributedMIS(graph, labels, round_budget=40)
+        mis.run()
+        assert is_independent_set(graph, mis.dominators())
+
+    def test_budget_exhaustion_leaves_unsettled_nodes(self):
+        # One round on a path: interior local minima settle, most do not.
+        graph = nx.path_graph(50)
+        rng = np.random.default_rng(7)
+        labels = DistributedMIS.random_labels(graph.nodes, 10_000, rng)
+        mis = DistributedMIS(graph, labels, round_budget=1)
+        mis.run()
+        assert mis.unsettled()  # budget too small to finish
+        assert is_independent_set(graph, mis.dominators())
+
+    def test_missing_labels_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError, match="labels missing"):
+            DistributedMIS(graph, {0: 1}, round_budget=5)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedMIS(nx.path_graph(2), {0: 1, 1: 2}, round_budget=0)
+
+    def test_maximality_with_high_probability(self):
+        """Lemma 10.1's behaviour: with a large label space and a
+        log-ish budget, the result is maximal in most runs."""
+        graph = nx.random_geometric_graph(50, 0.2, seed=8)
+        maximal = 0
+        for seed in range(20):
+            mis = self.run_on(graph, seed=seed, budget=30)
+            if is_maximal_independent_set(graph, mis.dominators()):
+                maximal += 1
+        assert maximal >= 18  # >= 90 percent
+
+
+class TestGreedyMIS:
+    def test_maximal_on_random_graph(self):
+        graph = nx.random_geometric_graph(40, 0.3, seed=9)
+        mis = greedy_mis(graph)
+        assert is_maximal_independent_set(graph, mis)
+
+    def test_order_determines_selection(self):
+        graph = nx.path_graph(3)
+        assert greedy_mis(graph, order=[1]) == {1} or greedy_mis(
+            graph, order=[1, 0, 2]
+        ) == {1}
+
+    def test_empty_graph(self):
+        assert greedy_mis(nx.Graph()) == set()
+
+
+class TestPredicates:
+    def test_is_independent_set(self):
+        graph = nx.path_graph(4)
+        assert is_independent_set(graph, {0, 2})
+        assert not is_independent_set(graph, {0, 1})
+
+    def test_is_maximal(self):
+        graph = nx.path_graph(4)
+        assert is_maximal_independent_set(graph, {0, 2})  # 3 is covered by 2
+        assert not is_maximal_independent_set(graph, {0})  # 2,3 uncovered
+        assert is_maximal_independent_set(graph, {1, 3})

@@ -1,0 +1,83 @@
+"""Tests for per-transmitter power support (the Theorem 6.1 hook)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import pairwise_distances
+from repro.lowerbounds.constructions import ProgressLowerBoundNetwork
+from repro.lowerbounds.experiments import power_controlled_progress
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import (
+    received_power,
+    sinr_matrix,
+    successful_receptions,
+)
+
+
+@pytest.fixture
+def params():
+    return SINRParameters(power=1.0, alpha=3.0, beta=1.5, noise=1e-4)
+
+
+def dists(*points):
+    return pairwise_distances(np.array(points, dtype=float))
+
+
+class TestPowerOverrides:
+    def test_received_power_with_scalar_override(self, params):
+        base = received_power(params, np.array(2.0))
+        boosted = received_power(params, np.array(2.0), power=4.0)
+        assert boosted == pytest.approx(4.0 * base)
+
+    def test_sinr_matrix_uniform_matches_default(self, params):
+        d = dists((0, 0), (5, 0), (9, 2))
+        tx = np.array([0, 2])
+        uniform = sinr_matrix(params, d, tx)
+        explicit = sinr_matrix(
+            params, d, tx, tx_powers=np.array([params.power, params.power])
+        )
+        assert np.allclose(uniform, explicit)
+
+    def test_boosting_sender_raises_its_own_sinr(self, params):
+        d = dists((0, 0), (5, 0), (40, 0), (45, 0))
+        tx = np.array([0, 2])
+        base = sinr_matrix(params, d, tx)
+        boosted = sinr_matrix(params, d, tx, tx_powers=np.array([8.0, 1.0]))
+        assert boosted[0, 1] > base[0, 1]  # own link improves
+        assert boosted[1, 3] < base[1, 3]  # the other link suffers
+
+    def test_reception_flips_with_power(self, params):
+        # Two senders, one listener between them: symmetric powers
+        # collide, an 8x boost captures the channel.
+        d = dists((0, 0), (5, 0), (-5, 0))
+        tx = np.array([1, 2])
+        symmetric = successful_receptions(params, d, tx)
+        assert 0 not in symmetric
+        boosted = successful_receptions(
+            params, d, tx, tx_powers=np.array([8.0, 1.0])
+        )
+        assert boosted.get(0) == 1
+
+    def test_power_validation(self, params):
+        d = dists((0, 0), (5, 0))
+        with pytest.raises(ValueError, match="align"):
+            sinr_matrix(params, d, np.array([0]), tx_powers=np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="positive"):
+            sinr_matrix(params, d, np.array([0]), tx_powers=np.array([0.0]))
+
+
+class TestPowerControlledLowerBound:
+    def test_never_two_cross_successes(self):
+        network = ProgressLowerBoundNetwork(delta=6)
+        result = power_controlled_progress(
+            network, concurrency=3, trials=150, power_spread=50.0, seed=3
+        )
+        assert result["max_cross_successes_per_slot"] <= 1
+        assert result["implied_fprog_lower_bound"] >= 6
+
+    def test_argument_validation(self):
+        network = ProgressLowerBoundNetwork(delta=4)
+        with pytest.raises(ValueError):
+            power_controlled_progress(network, concurrency=1)
+        with pytest.raises(ValueError):
+            power_controlled_progress(network, concurrency=10)

@@ -1,0 +1,345 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These encode the structural facts the paper's analysis rests on:
+SINR monotonicity, graph nesting, MIS independence, reception uniqueness,
+trace well-formedness, and the schedule bijection of Algorithm 9.1.
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.approx_progress import ApproxProgressConfig, EpochSchedule
+from repro.core.mis import (
+    DistributedMIS,
+    is_independent_set,
+    next_state,
+    COMPETITOR,
+    DOMINATOR,
+    DOMINATED,
+)
+from repro.geometry.points import pairwise_distances
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import (
+    sinr_of_link,
+    successful_receptions,
+)
+
+# -- strategies -----------------------------------------------------------
+
+coords_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+    ),
+    min_size=3,
+    max_size=12,
+    unique=True,
+)
+
+
+def well_separated(points, min_distance=1.0):
+    arr = np.array(points)
+    if len(arr) < 2:
+        return True
+    dists = pairwise_distances(arr)
+    np.fill_diagonal(dists, np.inf)
+    return dists.min() >= min_distance
+
+
+params_strategy = st.builds(
+    SINRParameters,
+    power=st.floats(min_value=0.5, max_value=10.0),
+    alpha=st.floats(min_value=2.1, max_value=6.0),
+    beta=st.floats(min_value=1.1, max_value=3.0),
+    noise=st.floats(min_value=1e-6, max_value=1e-2),
+    epsilon=st.floats(min_value=0.05, max_value=0.4),
+)
+
+
+class TestSINRProperties:
+    @given(coords=coords_strategy, params=params_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_at_most_one_decoded_sender_per_listener(self, coords, params):
+        """β > 1 ⇒ reception is a partial function listener→sender."""
+        if not well_separated(coords):
+            return
+        arr = np.array(coords)
+        dists = pairwise_distances(arr)
+        tx = np.arange(0, len(arr), 2)
+        result = successful_receptions(params, dists, tx)
+        # dict keys are unique by construction; transmitters never listen.
+        for listener in result:
+            assert listener not in tx
+
+    @given(
+        coords=coords_strategy,
+        params=params_strategy,
+        extra=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_more_interferers_never_help(self, coords, params, extra):
+        """SINR is monotone non-increasing in the transmitter set."""
+        if not well_separated(coords) or len(coords) < 4:
+            return
+        arr = np.array(coords)
+        dists = pairwise_distances(arr)
+        small = np.array([0])
+        big = np.array([0, 2, 3][: 1 + extra + 1])
+        sinr_small = sinr_of_link(params, dists, small, 0, 1)
+        sinr_big = sinr_of_link(params, dists, big, 0, 1)
+        assert sinr_big <= sinr_small + 1e-12
+
+    @given(params=params_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_range_nesting(self, params):
+        """R_{1-2ε} < R_{1-ε} < R always."""
+        assert params.approx_range < params.strong_range
+        assert params.strong_range < params.transmission_range
+
+    @given(
+        params=params_strategy,
+        d1=st.floats(min_value=1.0, max_value=50.0),
+        d2=st.floats(min_value=1.0, max_value=50.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sinr_monotone_in_distance(self, params, d1, d2):
+        """Closer sender ⇒ no worse SINR (lone transmitter)."""
+        near, far = sorted([d1, d2])
+        arr_near = np.array([[0.0, 0.0], [near, 0.0]])
+        arr_far = np.array([[0.0, 0.0], [far, 0.0]])
+        s_near = sinr_of_link(
+            params, pairwise_distances(arr_near), np.array([0]), 0, 1
+        )
+        s_far = sinr_of_link(
+            params, pairwise_distances(arr_far), np.array([0]), 0, 1
+        )
+        assert s_near >= s_far - 1e-12
+
+
+class TestGraphNesting:
+    @given(coords=coords_strategy, params=params_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_induced_graph_nesting(self, coords, params):
+        """a <= b ⇒ G_a ⊆ G_b (paper §4.3)."""
+        from repro.geometry.points import PointSet
+        from repro.sinr.graphs import induced_graph
+
+        if not well_separated(coords):
+            return
+        pts = PointSet(np.array(coords))
+        g_small = induced_graph(pts, params, 1.0 - 2 * params.epsilon)
+        g_mid = induced_graph(pts, params, 1.0 - params.epsilon)
+        g_big = induced_graph(pts, params, 1.0)
+        assert set(g_small.edges) <= set(g_mid.edges)
+        assert set(g_mid.edges) <= set(g_big.edges)
+
+
+class TestMISProperties:
+    @given(
+        n=st.integers(min_value=2, max_value=25),
+        p=st.floats(min_value=0.05, max_value=0.5),
+        label_space=st.integers(min_value=2, max_value=1000),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dominators_always_independent(self, n, p, label_space, seed):
+        """Independence holds for ANY graph, label space and budget —
+        including heavy label collisions (Lemma 10.1 part 1)."""
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        rng = np.random.default_rng(seed)
+        labels = DistributedMIS.random_labels(graph.nodes, label_space, rng)
+        mis = DistributedMIS(graph, labels, round_budget=1 + seed % 10)
+        mis.run()
+        assert is_independent_set(graph, mis.dominators())
+
+    @given(
+        my_label=st.integers(min_value=1, max_value=100),
+        neighbor_labels=st.lists(
+            st.integers(min_value=1, max_value=100), max_size=6
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_adjacent_competitors_cannot_both_win(
+        self, my_label, neighbor_labels
+    ):
+        """For any pair of adjacent competitors u, v seeing each other,
+        at most one transitions to dominator in a round."""
+        for other in neighbor_labels:
+            me_wins = (
+                next_state(my_label, COMPETITOR, [(other, COMPETITOR)])
+                == DOMINATOR
+            )
+            other_wins = (
+                next_state(other, COMPETITOR, [(my_label, COMPETITOR)])
+                == DOMINATOR
+            )
+            assert not (me_wins and other_wins)
+
+
+class TestScheduleProperties:
+    @given(
+        lam=st.floats(min_value=2.0, max_value=500.0),
+        eps=st.floats(min_value=0.01, max_value=0.5),
+        alpha=st.floats(min_value=2.1, max_value=5.0),
+        probe=st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_locate_is_total_and_consistent(self, lam, eps, alpha, probe):
+        """Every virtual slot maps to exactly one (epoch, phase, block,
+        offset) and the blocks tile the epoch."""
+        config = ApproxProgressConfig(
+            lambda_bound=lam, eps_approg=eps, alpha=alpha
+        )
+        schedule = EpochSchedule(config)
+        epoch, phase, block, off = schedule.locate(probe)
+        assert 0 <= phase < schedule.phi
+        assert block in {"est1", "est2", "mis", "bcast"}
+        assert off >= 0
+        # Reconstruct the virtual slot from the coordinates.
+        base = epoch * schedule.epoch_slots + phase * schedule.phase_slots
+        offsets = {
+            "est1": 0,
+            "est2": schedule.t,
+            "mis": 2 * schedule.t,
+            "bcast": (2 + schedule.rounds) * schedule.t,
+        }
+        assert base + offsets[block] + off == probe
+
+    @given(
+        lam=st.floats(min_value=2.0, max_value=500.0),
+        eps=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_parameters_positive(self, lam, eps):
+        config = ApproxProgressConfig(lambda_bound=lam, eps_approg=eps)
+        assert config.phi_count >= 1
+        assert config.repetitions >= 1
+        assert config.q_factor >= 1
+        assert config.mis_rounds >= 1
+        assert config.bcast_block_slots >= 1
+        assert 0 < config.potential_threshold < config.repetitions
+
+
+class TestReplayDeterminism:
+    """The invariant Algorithm 9.1's MIS simulation rests on (§9.3.2):
+    replaying the same transmitter set reproduces the same receptions,
+    and removing transmitters only ever *adds* receptions for the
+    remaining senders (SINR monotonicity under interference removal)."""
+
+    @given(
+        coords=coords_strategy,
+        params=params_strategy,
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_same_transmitters_same_outcome(self, coords, params, seed):
+        if not well_separated(coords):
+            return
+        arr = np.array(coords)
+        dists = pairwise_distances(arr)
+        rng = np.random.default_rng(seed)
+        tx = np.flatnonzero(rng.random(len(arr)) < 0.5)
+        if tx.size == 0:
+            return
+        first = successful_receptions(params, dists, tx)
+        second = successful_receptions(params, dists, tx)
+        assert first == second
+
+    @given(
+        coords=coords_strategy,
+        params=params_strategy,
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dropping_transmitters_only_helps_survivors(
+        self, coords, params, seed
+    ):
+        if not well_separated(coords) or len(coords) < 4:
+            return
+        arr = np.array(coords)
+        dists = pairwise_distances(arr)
+        rng = np.random.default_rng(seed)
+        tx = np.flatnonzero(rng.random(len(arr)) < 0.6)
+        if tx.size < 2:
+            return
+        full = successful_receptions(params, dists, tx)
+        dropped = tx[:-1]  # one transmitter leaves (a §9.3.2 drop-out)
+        reduced = successful_receptions(params, dists, dropped)
+        removed = int(tx[-1])
+        for listener, sender in full.items():
+            if sender == removed or listener == removed:
+                continue  # links of the removed node may vanish
+            # Every surviving link still delivers.
+            assert reduced.get(listener) == sender
+
+
+class TestReliabilityProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        p=st.floats(min_value=0.1, max_value=0.5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_reliability_graph_is_undirected_and_loopless(self, seed, p):
+        from repro.core.reliability import reliability_graph
+        from repro.geometry.deployment import uniform_disk
+
+        params = SINRParameters()
+        pts = uniform_disk(8, radius=7.0, seed=seed)
+        dists = pairwise_distances(pts.coords)
+        graph = reliability_graph(
+            params,
+            dists,
+            list(range(8)),
+            p=p,
+            mu=p / 4,
+            samples=150,
+            rng=np.random.default_rng(seed),
+        )
+        for u, v in graph.edges:
+            assert u != v
+            assert graph.has_edge(v, u)
+
+
+class TestDecayEngineProperties:
+    @given(
+        bound=st.floats(min_value=2.0, max_value=500.0),
+        eps=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_decay_halts_exactly_on_budget(self, bound, eps, seed):
+        from repro.core.decay import DecayConfig, DecayEngine
+
+        config = DecayConfig(contention_bound=bound, eps_ack=eps)
+        engine = DecayEngine(config, np.random.default_rng(seed))
+        for _ in range(config.ack_budget_slots):
+            assert not engine.halted
+            engine.step()
+        assert engine.halted
+        assert engine.transmissions <= engine.slots_run
+
+
+class TestAckEngineProperties:
+    @given(
+        bound=st.floats(min_value=2.0, max_value=1000.0),
+        eps=st.floats(min_value=0.01, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_engine_always_halts_within_budget_bound(self, bound, eps, seed):
+        """Halting is guaranteed: tp grows by >= floor probability every
+        slot, so slots <= halt_budget / floor_probability."""
+        from repro.core.ack_protocol import AckConfig, AckEngine
+
+        config = AckConfig(contention_bound=bound, eps_ack=eps)
+        engine = AckEngine(config, np.random.default_rng(seed))
+        hard_cap = int(config.halt_budget / config.floor_probability) + 10
+        for _ in range(hard_cap):
+            if engine.halted:
+                break
+            engine.step()
+        assert engine.halted

@@ -1,0 +1,199 @@
+"""Tests for BSMB, BMMB and consensus over the ideal absMAC.
+
+Running the higher-level protocols over the *ideal* layer isolates
+protocol-logic bugs from MAC-implementation bugs; the integration tests
+(test_integration_stacks.py) then re-run them over the real SINR MAC.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.absmac.ideal import IdealMacConfig, IdealMacLayer, IdealMacNetwork
+from repro.core.events import MessageRegistry
+from repro.geometry.deployment import line_deployment
+from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
+from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.protocols.consensus import ConsensusClient, run_consensus
+from repro.simulation.runtime import Runtime, RuntimeConfig
+from repro.sinr.channel import Channel
+from repro.sinr.params import SINRParameters
+
+
+def ideal_stack(graph, client_factory, config=None, seed=0):
+    n = graph.number_of_nodes()
+    net = IdealMacNetwork(graph, config or IdealMacConfig(), seed=seed)
+    reg = MessageRegistry()
+    clients = [client_factory(i) for i in range(n)]
+    macs = [IdealMacLayer(i, reg, net, clients[i]) for i in range(n)]
+    pts = line_deployment(n, spacing=4.0)
+    rt = Runtime(
+        Channel(pts, SINRParameters()), macs, RuntimeConfig(seed=seed)
+    )
+    return rt, macs, clients
+
+
+class TestBSMB:
+    def test_all_nodes_deliver_on_path(self):
+        g = nx.path_graph(8)
+        rt, macs, clients = ideal_stack(g, lambda i: BsmbClient())
+        final = run_single_message_broadcast(rt, macs, clients, source=0)
+        assert all(c.done for c in clients)
+        assert final > 0
+
+    def test_delivery_order_respects_hops(self):
+        g = nx.path_graph(6)
+        rt, macs, clients = ideal_stack(g, lambda i: BsmbClient())
+        run_single_message_broadcast(rt, macs, clients, source=0)
+        slots = [c.delivered_slot for c in clients]
+        # Monotone in hop distance from the source on a path.
+        assert slots == sorted(slots)
+
+    def test_each_node_relays_once(self):
+        g = nx.complete_graph(5)
+        rt, macs, clients = ideal_stack(g, lambda i: BsmbClient())
+        run_single_message_broadcast(rt, macs, clients, source=2)
+        bcasts = rt.trace.of_kind("bcast")
+        assert len(bcasts) == 5  # source + 4 relays, one each
+
+    def test_completion_scales_with_diameter(self):
+        # run_until polls every 32 slots, so sizes are chosen to land in
+        # clearly different polling windows.
+        times = []
+        for n in (4, 40):
+            g = nx.path_graph(n)
+            rt, macs, clients = ideal_stack(g, lambda i: BsmbClient())
+            times.append(
+                run_single_message_broadcast(rt, macs, clients, source=0)
+            )
+        assert times[1] > times[0]
+
+    def test_star_topology_two_rounds(self):
+        g = nx.star_graph(6)
+        rt, macs, clients = ideal_stack(g, lambda i: BsmbClient())
+        run_single_message_broadcast(rt, macs, clients, source=1)
+        assert all(c.done for c in clients)
+
+    def test_misaligned_clients_rejected(self):
+        g = nx.path_graph(2)
+        rt, macs, clients = ideal_stack(g, lambda i: BsmbClient())
+        with pytest.raises(ValueError, match="wired"):
+            run_single_message_broadcast(
+                rt, macs, [BsmbClient(), BsmbClient()], source=0
+            )
+
+
+class TestBMMB:
+    def test_single_source_multiple_messages(self):
+        g = nx.path_graph(5)
+        rt, macs, clients = ideal_stack(g, lambda i: BmmbClient())
+        final = run_multi_message_broadcast(
+            rt, macs, clients, arrivals={0: ["m0", "m1", "m2"]}
+        )
+        for c in clients:
+            assert c.has_all(["m0", "m1", "m2"])
+
+    def test_multiple_sources(self):
+        g = nx.cycle_graph(6)
+        rt, macs, clients = ideal_stack(g, lambda i: BmmbClient())
+        run_multi_message_broadcast(
+            rt,
+            macs,
+            clients,
+            arrivals={0: ["a"], 3: ["b"], 5: ["c"]},
+        )
+        for c in clients:
+            assert c.has_all(["a", "b", "c"])
+
+    def test_fifo_relay_order_at_source(self):
+        g = nx.path_graph(2)
+        rt, macs, clients = ideal_stack(g, lambda i: BmmbClient())
+        run_multi_message_broadcast(
+            rt, macs, clients, arrivals={0: ["x", "y", "z"]}
+        )
+        arrival_slots = [clients[1].delivered[t] for t in ["x", "y", "z"]]
+        assert arrival_slots == sorted(arrival_slots)
+
+    def test_duplicate_tokens_rejected(self):
+        g = nx.path_graph(2)
+        rt, macs, clients = ideal_stack(g, lambda i: BmmbClient())
+        with pytest.raises(ValueError, match="duplicate"):
+            run_multi_message_broadcast(
+                rt, macs, clients, arrivals={0: ["m"], 1: ["m"]}
+            )
+
+    def test_empty_arrivals_complete_immediately(self):
+        g = nx.path_graph(2)
+        rt, macs, clients = ideal_stack(g, lambda i: BmmbClient())
+        final = run_multi_message_broadcast(rt, macs, clients, arrivals={})
+        assert final == 0
+
+    def test_dedup_prevents_rebroadcast_storms(self):
+        g = nx.complete_graph(4)
+        rt, macs, clients = ideal_stack(g, lambda i: BmmbClient())
+        run_multi_message_broadcast(rt, macs, clients, arrivals={0: ["m"]})
+        # Each node broadcasts m at most once: <= 4 bcasts total.
+        assert len(rt.trace.of_kind("bcast")) <= 4
+
+
+class TestConsensus:
+    def make(self, graph, values, waves=None, seed=0):
+        n = graph.number_of_nodes()
+        diameter = nx.diameter(graph)
+        w = waves if waves is not None else 2 * diameter + 2
+        return ideal_stack(
+            graph,
+            lambda i: ConsensusClient(i, values[i], waves=w),
+            seed=seed,
+        )
+
+    def test_agreement_and_validity_on_path(self):
+        g = nx.path_graph(7)
+        values = [0, 1, 0, 1, 0, 1, 0]
+        rt, macs, clients = self.make(g, values)
+        result = run_consensus(rt, macs, clients)
+        assert result.agreed
+        # Validity: max id is 6, whose value is 0.
+        assert result.decided_value() == 0
+
+    def test_unanimous_input_decides_that_value(self):
+        g = nx.cycle_graph(5)
+        rt, macs, clients = self.make(g, [1] * 5)
+        result = run_consensus(rt, macs, clients)
+        assert result.agreed
+        assert result.decided_value() == 1
+
+    def test_decision_is_max_id_value(self):
+        g = nx.path_graph(5)
+        for max_value in (0, 1):
+            values = [1 - max_value] * 4 + [max_value]
+            rt, macs, clients = self.make(g, values)
+            result = run_consensus(rt, macs, clients)
+            assert result.decided_value() == max_value
+
+    def test_termination_records_slots(self):
+        g = nx.path_graph(4)
+        rt, macs, clients = self.make(g, [0, 1, 1, 0])
+        result = run_consensus(rt, macs, clients)
+        assert set(result.decision_slots) == {0, 1, 2, 3}
+        assert all(s <= result.completion_slot for s in result.decision_slots.values())
+
+    def test_insufficient_waves_can_break_agreement(self):
+        """With one wave on a long path, the far end cannot learn the
+        max id: documents why 2D+2 waves are needed."""
+        g = nx.path_graph(12)
+        values = [0] * 11 + [1]
+        rt, macs, clients = self.make(g, values, waves=1)
+        result = run_consensus(rt, macs, clients)
+        assert not result.agreed
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            ConsensusClient(0, 2, waves=5)
+        with pytest.raises(ValueError):
+            ConsensusClient(0, 1, waves=0)
+
+    def test_decide_events_traced(self):
+        g = nx.path_graph(3)
+        rt, macs, clients = self.make(g, [0, 1, 1])
+        run_consensus(rt, macs, clients)
+        assert rt.trace.count("decide") == 3

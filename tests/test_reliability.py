@@ -1,0 +1,201 @@
+"""Tests for the reliability graphs H^mu_p[S] (repro.core.reliability)."""
+
+import numpy as np
+import pytest
+
+from repro.core.reliability import (
+    edge_reliability,
+    estimate_reliability_graph,
+    reliability_graph,
+)
+from repro.geometry.deployment import uniform_disk
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def params():
+    return SINRParameters(power=1.0, alpha=3.0, beta=1.5, noise=1e-4)
+
+
+def isolated_pair(params):
+    """Two nodes close together, nothing else on the channel."""
+    pts = PointSet(np.array([[0.0, 0.0], [2.0, 0.0]]))
+    return pts, pairwise_distances(pts.coords)
+
+
+class TestEdgeReliability:
+    def test_isolated_pair_reliability_is_p_times_1_minus_p(self, params):
+        """With only two nodes, success = (v sends) AND (u listens)."""
+        pts, dists = isolated_pair(params)
+        p = 0.3
+        fwd, bwd = edge_reliability(
+            params,
+            dists,
+            [0, 1],
+            p,
+            0,
+            1,
+            samples=4000,
+            rng=np.random.default_rng(0),
+        )
+        expected = p * (1 - p)
+        assert fwd == pytest.approx(expected, abs=0.03)
+        assert bwd == pytest.approx(expected, abs=0.03)
+
+    def test_out_of_range_pair_is_unreliable(self, params):
+        far = 3 * params.transmission_range
+        pts = PointSet(np.array([[0.0, 0.0], [far, 0.0]]))
+        dists = pairwise_distances(pts.coords)
+        fwd, bwd = edge_reliability(
+            params, dists, [0, 1], 0.3, 0, 1, samples=500
+        )
+        assert fwd == 0.0
+        assert bwd == 0.0
+
+    def test_requires_membership(self, params):
+        pts, dists = isolated_pair(params)
+        with pytest.raises(ValueError, match="belong"):
+            edge_reliability(params, dists, [0], 0.3, 0, 1)
+
+    def test_interference_lowers_reliability(self, params):
+        # A third node close to the listener halves the quiet chances.
+        quiet = PointSet(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        noisy = PointSet(
+            np.array([[0.0, 0.0], [2.0, 0.0], [3.5, 0.0]])
+        )
+        rng = np.random.default_rng(1)
+        fwd_q, _ = edge_reliability(
+            params,
+            pairwise_distances(quiet.coords),
+            [0, 1],
+            0.4,
+            0,
+            1,
+            samples=3000,
+            rng=rng,
+        )
+        fwd_n, _ = edge_reliability(
+            params,
+            pairwise_distances(noisy.coords),
+            [0, 1, 2],
+            0.4,
+            0,
+            1,
+            samples=3000,
+            rng=np.random.default_rng(1),
+        )
+        assert fwd_n < fwd_q
+
+
+class TestReliabilityGraph:
+    def test_close_pair_connected(self, params):
+        pts, dists = isolated_pair(params)
+        g = reliability_graph(
+            params, dists, [0, 1], p=0.4, mu=0.1, samples=2000
+        )
+        assert g.has_edge(0, 1)
+
+    def test_threshold_excludes_weak_links(self, params):
+        pts, dists = isolated_pair(params)
+        # mu above p(1-p)=0.24: even the perfect link fails the bar.
+        g = reliability_graph(
+            params, dists, [0, 1], p=0.4, mu=0.35, samples=2000
+        )
+        assert not g.has_edge(0, 1)
+
+    def test_parameter_validation(self, params):
+        pts, dists = isolated_pair(params)
+        with pytest.raises(ValueError, match="p must"):
+            reliability_graph(params, dists, [0, 1], p=0.7, mu=0.1)
+        with pytest.raises(ValueError, match="mu must"):
+            reliability_graph(params, dists, [0, 1], p=0.4, mu=0.5)
+
+    def test_constant_degree_property(self, params):
+        """Paper footnote 9: H^mu_p has O(1/mu) potential neighbors."""
+        pts = uniform_disk(25, radius=10.0, seed=21)
+        dists = pairwise_distances(pts.coords)
+        g = reliability_graph(
+            params,
+            dists,
+            list(range(25)),
+            p=0.25,
+            mu=0.05,
+            samples=1500,
+            rng=np.random.default_rng(2),
+        )
+        max_degree = max((d for _, d in g.degree), default=0)
+        assert max_degree <= 1 / 0.05  # loose but principled cap
+
+    def test_nodes_always_present(self, params):
+        pts, dists = isolated_pair(params)
+        g = reliability_graph(params, dists, [0, 1], p=0.4, mu=0.39)
+        assert set(g.nodes) == {0, 1}
+
+
+class TestEstimatedGraph:
+    def test_agrees_with_ground_truth_on_isolated_pair(self, params):
+        pts, dists = isolated_pair(params)
+        truth = reliability_graph(
+            params, dists, [0, 1], p=0.4, mu=0.1, samples=3000
+        )
+        estimated = estimate_reliability_graph(
+            params,
+            dists,
+            [0, 1],
+            p=0.4,
+            mu=0.1,
+            gamma=0.5,
+            repetitions=400,
+            rng=np.random.default_rng(3),
+        )
+        assert set(truth.edges) == set(estimated.edges)
+
+    def test_estimation_mostly_matches_truth_on_deployment(self, params):
+        """The (1-γ)-approximation property, statistically."""
+        pts = uniform_disk(15, radius=8.0, seed=22)
+        dists = pairwise_distances(pts.coords)
+        members = list(range(15))
+        truth = reliability_graph(
+            params,
+            dists,
+            members,
+            p=0.25,
+            mu=0.05,
+            samples=4000,
+            rng=np.random.default_rng(4),
+        )
+        est = estimate_reliability_graph(
+            params,
+            dists,
+            members,
+            p=0.25,
+            mu=0.05,
+            gamma=0.5,
+            repetitions=600,
+            rng=np.random.default_rng(5),
+        )
+        # Safely-reliable edges must be found: re-check truth edges at a
+        # stricter threshold to avoid borderline flakiness.
+        strict = reliability_graph(
+            params,
+            dists,
+            members,
+            p=0.25,
+            mu=0.08,
+            samples=4000,
+            rng=np.random.default_rng(4),
+        )
+        missing = set(strict.edges) - set(est.edges)
+        assert not missing, f"estimation missed solid edges: {missing}"
+
+    def test_validation(self, params):
+        pts, dists = isolated_pair(params)
+        with pytest.raises(ValueError):
+            estimate_reliability_graph(
+                params, dists, [0, 1], 0.4, 0.1, gamma=0.5, repetitions=0
+            )
+        with pytest.raises(ValueError):
+            estimate_reliability_graph(
+                params, dists, [0, 1], 0.4, 0.1, gamma=1.5, repetitions=10
+            )

@@ -1,0 +1,226 @@
+"""Unit tests for the simulation runtime, node model, trace and rngs."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import PointSet
+from repro.simulation.node import ProtocolNode
+from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.runtime import Runtime, RuntimeConfig
+from repro.simulation.trace import EventTrace, TraceEvent
+from repro.sinr.channel import Channel
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def params():
+    return SINRParameters(power=1.0, alpha=3.0, beta=1.5, noise=1e-4)
+
+
+def make_runtime(nodes, n_points=None, seed=0, max_slots=100_000):
+    n = n_points or len(nodes)
+    pts = PointSet(
+        np.column_stack([np.arange(n) * 4.0, np.zeros(n)])
+    )
+    channel = Channel(pts, SINRParameters())
+    return Runtime(channel, nodes, RuntimeConfig(seed=seed, max_slots=max_slots))
+
+
+class Beacon(ProtocolNode):
+    """Transmits its id every slot."""
+
+    def on_slot(self, slot):
+        return ("beacon", self.node_id)
+
+
+class Listener(ProtocolNode):
+    """Records everything it hears."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.heard = []
+
+    def on_receive(self, slot, sender, payload):
+        self.heard.append((slot, sender, payload))
+
+
+class TestRuntimeBasics:
+    def test_node_count_must_match(self, params):
+        pts = PointSet(np.array([[0.0, 0.0], [4.0, 0.0]]))
+        with pytest.raises(ValueError, match="node count"):
+            Runtime(Channel(pts, params), [Beacon(0)])
+
+    def test_node_ids_must_be_dense(self, params):
+        pts = PointSet(np.array([[0.0, 0.0], [4.0, 0.0]]))
+        with pytest.raises(ValueError, match="node ids"):
+            Runtime(Channel(pts, params), [Beacon(0), Beacon(5)])
+
+    def test_sleeping_nodes_do_not_transmit(self):
+        rt = make_runtime([Beacon(0), Listener(1)])
+        rt.run(5)  # nobody woken
+        assert rt.trace.count("transmit") == 0
+
+    def test_awake_beacon_reaches_listener(self):
+        nodes = [Beacon(0), Listener(1)]
+        rt = make_runtime(nodes)
+        rt.wake_node(0)
+        rt.run(3)
+        assert len(nodes[1].heard) == 3
+        assert nodes[1].heard[0][1] == 0
+
+    def test_reception_wakes_sleeping_node(self):
+        """Conditional wakeup (Definition 4.4): decoding wakes a node."""
+        nodes = [Beacon(0), Listener(1)]
+        rt = make_runtime(nodes)
+        rt.wake_node(0)
+        assert not nodes[1].awake
+        rt.run(1)
+        assert nodes[1].awake
+        wake_events = rt.trace.of_kind("wake")
+        assert {e.node for e in wake_events} == {0, 1}
+
+    def test_run_until_predicate(self):
+        nodes = [Beacon(0), Listener(1)]
+        rt = make_runtime(nodes)
+        rt.wake_node(0)
+        final = rt.run_until(lambda r: len(nodes[1].heard) >= 5)
+        assert final >= 5
+        assert len(nodes[1].heard) >= 5
+
+    def test_slot_budget_enforced(self):
+        nodes = [Listener(0), Listener(1)]
+        rt = make_runtime(nodes, max_slots=50)
+        with pytest.raises(RuntimeError, match="budget"):
+            rt.run_until(lambda r: False)
+
+    def test_run_rejects_negative(self):
+        rt = make_runtime([Listener(0)], n_points=1)
+        with pytest.raises(ValueError):
+            rt.run(-1)
+
+    def test_wake_all(self):
+        nodes = [Listener(0), Listener(1), Listener(2)]
+        rt = make_runtime(nodes)
+        rt.wake_all()
+        assert all(node.awake for node in nodes)
+
+    def test_physical_trace_recording(self):
+        nodes = [Beacon(0), Listener(1)]
+        rt = make_runtime(nodes)
+        rt.wake_node(0)
+        rt.run(2)
+        assert rt.trace.count("transmit") == 2
+        assert rt.trace.count("receive") == 2
+
+    def test_physical_trace_can_be_disabled(self, params):
+        pts = PointSet(np.array([[0.0, 0.0], [4.0, 0.0]]))
+        rt = Runtime(
+            Channel(pts, params),
+            [Beacon(0), Listener(1)],
+            RuntimeConfig(record_physical=False),
+        )
+        rt.wake_node(0)
+        rt.run(2)
+        assert rt.trace.count("transmit") == 0
+        assert rt.trace.count("receive") == 0
+
+
+class TestNodeAPI:
+    def test_private_randomness_is_reproducible(self):
+        class Coin(ProtocolNode):
+            def __init__(self, node_id):
+                super().__init__(node_id)
+                self.flips = []
+
+            def on_slot(self, slot):
+                self.flips.append(self.api.random())
+                return None
+
+        runs = []
+        for _ in range(2):
+            nodes = [Coin(0), Coin(1)]
+            rt = make_runtime(nodes, seed=99)
+            rt.wake_all()
+            rt.run(10)
+            runs.append((tuple(nodes[0].flips), tuple(nodes[1].flips)))
+        assert runs[0] == runs[1]  # same seed, same draws
+        assert runs[0][0] != runs[0][1]  # nodes draw independently
+
+    def test_emit_records_at_current_slot(self):
+        class Emitter(ProtocolNode):
+            def on_slot(self, slot):
+                if slot == 3:
+                    self.api.emit("custom", data="hi")
+                return None
+
+        nodes = [Emitter(0)]
+        rt = make_runtime(nodes, n_points=1)
+        rt.wake_all()
+        rt.run(5)
+        events = rt.trace.of_kind("custom")
+        assert len(events) == 1
+        assert events[0].slot == 3
+        assert events[0].data == "hi"
+
+    def test_randint_bounds(self):
+        rngs = spawn_node_rngs(1, seed=0)
+
+        class R(ProtocolNode):
+            pass
+
+        node = R(0)
+        rt = make_runtime([node], n_points=1)
+        draws = [node.api.randint(1, 6) for _ in range(100)]
+        assert min(draws) >= 1
+        assert max(draws) <= 6
+
+
+class TestTrace:
+    def test_of_kind_and_at_node(self):
+        trace = EventTrace()
+        trace.record(0, "a", 1)
+        trace.record(1, "b", 1)
+        trace.record(2, "a", 2)
+        assert len(trace.of_kind("a")) == 2
+        assert len(trace.at_node(1)) == 2
+
+    def test_first_with_predicate(self):
+        trace = EventTrace()
+        trace.record(0, "x", 1, data=10)
+        trace.record(1, "x", 2, data=20)
+        found = trace.first("x", lambda e: e.data > 15)
+        assert found.slot == 1
+
+    def test_first_missing_returns_none(self):
+        assert EventTrace().first("nope") is None
+
+    def test_last_slot(self):
+        trace = EventTrace()
+        assert trace.last_slot() == -1
+        trace.record(7, "x", 0)
+        assert trace.last_slot() == 7
+
+    def test_iteration_order(self):
+        trace = EventTrace()
+        for s in range(5):
+            trace.record(s, "t", 0)
+        assert [e.slot for e in trace] == list(range(5))
+
+
+class TestRngSpawning:
+    def test_count(self):
+        assert len(spawn_node_rngs(5, seed=1)) == 5
+
+    def test_determinism(self):
+        a = spawn_node_rngs(3, seed=2)
+        b = spawn_node_rngs(3, seed=2)
+        for ga, gb in zip(a, b):
+            assert ga.random() == gb.random()
+
+    def test_independence_across_nodes(self):
+        rngs = spawn_node_rngs(2, seed=3)
+        assert rngs[0].random() != rngs[1].random()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_node_rngs(-1)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.sinr.channel."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import PointSet
+from repro.sinr.channel import Channel, JammingAdversary
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def params():
+    return SINRParameters(power=1.0, alpha=3.0, beta=1.5, noise=1e-4)
+
+
+@pytest.fixture
+def triangle(params):
+    return PointSet(np.array([[0.0, 0.0], [5.0, 0.0], [2.5, 4.0]]))
+
+
+class TestChannel:
+    def test_lone_transmission_delivered(self, triangle, params):
+        ch = Channel(triangle, params)
+        out = ch.resolve_slot({0: "hello"})
+        assert out.receptions == {1: (0, "hello"), 2: (0, "hello")}
+        assert out.transmitters == (0,)
+
+    def test_empty_slot(self, triangle, params):
+        ch = Channel(triangle, params)
+        out = ch.resolve_slot({})
+        assert out.receptions == {}
+        assert out.transmitters == ()
+
+    def test_slot_counter_advances(self, triangle, params):
+        ch = Channel(triangle, params)
+        ch.resolve_slot({})
+        ch.resolve_slot({0: "x"})
+        assert ch.slots_resolved == 2
+
+    def test_unknown_node_rejected(self, triangle, params):
+        ch = Channel(triangle, params)
+        with pytest.raises(ValueError, match="unknown node"):
+            ch.resolve_slot({7: "x"})
+
+    def test_stats_accumulate(self, triangle, params):
+        ch = Channel(triangle, params)
+        ch.resolve_slot({0: "x"})
+        assert ch.total_transmissions == 1
+        assert ch.total_receptions == 2
+        ch.reset_stats()
+        assert ch.total_transmissions == 0
+        assert ch.slots_resolved == 1  # slot counter preserved
+
+    def test_link_sinr_probe_does_not_advance(self, triangle, params):
+        ch = Channel(triangle, params)
+        sinr = ch.link_sinr(0, 1, transmitters=[0])
+        assert sinr > params.beta
+        assert ch.slots_resolved == 0
+
+    def test_payloads_routed_correctly(self, params):
+        # Two well-separated transmitters each reach their own neighbor.
+        pts = PointSet(
+            np.array([[0.0, 0.0], [3.0, 0.0], [500.0, 0.0], [503.0, 0.0]])
+        )
+        ch = Channel(pts, params)
+        out = ch.resolve_slot({0: "west", 2: "east"})
+        assert out.receptions[1] == (0, "west")
+        assert out.receptions[3] == (2, "east")
+
+
+class TestJammingAdversary:
+    def test_jam_slots_erase_everything(self, triangle, params):
+        adversary = JammingAdversary(jam_slots={0})
+        ch = Channel(triangle, params, adversary=adversary)
+        out = ch.resolve_slot({0: "x"})
+        assert out.receptions == {}
+        assert adversary.erased_count == 2
+        # Next slot is clean.
+        out2 = ch.resolve_slot({0: "x"})
+        assert len(out2.receptions) == 2
+
+    def test_drop_probability_one_erases_all(self, triangle, params):
+        adversary = JammingAdversary(drop_probability=1.0)
+        ch = Channel(triangle, params, adversary=adversary)
+        out = ch.resolve_slot({0: "x"})
+        assert out.receptions == {}
+
+    def test_drop_probability_zero_is_transparent(self, triangle, params):
+        adversary = JammingAdversary(drop_probability=0.0)
+        ch = Channel(triangle, params, adversary=adversary)
+        out = ch.resolve_slot({0: "x"})
+        assert len(out.receptions) == 2
+
+    def test_partial_drops_are_statistical(self, triangle, params):
+        adversary = JammingAdversary(
+            drop_probability=0.5, rng=np.random.default_rng(0)
+        )
+        ch = Channel(triangle, params, adversary=adversary)
+        received = 0
+        for _ in range(200):
+            received += len(ch.resolve_slot({0: "x"}).receptions)
+        # 400 chances at 50%: expect ~200, allow generous slack.
+        assert 140 < received < 260
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            JammingAdversary(drop_probability=1.5)

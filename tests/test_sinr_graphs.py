@@ -1,0 +1,109 @@
+"""Unit tests for repro.sinr.graphs (induced connectivity graphs)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.geometry.deployment import line_deployment, uniform_disk
+from repro.geometry.points import PointSet
+from repro.sinr.graphs import (
+    approx_connectivity_graph,
+    graph_degree,
+    graph_diameter,
+    induced_graph,
+    link_length_ratio,
+    require_connected,
+    strong_connectivity_graph,
+    weak_connectivity_graph,
+)
+from repro.sinr.params import SINRParameters
+
+
+@pytest.fixture
+def params():
+    return SINRParameters(power=1.0, alpha=3.0, beta=1.5, noise=1e-4)
+
+
+class TestInducedGraph:
+    def test_edges_respect_radius(self, params):
+        # Nodes spaced so only adjacent pairs are within R_{1-eps}.
+        spacing = params.strong_range * 0.9
+        pts = line_deployment(4, spacing=spacing)
+        g = strong_connectivity_graph(pts, params)
+        assert set(g.edges) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_edge_lengths_attached(self, params):
+        pts = line_deployment(3, spacing=5.0)
+        g = strong_connectivity_graph(pts, params)
+        assert g.edges[0, 1]["length"] == pytest.approx(5.0)
+
+    def test_strength_validation(self, params):
+        pts = line_deployment(2, spacing=5.0)
+        with pytest.raises(ValueError):
+            induced_graph(pts, params, 0.0)
+        with pytest.raises(ValueError):
+            induced_graph(pts, params, 1.5)
+
+    def test_nested_graphs(self, params):
+        """G_{1-2eps} ⊆ G_{1-eps} ⊆ G_1 (paper §4.3)."""
+        pts = uniform_disk(25, radius=20.0, seed=9)
+        g_weak = weak_connectivity_graph(pts, params)
+        g_strong = strong_connectivity_graph(pts, params)
+        g_approx = approx_connectivity_graph(pts, params)
+        assert set(g_approx.edges) <= set(g_strong.edges)
+        assert set(g_strong.edges) <= set(g_weak.edges)
+
+    def test_single_node(self, params):
+        g = strong_connectivity_graph(line_deployment(1), params)
+        assert g.number_of_nodes() == 1
+        assert g.number_of_edges() == 0
+
+    def test_positions_stored(self, params):
+        pts = PointSet(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        g = strong_connectivity_graph(pts, params)
+        assert g.nodes[0]["pos"] == (1.0, 2.0)
+
+
+class TestLinkLengthRatio:
+    def test_known_ratio(self, params):
+        # Distances 2 and 10 both within strong range (~16.9).
+        pts = PointSet(np.array([[0.0, 0.0], [2.0, 0.0], [12.0, 0.0]]))
+        g = strong_connectivity_graph(pts, params)
+        assert link_length_ratio(g) == pytest.approx(12.0 / 2.0)
+
+    def test_edgeless_graph_returns_one(self, params):
+        far = 5 * params.transmission_range
+        pts = PointSet(np.array([[0.0, 0.0], [far, 0.0]]))
+        g = strong_connectivity_graph(pts, params)
+        assert link_length_ratio(g) == 1.0
+
+
+class TestDegreeDiameter:
+    def test_path_graph_metrics(self, params):
+        spacing = params.strong_range * 0.9
+        pts = line_deployment(5, spacing=spacing)
+        g = strong_connectivity_graph(pts, params)
+        assert graph_degree(g) == 2
+        assert graph_diameter(g) == 4
+
+    def test_diameter_requires_connectivity(self, params):
+        far = 5 * params.transmission_range
+        pts = PointSet(np.array([[0.0, 0.0], [far, 0.0]]))
+        g = strong_connectivity_graph(pts, params)
+        with pytest.raises(ValueError, match="disconnected"):
+            graph_diameter(g)
+
+    def test_degree_of_empty_graph(self):
+        assert graph_degree(nx.Graph()) == 0
+
+
+class TestRequireConnected:
+    def test_passes_connected(self, params):
+        pts = line_deployment(3, spacing=2.0)
+        require_connected(strong_connectivity_graph(pts, params))
+
+    def test_raises_disconnected(self, params):
+        far = 5 * params.transmission_range
+        pts = PointSet(np.array([[0.0, 0.0], [far, 0.0]]))
+        with pytest.raises(ValueError, match="connected"):
+            require_connected(strong_connectivity_graph(pts, params))

@@ -1,0 +1,115 @@
+"""Unit tests for repro.sinr.params."""
+
+import math
+
+import pytest
+
+from repro.sinr.params import SINRParameters
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SINRParameters()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"power": 0.0},
+            {"power": -1.0},
+            {"alpha": 2.0},  # must exceed 2
+            {"alpha": 1.5},
+            {"beta": 1.0},  # must exceed 1
+            {"beta": 0.5},
+            {"noise": 0.0},
+            {"epsilon": 0.0},
+            {"epsilon": 0.5},  # 2*eps must stay below 1
+            {"epsilon": 0.7},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SINRParameters(**kwargs)
+
+
+class TestRanges:
+    def test_transmission_range_formula(self):
+        p = SINRParameters(power=8.0, alpha=3.0, beta=2.0, noise=1.0)
+        assert p.transmission_range == pytest.approx((8.0 / 2.0) ** (1 / 3))
+
+    def test_strong_range_scales_by_epsilon(self):
+        p = SINRParameters(epsilon=0.2)
+        assert p.strong_range == pytest.approx(0.8 * p.transmission_range)
+
+    def test_approx_range_uses_two_epsilon(self):
+        p = SINRParameters(epsilon=0.2)
+        assert p.approx_range == pytest.approx(0.6 * p.transmission_range)
+
+    def test_range_ordering(self):
+        p = SINRParameters()
+        assert p.approx_range < p.strong_range < p.transmission_range
+
+    def test_range_at_validates(self):
+        with pytest.raises(ValueError):
+            SINRParameters().range_at(0.0)
+
+
+class TestWithRange:
+    def test_round_trip(self):
+        p = SINRParameters().with_range(25.0)
+        assert p.transmission_range == pytest.approx(25.0)
+
+    def test_with_strong_range(self):
+        p = SINRParameters(epsilon=0.1).with_strong_range(18.0)
+        assert p.strong_range == pytest.approx(18.0)
+
+    def test_preserves_other_params(self):
+        base = SINRParameters(alpha=4.0, beta=2.0, noise=1e-3, epsilon=0.15)
+        p = base.with_range(10.0)
+        assert p.alpha == base.alpha
+        assert p.beta == base.beta
+        assert p.noise == base.noise
+        assert p.epsilon == base.epsilon
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SINRParameters().with_range(0.0)
+
+
+class TestLambda:
+    def test_lambda_ratio(self):
+        p = SINRParameters()
+        assert p.lambda_ratio(1.0) == pytest.approx(p.strong_range)
+
+    def test_lambda_floor_is_one(self):
+        p = SINRParameters()
+        assert p.lambda_ratio(10.0 * p.strong_range) == 1.0
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            SINRParameters().lambda_ratio(0.0)
+
+    def test_max_contention_bound(self):
+        assert SINRParameters.max_contention_bound(3.0) == pytest.approx(36.0)
+        with pytest.raises(ValueError):
+            SINRParameters.max_contention_bound(0.5)
+
+
+class TestLogStar:
+    def test_small_values(self):
+        p = SINRParameters()
+        assert p.log_star(1.0) == 0
+        assert p.log_star(2.0) == 1
+        assert p.log_star(4.0) == 2
+        assert p.log_star(16.0) == 3
+        assert p.log_star(65536.0) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SINRParameters().log_star(-1.0)
+
+
+class TestDescribe:
+    def test_mentions_all_constants(self):
+        text = SINRParameters().describe()
+        for token in ("alpha", "beta", "eps", "R="):
+            assert token in text

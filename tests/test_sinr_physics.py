@@ -1,0 +1,158 @@
+"""Unit tests for repro.sinr.physics (the Eq. 1 reception rule)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.points import pairwise_distances
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import (
+    interference_at,
+    received_power,
+    sinr_matrix,
+    sinr_of_link,
+    successful_receptions,
+)
+
+
+@pytest.fixture
+def params():
+    return SINRParameters(power=1.0, alpha=3.0, beta=1.5, noise=1e-4)
+
+
+def dists(*points):
+    return pairwise_distances(np.array(points, dtype=float))
+
+
+class TestReceivedPower:
+    def test_path_loss(self, params):
+        assert received_power(params, np.array(2.0)) == pytest.approx(1 / 8)
+
+    def test_monotone_decreasing(self, params):
+        d = np.array([1.0, 2.0, 4.0, 8.0])
+        p = received_power(params, d)
+        assert (np.diff(p) < 0).all()
+
+    def test_scales_with_power(self):
+        lo = SINRParameters(power=1.0)
+        hi = SINRParameters(power=4.0)
+        d = np.array(3.0)
+        assert received_power(hi, d) == pytest.approx(
+            4.0 * received_power(lo, d)
+        )
+
+
+class TestInterference:
+    def test_no_transmitters(self, params):
+        d = dists((0, 0), (5, 0))
+        assert interference_at(params, d, np.array([], dtype=int), 1) == 0.0
+
+    def test_excludes_sender(self, params):
+        d = dists((0, 0), (5, 0), (10, 0))
+        total = interference_at(params, d, np.array([0, 2]), 1)
+        without_sender = interference_at(
+            params, d, np.array([0, 2]), 1, exclude=0
+        )
+        assert without_sender < total
+        assert without_sender == pytest.approx(1.0 / 5.0**3)
+
+    def test_listener_never_self_interferes(self, params):
+        d = dists((0, 0), (5, 0))
+        # Listener 1 appearing in the transmitter list contributes 0.
+        assert interference_at(params, d, np.array([1]), 1) == 0.0
+
+
+class TestSinrOfLink:
+    def test_lone_transmitter_in_range(self, params):
+        d = dists((0, 0), (10, 0))
+        sinr = sinr_of_link(params, d, np.array([0]), 0, 1)
+        expected = (1.0 / 1000.0) / params.noise
+        assert sinr == pytest.approx(expected)
+
+    def test_decreases_with_interference(self, params):
+        d = dists((0, 0), (10, 0), (30, 0))
+        clean = sinr_of_link(params, d, np.array([0]), 0, 1)
+        noisy = sinr_of_link(params, d, np.array([0, 2]), 0, 1)
+        assert noisy < clean
+
+    def test_rejects_self_link(self, params):
+        d = dists((0, 0), (10, 0))
+        with pytest.raises(ValueError):
+            sinr_of_link(params, d, np.array([0]), 0, 0)
+
+
+class TestSinrMatrix:
+    def test_shape(self, params):
+        d = dists((0, 0), (5, 0), (10, 0))
+        m = sinr_matrix(params, d, np.array([0, 1]))
+        assert m.shape == (2, 3)
+
+    def test_transmitter_self_entry_zero(self, params):
+        d = dists((0, 0), (5, 0))
+        m = sinr_matrix(params, d, np.array([0]))
+        assert m[0, 0] == 0.0
+
+    def test_empty_transmitters(self, params):
+        d = dists((0, 0), (5, 0))
+        assert sinr_matrix(params, d, np.array([], dtype=int)).shape == (0, 2)
+
+    def test_matches_scalar_computation(self, params):
+        d = dists((0, 0), (7, 0), (15, 3), (2, 9))
+        tx = np.array([0, 2])
+        m = sinr_matrix(params, d, tx)
+        for k, sender in enumerate(tx):
+            for u in range(4):
+                if u in tx:
+                    # Half-duplex: transmitter columns are zeroed.
+                    assert m[k, u] == 0.0
+                    continue
+                expected = sinr_of_link(params, d, tx, int(sender), u)
+                assert m[k, u] == pytest.approx(expected)
+
+
+class TestSuccessfulReceptions:
+    def test_lone_in_range_received_by_all(self, params):
+        d = dists((0, 0), (5, 0), (8, 0))
+        result = successful_receptions(params, d, np.array([0]))
+        assert result == {1: 0, 2: 0}
+
+    def test_out_of_range_not_received(self, params):
+        far = 2 * params.transmission_range
+        d = dists((0, 0), (far, 0))
+        assert successful_receptions(params, d, np.array([0])) == {}
+
+    def test_half_duplex(self, params):
+        d = dists((0, 0), (5, 0))
+        result = successful_receptions(params, d, np.array([0, 1]))
+        # Both transmitting: neither can listen.
+        assert result == {}
+
+    def test_close_sender_wins(self, params):
+        # Listener at origin; sender at 2, interferer at 50.
+        d = dists((0, 0), (2, 0), (50, 0))
+        result = successful_receptions(params, d, np.array([1, 2]))
+        assert result.get(0) == 1
+
+    def test_comparable_senders_collide(self, params):
+        # Two equidistant senders: SINR ~ 1 < beta for both.
+        d = dists((0, 0), (5, 0), (-5, 0))
+        result = successful_receptions(params, d, np.array([1, 2]))
+        assert 0 not in result
+
+    def test_listeners_filter(self, params):
+        d = dists((0, 0), (5, 0), (8, 0))
+        result = successful_receptions(
+            params, d, np.array([0]), listeners=np.array([2])
+        )
+        assert result == {2: 0}
+
+    def test_at_most_one_sender_decoded(self, params):
+        # beta > 1 guarantee: no listener ever decodes two senders.
+        rng = np.random.default_rng(3)
+        coords = rng.random((20, 2)) * 40
+        d = pairwise_distances(coords)
+        for _ in range(20):
+            tx = rng.choice(20, size=6, replace=False)
+            result = successful_receptions(params, d, tx)
+            assert len(result) == len(set(result.keys()))
+            for listener in result:
+                assert listener not in tx

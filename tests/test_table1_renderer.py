@@ -1,0 +1,92 @@
+"""Tests for the Table 1 generator (repro.analysis.table1)."""
+
+import pytest
+
+from repro.analysis.table1 import Table1Row, render_table1, table1_rows
+
+
+class TestTable1Rows:
+    def test_all_six_tasks_present(self):
+        rows = table1_rows(n=256, delta=16, diameter=10, diameter_tilde=12)
+        assert [r.task for r in rows] == [
+            "f_ack",
+            "f_prog",
+            "f_approg",
+            "global SMB",
+            "global MMB",
+            "global CONS",
+        ]
+
+    def test_caption_recipe_defaults(self):
+        """Defaults follow the caption: Λ = n, ε = 1/n."""
+        rows = table1_rows(n=256, delta=16, diameter=10, diameter_tilde=12)
+        explicit = table1_rows(
+            n=256,
+            delta=16,
+            diameter=10,
+            diameter_tilde=12,
+            lam=256.0,
+            eps=1.0 / 256,
+        )
+        for a, b in zip(rows, explicit):
+            assert a.upper_bound == b.upper_bound
+
+    def test_upper_bounds_at_least_lower_bounds_for_mac_rows(self):
+        """Consistency: the f_ack/f_prog upper bounds dominate their
+        lower bounds (as they must, both measuring the same task)."""
+        rows = {
+            r.task: r
+            for r in table1_rows(
+                n=1024, delta=32, diameter=12, diameter_tilde=14
+            )
+        }
+        assert rows["f_ack"].upper_bound >= rows["f_ack"].lower_bound
+        assert rows["f_prog"].upper_bound >= rows["f_prog"].lower_bound
+
+    def test_fapprog_beats_fprog_floor_for_high_degree(self):
+        """Remark 11.2 visible in the generated table: when Δ is
+        polynomial in Λ (dense geometry, moderate length ratio) the
+        f_approg upper bound undercuts the f_prog lower bound.  Λ and Δ
+        are decoupled here — Λ is a geometric ratio, while Δ can grow
+        with density."""
+        n = 2**12
+        rows = {
+            r.task: r
+            for r in table1_rows(
+                n=n,
+                delta=4000,
+                diameter=12,
+                diameter_tilde=14,
+                lam=16.0,
+                eps=1.0 / n,
+            )
+        }
+        assert rows["f_approg"].upper_bound < rows["f_prog"].lower_bound
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            table1_rows(n=1, delta=4, diameter=2, diameter_tilde=2)
+        with pytest.raises(ValueError):
+            table1_rows(n=16, delta=4, diameter=5, diameter_tilde=2)
+
+    def test_missing_bounds_rendered_as_dash(self):
+        rows = table1_rows(n=64, delta=8, diameter=4, diameter_tilde=5)
+        text = render_table1(rows)
+        approg_line = next(
+            line for line in text.splitlines() if "f_approg" in line
+        )
+        assert "-" in approg_line
+
+
+class TestRenderer:
+    def test_layout(self):
+        rows = [Table1Row("demo", 10.0, 20.0, note="hello")]
+        text = render_table1(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("Task")
+        assert "demo" in lines[2]
+        assert "hello" in lines[2]
+
+    def test_thousands_separators(self):
+        rows = [Table1Row("big", 1234567.0, None)]
+        assert "1,234,567" in render_table1(rows)

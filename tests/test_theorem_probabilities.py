@@ -1,0 +1,135 @@
+"""Statistical validation of the probabilistic theorem claims.
+
+Theorem 9.1 and Theorem 5.1 are probability statements, not just
+latency shapes; these tests run enough Bernoulli trials to check the
+empirical success rates against the configured ε (with slack for the
+finite sample).  Also covers Claim B.19's structure: Algorithm B.1's
+fallback count scales with the actual contention.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import build_approg_stack
+from repro.core.ack_protocol import AckConfig, AckEngine
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.core.spec import measure_epoch_progress
+from repro.geometry.deployment import uniform_disk
+from repro.simulation.trace import EventTrace
+from repro.sinr.params import SINRParameters
+
+
+class TestEpochProgressMeasurement:
+    def trace_with(self, events):
+        trace = EventTrace()
+        for slot, kind, node, data in events:
+            trace.record(slot, kind, node, data)
+        return trace
+
+    def test_counts_trials_and_successes(self):
+        import networkx as nx
+
+        from repro.core.events import BcastMessage
+
+        g = nx.path_graph(2)
+        trace = self.trace_with(
+            [
+                (0, "bcast", 0, 1),
+                # epoch 0 (slots 0..9): node 1 receives -> success.
+                (4, "receive", 1, (0, BcastMessage(1, 0))),
+                # epoch 1 (slots 10..19): silence -> failure.
+                (25, "receive", 1, (0, BcastMessage(1, 0))),
+                # epoch 2: success again.  Keep the broadcast open by
+                # never acking.
+                (29, "transmit", 0, None),
+            ]
+        )
+        report = measure_epoch_progress(trace, g, g, epoch_slots=10)
+        assert report.trials == 3
+        assert report.successes == 2
+        assert report.per_epoch[1] == (0, 1)
+
+    def test_epoch_slots_validation(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            measure_epoch_progress(
+                EventTrace(), nx.Graph(), nx.Graph(), epoch_slots=0
+            )
+
+    def test_partial_coverage_not_a_trial(self):
+        """A broadcast covering only half an epoch is not a Thm 9.1
+        trial (the theorem conditions on an ongoing broadcast)."""
+        import networkx as nx
+
+        g = nx.path_graph(2)
+        trace = self.trace_with(
+            [
+                (5, "bcast", 0, 1),  # starts mid-epoch-0
+                (9, "transmit", 0, None),
+            ]
+        )
+        report = measure_epoch_progress(trace, g, g, epoch_slots=10)
+        assert report.per_epoch.get(0) == (0, 0)
+
+
+class TestTheorem91Probability:
+    def test_per_epoch_success_rate_meets_epsilon(self):
+        """Run Algorithm 9.1 for several epochs on a moderate network;
+        the per-(node, epoch) success rate must clear 1 - ε with slack
+        for sampling noise."""
+        eps = 0.2
+        params = SINRParameters()
+        points = uniform_disk(16, radius=9.0, seed=99)
+        stack = build_approg_stack(
+            points,
+            params,
+            approg_config=ApproxProgressConfig(
+                lambda_bound=8.0,
+                eps_approg=eps,
+                alpha=params.alpha,
+                t_scale=0.2,
+            ),
+            seed=17,
+        )
+        schedule = stack.macs[0].schedule
+        for mac in stack.macs:
+            mac.bcast(payload=f"m{mac.node_id}")
+        epochs = 5
+        stack.runtime.run(epochs * schedule.epoch_slots)
+        report = measure_epoch_progress(
+            stack.runtime.trace,
+            stack.graph,
+            stack.approx_graph,
+            epoch_slots=schedule.epoch_slots,
+        )
+        assert report.trials >= epochs * 10  # dense: most nodes trial
+        # 1 - eps with generous sampling slack.
+        assert report.success_fraction >= 1.0 - eps - 0.1, (
+            f"per-epoch success {report.success_fraction:.2f} "
+            f"below contract: {report.per_epoch}"
+        )
+
+
+class TestClaimB19FallbackScaling:
+    """Claim B.19: the number of fallbacks k is O(N_x) — driven by the
+    actual overheard traffic, since every fallback requires overhearing
+    ~8·log(Ñ/ε) messages."""
+
+    def run_engine(self, receptions_per_slot: int, seed: int = 0) -> int:
+        config = AckConfig(contention_bound=64.0, eps_ack=0.1)
+        engine = AckEngine(config, np.random.default_rng(seed))
+        while not engine.halted:
+            engine.step()
+            for _ in range(receptions_per_slot):
+                engine.notify_reception()
+        return engine.fallbacks
+
+    def test_quiet_channel_no_fallbacks(self):
+        assert self.run_engine(0) == 0
+
+    def test_fallbacks_grow_with_traffic(self):
+        low = self.run_engine(1)
+        high = self.run_engine(4)
+        assert high >= low
+        assert high >= 1
