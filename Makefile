@@ -1,0 +1,22 @@
+# Developer entry points.  Everything runs from the repository root and
+# injects PYTHONPATH=src (the package is not required to be installed).
+
+PY ?= python
+
+.PHONY: test bench docs-check verify
+
+# Tier-1 verification: the full test suite.
+test:
+	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Paper-artifact benchmarks (prints measured-vs-predicted tables).
+bench:
+	PYTHONPATH=src $(PY) -m pytest benchmarks -q --benchmark-only
+
+# Documentation completeness: every bench_*.py must be catalogued in
+# docs/benchmarks.md, and the doc suite must exist.
+docs-check:
+	$(PY) scripts/check_docs.py
+
+# Everything the CI gate cares about.
+verify: test docs-check

@@ -6,7 +6,9 @@ diameter and the acknowledgment bound (the consensus algorithm of [44]
 is analyzed purely in terms of f_ack; f_prog never enters).
 
 Experiment: flood-based consensus over the combined stack on line
-networks of growing diameter; completion vs the D·f_ack shape.
+networks of growing diameter (the ``consensus`` workload of the
+experiment engine, parity inputs ``i % 2``); completion vs the D·f_ack
+shape.
 """
 
 from __future__ import annotations
@@ -14,14 +16,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.bounds import consensus_upper_bound
-from repro.analysis.harness import (
-    build_combined_stack,
-    correlation_with_shape,
-    format_table,
-)
+from repro.analysis.harness import correlation_with_shape, format_table
 from repro.core.approx_progress import ApproxProgressConfig
-from repro.geometry.deployment import line_deployment
-from repro.protocols.consensus import ConsensusClient, run_consensus
+from repro.experiments import DeploymentSpec, TrialPlan, run_trials
 from repro.sinr.params import SINRParameters
 
 HOPS = (2, 4, 6)
@@ -31,33 +28,41 @@ EPS_CONS = 0.1
 def run_sweep() -> list[dict]:
     params = SINRParameters()
     spacing = params.approx_range * 0.9  # keeps G_{1-2eps} connected too
-    rows = []
-    for hops in HOPS:
-        points = line_deployment(hops + 1, spacing=spacing)
-        n = len(points)
-        waves = 2 * hops + 2
-        stack = build_combined_stack(
-            points,
-            params,
-            client_factory=lambda i: ConsensusClient(i, i % 2, waves=waves),
+    plans = [
+        TrialPlan(
+            deployment=DeploymentSpec.of(
+                "line_deployment", n=hops + 1, spacing=spacing
+            ),
+            stack="combined",
+            workload="consensus",
+            seed=hops,
+            params=params,
             approg_config=ApproxProgressConfig(
-                lambda_bound=2.0, eps_approg=0.2, alpha=params.alpha,
+                lambda_bound=2.0,
+                eps_approg=0.2,
+                alpha=params.alpha,
                 t_scale=0.25,
             ),
-            seed=hops,
+            options=TrialPlan.pack_options(waves=2 * hops + 2),
+            label=f"consensus-hops{hops}",
         )
-        result = run_consensus(stack.runtime, stack.macs, stack.clients)
+        for hops in HOPS
+    ]
+    rows = []
+    for result in run_trials(plans):
+        n = result.n
         rows.append(
             {
                 "n": n,
-                "diameter": stack.metrics.diameter,
-                "agreed": result.agreed,
-                "valid": result.decided_value() == (n - 1) % 2,
-                "completion": result.completion_slot,
+                "diameter": result.diameter,
+                "agreed": result.extra_value("agreed"),
+                # Parity inputs: the max-id node n-1 holds (n-1) % 2.
+                "valid": result.extra_value("decided_value") == (n - 1) % 2,
+                "completion": result.completion,
                 "predicted": consensus_upper_bound(
-                    stack.metrics.diameter or n,
-                    stack.metrics.degree,
-                    max(stack.metrics.lam, 2.0),
+                    result.diameter or n,
+                    result.degree,
+                    max(result.lam, 2.0),
                     n,
                     EPS_CONS,
                 ),

@@ -9,6 +9,10 @@ while Λ stays put); every node broadcasts under Algorithm B.1; measured
 mean/max ack latency is compared against the predicted shape.  We check
 that (a) latency grows with Δ, (b) growth is at most mildly super-linear
 (the Θ-shape), and (c) the completeness of acknowledgments stays high.
+
+Both sweeps run through the batched experiment engine
+(:func:`repro.experiments.run_trials`): the ε-sweep reuses one cached
+deployment across its four trials and resolves their slots in lockstep.
 """
 
 from __future__ import annotations
@@ -16,14 +20,8 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.bounds import fack_upper_bound
-from repro.analysis.harness import (
-    build_ack_stack,
-    correlation_with_shape,
-    format_table,
-    run_local_broadcast_experiment,
-)
-from repro.geometry.deployment import uniform_disk
-from repro.sinr.params import SINRParameters
+from repro.analysis.harness import correlation_with_shape, format_table
+from repro.experiments import DeploymentSpec, TrialPlan, run_trials
 
 POPULATIONS = (8, 16, 32)
 RADIUS = 9.0
@@ -31,22 +29,31 @@ EPS_ACK = 0.1
 
 
 def run_sweep() -> list[dict]:
-    params = SINRParameters()
+    plans = [
+        TrialPlan(
+            deployment=DeploymentSpec.of(
+                "uniform_disk", n=n, radius=RADIUS, seed=100 + n
+            ),
+            stack="ack",
+            workload="local_broadcast",
+            seed=n,
+            eps_ack=EPS_ACK,
+            label=f"fack-n{n}",
+        )
+        for n in POPULATIONS
+    ]
     rows = []
-    for n in POPULATIONS:
-        points = uniform_disk(n, radius=RADIUS, seed=100 + n)
-        stack = build_ack_stack(points, params, eps_ack=EPS_ACK, seed=n)
-        report, _ = run_local_broadcast_experiment(stack, list(range(n)))
+    for result in run_trials(plans):
         rows.append(
             {
-                "n": n,
-                "delta": stack.metrics.degree,
-                "lam": stack.metrics.lam,
-                "mean_latency": report.mean_latency(),
-                "max_latency": report.max_latency(),
-                "completeness": report.completeness_fraction(),
+                "n": result.n,
+                "delta": result.degree,
+                "lam": result.lam,
+                "mean_latency": result.ack_mean_latency,
+                "max_latency": result.ack_max_latency,
+                "completeness": result.ack_completeness,
                 "predicted": fack_upper_bound(
-                    stack.metrics.degree, stack.metrics.lam, EPS_ACK
+                    result.degree, result.lam, EPS_ACK
                 ),
             }
         )
@@ -92,21 +99,34 @@ def test_table1_fack(benchmark, emit):
 
 
 def run_eps_sweep() -> list[dict]:
-    """The other axis of Theorem 5.1: f_ack ~ log(Λ/ε_ack)."""
-    params = SINRParameters()
-    points = uniform_disk(16, radius=RADIUS, seed=116)
+    """The other axis of Theorem 5.1: f_ack ~ log(Λ/ε_ack).
+
+    Four trials over one deployment — one cache entry, one lockstep
+    batch.
+    """
+    deployment = DeploymentSpec.of(
+        "uniform_disk", n=16, radius=RADIUS, seed=116
+    )
+    eps_values = (0.4, 0.1, 0.01, 0.001)
+    plans = [
+        TrialPlan(
+            deployment=deployment,
+            stack="ack",
+            workload="local_broadcast",
+            seed=11,
+            eps_ack=eps,
+            label=f"fack-eps{eps}",
+        )
+        for eps in eps_values
+    ]
     rows = []
-    for eps in (0.4, 0.1, 0.01, 0.001):
-        stack = build_ack_stack(points, params, eps_ack=eps, seed=11)
-        report, _ = run_local_broadcast_experiment(stack, list(range(16)))
+    for eps, result in zip(eps_values, run_trials(plans)):
         rows.append(
             {
                 "eps": eps,
-                "mean_latency": report.mean_latency(),
-                "completeness": report.completeness_fraction(),
-                "predicted": fack_upper_bound(
-                    stack.metrics.degree, stack.metrics.lam, eps
-                ),
+                "mean_latency": result.ack_mean_latency,
+                "completeness": result.ack_completeness,
+                "predicted": fack_upper_bound(result.degree, result.lam, eps),
             }
         )
     return rows

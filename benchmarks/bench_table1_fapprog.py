@@ -5,7 +5,9 @@ Paper claim: approximate progress completes in
 the degree Δ** (contrast Theorem 6.1's f_prog >= Δ) and polylogarithmic
 in Λ.
 
-Two sweeps on Algorithm 9.1 alone:
+Two sweeps on Algorithm 9.1 alone, run through the batched experiment
+engine (the Λ-sweep's three equal-size deployments advance in one
+lockstep batch):
 
 1. **Δ-sweep**: fixed-area disks with growing population.  Δ triples;
    measured f_approg must stay (nearly) flat — the separation that
@@ -16,74 +18,96 @@ Two sweeps on Algorithm 9.1 alone:
 
 from __future__ import annotations
 
-import statistics
-
 import pytest
 
 from repro.analysis.bounds import fapprog_upper_bound
-from repro.analysis.harness import (
-    build_approg_stack,
-    format_table,
-)
+from repro.analysis.harness import format_table
 from repro.core.approx_progress import ApproxProgressConfig
-from repro.geometry.deployment import uniform_disk
-from repro.sinr.graphs import link_length_ratio, strong_connectivity_graph
+from repro.experiments import (
+    DeploymentSpec,
+    TrialPlan,
+    deployment_artifacts,
+    resolve_deployment,
+    run_trials,
+)
 from repro.sinr.params import SINRParameters
 
 EPS = 0.1
 T_SCALE = 0.25  # same Θ-shape, smaller leading constant (DESIGN.md §3)
 
 
-def measure(points, params, seed) -> dict:
-    lam = max(2.0, link_length_ratio(strong_connectivity_graph(points, params)))
-    stack = build_approg_stack(
-        points,
-        params,
+def plan_for(
+    deployment: DeploymentSpec, params: SINRParameters, seed: int
+) -> TrialPlan:
+    """Algorithm 9.1 saturated for two epochs, Λ measured per deployment."""
+    points = resolve_deployment(deployment)
+    lam = max(2.0, deployment_artifacts(points, params).metrics.lam)
+    return TrialPlan(
+        deployment=deployment,
+        stack="approg",
+        workload="fixed_slots",
+        seed=seed,
+        params=params,
         approg_config=ApproxProgressConfig(
             lambda_bound=lam,
             eps_approg=EPS,
             alpha=params.alpha,
             t_scale=T_SCALE,
         ),
-        seed=seed,
+        options=TrialPlan.pack_options(epochs=2),
     )
-    schedule = stack.macs[0].schedule
-    for mac in stack.macs:
-        mac.bcast(payload=f"m{mac.node_id}")
-    stack.runtime.run(2 * schedule.epoch_slots)
-    report = stack.approg_report()
-    latencies = report.latencies()
-    return {
-        "n": len(points),
-        "delta": stack.metrics.degree,
-        "lam": stack.metrics.lam,
-        "epoch": schedule.epoch_slots,
-        "episodes": len(report.records),
-        "satisfied": len(latencies),
-        "median": statistics.median(latencies) if latencies else None,
-        "predicted": fapprog_upper_bound(
-            max(stack.metrics.lam, 2.0), EPS, params.alpha
-        ),
-    }
+
+
+def rows_from(results, params: SINRParameters) -> list[dict]:
+    return [
+        {
+            "n": r.n,
+            "delta": r.degree,
+            "lam": r.lam,
+            "epoch": r.extra_value("epoch_slots"),
+            "episodes": r.approg_episodes,
+            "satisfied": r.approg_satisfied,
+            "median": r.approg_median_latency,
+            "predicted": fapprog_upper_bound(
+                max(r.lam, 2.0), EPS, params.alpha
+            ),
+        }
+        for r in results
+    ]
 
 
 def run_delta_sweep() -> list[dict]:
     params = SINRParameters()
-    return [
-        measure(uniform_disk(n, radius=14.0, seed=200 + n), params, seed=n)
+    plans = [
+        plan_for(
+            DeploymentSpec.of(
+                "uniform_disk", n=n, radius=14.0, seed=200 + n
+            ),
+            params,
+            seed=n,
+        )
         for n in (20, 40, 80)
     ]
+    return rows_from(run_trials(plans), params)
 
 
 def run_lambda_sweep() -> list[dict]:
     params = SINRParameters()
-    rows = []
-    for sep in (4.0, 2.0, 1.0):  # Λ grows as separation shrinks
-        points = uniform_disk(
-            24, radius=16.0, min_separation=sep, seed=300 + int(sep)
+    plans = [
+        plan_for(
+            DeploymentSpec.of(
+                "uniform_disk",
+                n=24,
+                radius=16.0,
+                min_separation=sep,
+                seed=300 + int(sep),
+            ),
+            params,
+            seed=int(sep),
         )
-        rows.append(measure(points, params, seed=int(sep)))
-    return rows
+        for sep in (4.0, 2.0, 1.0)  # Λ grows as separation shrinks
+    ]
+    return rows_from(run_trials(plans), params)
 
 
 @pytest.mark.benchmark(group="table1-fapprog")

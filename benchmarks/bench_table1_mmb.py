@@ -6,8 +6,10 @@ k-term are *additive*.  The baseline pipeline bound from per-hop local
 broadcast ([29], §2.1) is multiplicative: ``O((D + k)·(Δ·log n + log² n))``.
 
 Experiment: BMMB over the combined stack on a fixed line network with
-growing k; the per-message marginal cost (slope in k) must stay roughly
-constant (additive k-term) rather than scale with D.
+growing k (the ``mmb`` workload of the experiment engine — all four
+trials share one deployment and one lockstep batch); the per-message
+marginal cost (slope in k) must stay roughly constant (additive k-term)
+rather than scale with D.
 """
 
 from __future__ import annotations
@@ -15,13 +17,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.bounds import mmb_upper_bound
-from repro.analysis.harness import (
-    build_combined_stack,
-    format_table,
-)
+from repro.analysis.harness import format_table
 from repro.core.approx_progress import ApproxProgressConfig
-from repro.geometry.deployment import line_deployment
-from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
+from repro.experiments import DeploymentSpec, TrialPlan, run_trials
 from repro.sinr.params import SINRParameters
 
 KS = (1, 2, 4, 8)
@@ -32,35 +30,42 @@ EPS_MMB = 0.1
 def run_sweep() -> list[dict]:
     params = SINRParameters()
     spacing = params.approx_range * 0.9  # keeps G_{1-2eps} connected too
-    rows = []
-    for k in KS:
-        points = line_deployment(HOPS + 1, spacing=spacing)
-        stack = build_combined_stack(
-            points,
-            params,
-            client_factory=lambda i: BmmbClient(),
+    deployment = DeploymentSpec.of(
+        "line_deployment", n=HOPS + 1, spacing=spacing
+    )
+    plans = [
+        TrialPlan(
+            deployment=deployment,
+            stack="combined",
+            workload="mmb",
+            seed=k,
+            params=params,
             approg_config=ApproxProgressConfig(
-                lambda_bound=2.0, eps_approg=0.2, alpha=params.alpha,
+                lambda_bound=2.0,
+                eps_approg=0.2,
+                alpha=params.alpha,
                 t_scale=0.25,
             ),
-            seed=k,
+            options=TrialPlan.pack_options(
+                arrivals=((0, tuple(f"msg-{j}" for j in range(k))),)
+            ),
+            label=f"mmb-k{k}",
         )
-        arrivals = {0: [f"msg-{j}" for j in range(k)]}
-        completion = run_multi_message_broadcast(
-            stack.runtime, stack.macs, stack.clients, arrivals=arrivals
-        )
-        n = len(points)
+        for k in KS
+    ]
+    rows = []
+    for k, result in zip(KS, run_trials(plans)):
         rows.append(
             {
                 "k": k,
-                "completion": completion,
+                "completion": result.completion,
                 "predicted": mmb_upper_bound(
-                    stack.metrics.diameter_tilde or n,
+                    result.diameter_tilde or result.n,
                     k,
-                    stack.metrics.degree,
-                    n,
+                    result.degree,
+                    result.n,
                     EPS_MMB,
-                    max(stack.metrics.lam, 2.0),
+                    max(result.lam, 2.0),
                     params.alpha,
                 ),
             }

@@ -6,8 +6,8 @@ the diameter with polylog factors, *without* a multiplicative Δ or log n
 on the D term.
 
 Experiment: BSMB over the full Algorithm 11.1 stack on line networks of
-growing hop count; completion slot vs D is compared to the predicted
-linear-in-D shape.
+growing hop count (the ``smb`` workload of the experiment engine);
+completion slot vs D is compared to the predicted linear-in-D shape.
 """
 
 from __future__ import annotations
@@ -15,14 +15,9 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.bounds import smb_upper_bound
-from repro.analysis.harness import (
-    build_combined_stack,
-    correlation_with_shape,
-    format_table,
-)
+from repro.analysis.harness import correlation_with_shape, format_table
 from repro.core.approx_progress import ApproxProgressConfig
-from repro.geometry.deployment import line_deployment
-from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
+from repro.experiments import DeploymentSpec, TrialPlan, run_trials
 from repro.sinr.params import SINRParameters
 
 HOPS = (2, 5, 8, 12)
@@ -32,34 +27,39 @@ EPS_SMB = 0.1
 def run_sweep() -> list[dict]:
     params = SINRParameters()
     spacing = params.approx_range * 0.9  # keeps G_{1-2eps} connected too
-    rows = []
-    for hops in HOPS:
-        points = line_deployment(hops + 1, spacing=spacing)
-        stack = build_combined_stack(
-            points,
-            params,
-            client_factory=lambda i: BsmbClient(),
+    plans = [
+        TrialPlan(
+            deployment=DeploymentSpec.of(
+                "line_deployment", n=hops + 1, spacing=spacing
+            ),
+            stack="combined",
+            workload="smb",
+            seed=hops,
+            params=params,
             approg_config=ApproxProgressConfig(
-                lambda_bound=2.0, eps_approg=0.2, alpha=params.alpha,
+                lambda_bound=2.0,
+                eps_approg=0.2,
+                alpha=params.alpha,
                 t_scale=0.25,
             ),
-            seed=hops,
+            options=TrialPlan.pack_options(source=0),
+            label=f"smb-hops{hops}",
         )
-        completion = run_single_message_broadcast(
-            stack.runtime, stack.macs, stack.clients, source=0
-        )
-        n = len(points)
+        for hops in HOPS
+    ]
+    rows = []
+    for result in run_trials(plans):
         rows.append(
             {
-                "n": n,
-                "diameter": stack.metrics.diameter,
-                "diameter_tilde": stack.metrics.diameter_tilde,
-                "completion": completion,
+                "n": result.n,
+                "diameter": result.diameter,
+                "diameter_tilde": result.diameter_tilde,
+                "completion": result.completion,
                 "predicted": smb_upper_bound(
-                    stack.metrics.diameter_tilde or n,
-                    n,
+                    result.diameter_tilde or result.n,
+                    result.n,
                     EPS_SMB,
-                    max(stack.metrics.lam, 2.0),
+                    max(result.lam, 2.0),
                     params.alpha,
                 ),
             }

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""docs-check: keep the documentation suite in lockstep with the code.
+
+Fails (exit 1) when:
+
+* ``README.md``, ``docs/architecture.md`` or ``docs/benchmarks.md`` is
+  missing;
+* a ``benchmarks/bench_*.py`` script is not mentioned in
+  ``docs/benchmarks.md`` (every benchmark must be catalogued);
+* ``docs/benchmarks.md`` mentions a ``bench_*.py`` name that no longer
+  exists (stale catalogue entries).
+
+Run via ``make docs-check``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+REQUIRED_DOCS = ("README.md", "docs/architecture.md", "docs/benchmarks.md")
+
+
+def main() -> int:
+    problems: list[str] = []
+
+    for rel in REQUIRED_DOCS:
+        if not (REPO / rel).is_file():
+            problems.append(f"missing required documentation file: {rel}")
+
+    catalogue_path = REPO / "docs" / "benchmarks.md"
+    catalogue = (
+        catalogue_path.read_text(encoding="utf-8")
+        if catalogue_path.is_file()
+        else ""
+    )
+
+    scripts = sorted(
+        p.name for p in (REPO / "benchmarks").glob("bench_*.py")
+    )
+    for name in scripts:
+        if name not in catalogue:
+            problems.append(
+                f"benchmarks/{name} is not documented in docs/benchmarks.md"
+            )
+
+    mentioned = set(re.findall(r"\bbench_[A-Za-z0-9_]+\.py\b", catalogue))
+    for name in sorted(mentioned.difference(scripts)):
+        problems.append(
+            f"docs/benchmarks.md mentions {name}, which does not exist "
+            "under benchmarks/"
+        )
+
+    if problems:
+        print("docs-check: FAILED")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(
+        f"docs-check: OK ({len(scripts)} benchmark scripts catalogued, "
+        f"{len(REQUIRED_DOCS)} documentation files present)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

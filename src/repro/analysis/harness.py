@@ -4,6 +4,16 @@ A :class:`StackBundle` wires a deployment, its SINR channel, a MAC
 population and optional per-node clients into a ready-to-run
 :class:`~repro.simulation.runtime.Runtime`, and carries the induced
 graphs and metrics every measurement needs.
+
+Deployment-derived artifacts (distance/gain matrices, connectivity
+graphs, metrics) come from the keyed cache in
+:mod:`repro.experiments.cache`, so building several stacks over one
+deployment — a multi-trial sweep, or merely a builder that needs the
+metrics before assembling — derives them once.  For multi-trial
+experiments prefer the batched engine
+(:func:`repro.experiments.run_trials`), which drives these same
+builders; the single-trial path below is the thin wrapper it is
+verified bit-identical against.
 """
 
 from __future__ import annotations
@@ -31,13 +41,10 @@ from repro.core.spec import (
     measure_acknowledgments,
     measure_approximate_progress,
 )
+from repro.experiments.cache import deployment_artifacts
 from repro.geometry.points import PointSet
 from repro.simulation.runtime import Runtime, RuntimeConfig
 from repro.sinr.channel import Channel, JammingAdversary
-from repro.sinr.graphs import (
-    approx_connectivity_graph,
-    strong_connectivity_graph,
-)
 from repro.sinr.params import SINRParameters
 
 __all__ = [
@@ -87,13 +94,20 @@ def _assemble(
     max_slots: int,
     adversary: JammingAdversary | None,
 ) -> StackBundle:
+    artifacts = deployment_artifacts(points, params)
     registry = MessageRegistry()
     n = len(points)
     clients = [
         client_factory(i) if client_factory else MacClient() for i in range(n)
     ]
     macs = [mac_factory(i, registry, clients[i]) for i in range(n)]
-    channel = Channel(points, params, adversary=adversary)
+    channel = Channel(
+        points,
+        params,
+        adversary=adversary,
+        distances=artifacts.distances,
+        gains=artifacts.gains,
+    )
     runtime = Runtime(
         channel, macs, RuntimeConfig(seed=seed, max_slots=max_slots)
     )
@@ -104,9 +118,9 @@ def _assemble(
         macs=macs,
         clients=clients,
         registry=registry,
-        metrics=compute_metrics(points, params),
-        graph=strong_connectivity_graph(points, params),
-        approx_graph=approx_connectivity_graph(points, params),
+        metrics=artifacts.metrics,
+        graph=artifacts.graph,
+        approx_graph=artifacts.approx_graph,
     )
 
 
@@ -127,7 +141,7 @@ def build_combined_stack(
     Configs default to the paper formulas evaluated at the deployment's
     measured Λ (standing in for the "known polynomial bound on Λ").
     """
-    metrics = compute_metrics(points, params)
+    metrics = deployment_artifacts(points, params).metrics
     lam = max(metrics.lam, 2.0)
     if ack_config is None:
         ack_config = AckConfig(
@@ -159,7 +173,7 @@ def build_ack_stack(
     ack_config: AckConfig | None = None,
 ) -> StackBundle:
     """Algorithm B.1 alone (the Theorem 5.1 object of study)."""
-    metrics = compute_metrics(points, params)
+    metrics = deployment_artifacts(points, params).metrics
     lam = max(metrics.lam, 2.0)
     if ack_config is None:
         ack_config = AckConfig(
@@ -186,7 +200,7 @@ def build_approg_stack(
     approg_config: ApproxProgressConfig | None = None,
 ) -> StackBundle:
     """Algorithm 9.1 alone (the Theorem 9.1 object of study)."""
-    metrics = compute_metrics(points, params)
+    metrics = deployment_artifacts(points, params).metrics
     lam = max(metrics.lam, 2.0)
     if approg_config is None:
         approg_config = ApproxProgressConfig(

@@ -16,7 +16,7 @@ from repro.sinr.graphs import (
 )
 from repro.sinr.params import SINRParameters
 
-__all__ = ["NetworkMetrics", "compute_metrics"]
+__all__ = ["NetworkMetrics", "compute_metrics", "metrics_from_graphs"]
 
 
 @dataclass(frozen=True)
@@ -44,16 +44,18 @@ class NetworkMetrics:
         )
 
 
-def compute_metrics(
-    points: PointSet, params: SINRParameters
+def metrics_from_graphs(
+    n: int, strong: nx.Graph, approx: nx.Graph
 ) -> NetworkMetrics:
-    """Compute all bound parameters for a deployment."""
-    strong = strong_connectivity_graph(points, params)
-    approx = approx_connectivity_graph(points, params)
+    """Derive the bound parameters from already-built G_{1-ε} / G_{1-2ε}.
+
+    Used by the experiment engine's artifact cache, which builds both
+    graphs once per deployment and shares them across trials.
+    """
     connected = strong.number_of_nodes() > 0 and nx.is_connected(strong)
     connected_tilde = approx.number_of_nodes() > 0 and nx.is_connected(approx)
     return NetworkMetrics(
-        n=len(points),
+        n=n,
         degree=graph_degree(strong),
         degree_tilde=graph_degree(approx),
         diameter=graph_diameter(strong) if connected else None,
@@ -62,3 +64,12 @@ def compute_metrics(
         connected=connected,
         connected_tilde=connected_tilde,
     )
+
+
+def compute_metrics(
+    points: PointSet, params: SINRParameters
+) -> NetworkMetrics:
+    """Compute all bound parameters for a deployment."""
+    strong = strong_connectivity_graph(points, params)
+    approx = approx_connectivity_graph(points, params)
+    return metrics_from_graphs(len(points), strong, approx)

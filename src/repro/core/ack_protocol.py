@@ -150,6 +150,13 @@ class AckEngine:
         self.fallbacks = 0  # observability: Claim B.19 counts these
         self._fallback_pending = False
         self._block_remaining = 0
+        # Config scalars read every owned slot; snapshotting them here
+        # keeps the log2-deriving properties out of the hot loop (a
+        # multi-trial sweep steps these engines hundreds of thousands of
+        # times).
+        self._halt_budget = config.halt_budget
+        self._rc_threshold = config.rc_threshold
+        self._inner_block_slots = config.inner_block_slots
         self._begin_outer()
 
     # -- paper loop structure ---------------------------------------------
@@ -166,7 +173,7 @@ class AckEngine:
     def _begin_inner(self) -> None:
         """Line 7-8: double the probability and start a fixed block."""
         self.probability = min(self.config.prob_cap, 2.0 * self.probability)
-        self._block_remaining = self.config.inner_block_slots
+        self._block_remaining = self._inner_block_slots
 
     # -- public interface ---------------------------------------------------
 
@@ -187,7 +194,7 @@ class AckEngine:
             self.transmissions += 1
         # Line 13-15: budget accounting and halting.
         self.tp += self.probability
-        if self.tp > self.config.halt_budget:
+        if self.tp > self._halt_budget:
             self.halted = True
         self._block_remaining -= 1
         if self._block_remaining <= 0 and not self.halted:
@@ -199,7 +206,7 @@ class AckEngine:
         if self.halted:
             return
         self.rc += 1
-        if self.rc > self.config.rc_threshold:
+        if self.rc > self._rc_threshold:
             self._fallback_pending = True
 
 

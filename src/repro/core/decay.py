@@ -84,17 +84,21 @@ class DecayEngine:
         self.rng = rng
         self.slots_run = 0
         self.transmissions = 0
+        # Snapshot the log2-deriving config properties once; both are
+        # read every owned slot of every broadcast.
+        self._phase_length = config.phase_length
+        self._ack_budget_slots = config.ack_budget_slots
 
     @property
     def halted(self) -> bool:
         """True once the acknowledgment budget is exhausted."""
-        return self.slots_run >= self.config.ack_budget_slots
+        return self.slots_run >= self._ack_budget_slots
 
     def step(self) -> bool:
         """Run one owned slot; return True if the node transmits."""
         if self.halted:
             return False
-        step_in_phase = self.slots_run % self.config.phase_length
+        step_in_phase = self.slots_run % self._phase_length
         self.slots_run += 1
         probability = 2.0 ** (-(step_in_phase + 1))
         transmit = self.rng.random() < probability

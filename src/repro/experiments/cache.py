@@ -1,0 +1,186 @@
+"""Keyed memoization of deployment-derived artifacts.
+
+Every trial over a deployment re-derives the same expensive objects: the
+pairwise-distance matrix, the uniform-power gain matrix ``P / d^α``, the
+connectivity graphs G_{1-ε} / G_{1-2ε}, and the network metrics (Δ, D,
+Λ) that parameterize every bound.  A multi-trial sweep (dozens of seeds
+over one deployment) used to pay that cost per trial; the
+:class:`ArtifactCache` pays it once and shares the artifacts across
+trials, execution modes, and the sequential harness builders.
+
+Cache keys
+----------
+* A :class:`~repro.experiments.plans.DeploymentSpec` is keyed by its
+  ``(kind, options)`` pair — two specs with equal generator name and
+  arguments resolve to one shared PointSet.
+* Artifacts are keyed by ``(coords.tobytes(), SINRParameters)`` — the
+  *exact bytes* of the coordinate array plus the physical parameters.
+  Mutating a deployment (any coordinate change, however produced) gives
+  a different key, so stale artifacts can never be served; the cached
+  numpy arrays are additionally frozen read-only so accidental in-place
+  mutation of a shared artifact raises instead of corrupting the cache.
+
+The cache is bounded LRU on both maps; the module-level
+:data:`GLOBAL_CACHE` serves the harness and engine defaults, and
+worker processes each grow their own (artifact arrays are cheaper to
+recompute in the worker than to pickle across the fork for every task).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.analysis.metrics import NetworkMetrics, metrics_from_graphs
+from repro.experiments.plans import DeploymentSpec
+from repro.geometry.points import PointSet, pairwise_distances
+from repro.sinr.graphs import (
+    approx_connectivity_graph,
+    strong_connectivity_graph,
+)
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import gain_matrix
+
+__all__ = [
+    "DeploymentArtifacts",
+    "ArtifactCache",
+    "GLOBAL_CACHE",
+    "deployment_artifacts",
+    "resolve_deployment",
+]
+
+
+@dataclass(frozen=True)
+class DeploymentArtifacts:
+    """Everything derivable from (deployment, params) alone.
+
+    Attributes
+    ----------
+    distances:
+        ``(n, n)`` pairwise-distance matrix (read-only).
+    gains:
+        ``(n, n)`` uniform-power link gains ``P / d^α`` (read-only) —
+        the per-slot SINR kernels take these instead of re-evaluating
+        the power law every slot.
+    graph / approx_graph:
+        G_{1-ε} and G_{1-2ε} = G̃.
+    metrics:
+        The paper's parameters (n, Δ, D, Λ) for this deployment.
+    """
+
+    points: PointSet
+    params: SINRParameters
+    distances: np.ndarray
+    gains: np.ndarray
+    graph: nx.Graph
+    approx_graph: nx.Graph
+    metrics: NetworkMetrics
+
+
+class ArtifactCache:
+    """Bounded LRU cache for deployments and their derived artifacts."""
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._points: OrderedDict[tuple, PointSet] = OrderedDict()
+        self._artifacts: OrderedDict[tuple, DeploymentArtifacts] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # -- deployments -----------------------------------------------------
+
+    def resolve(self, spec: DeploymentSpec) -> PointSet:
+        """Materialize a spec, memoized on its ``(kind, options)`` key."""
+        key = (spec.kind, spec.options)
+        cached = self._points.get(key)
+        if cached is not None:
+            self._points.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        points = spec.build()
+        self._points[key] = points
+        while len(self._points) > self.maxsize:
+            self._points.popitem(last=False)
+        return points
+
+    # -- derived artifacts -----------------------------------------------
+
+    def artifacts(
+        self, points: PointSet, params: SINRParameters
+    ) -> DeploymentArtifacts:
+        """Distances, gains, graphs and metrics for one deployment.
+
+        Keyed by the exact coordinate bytes + params, so any mutation of
+        the deployment produces a fresh entry rather than a stale hit.
+        """
+        key = (points.coords.tobytes(), params)
+        cached = self._artifacts.get(key)
+        if cached is not None:
+            self._artifacts.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        distances = pairwise_distances(points.coords)
+        gains = gain_matrix(params, distances)
+        distances.setflags(write=False)
+        gains.setflags(write=False)
+        strong = strong_connectivity_graph(points, params)
+        approx = approx_connectivity_graph(points, params)
+        built = DeploymentArtifacts(
+            points=points,
+            params=params,
+            distances=distances,
+            gains=gains,
+            graph=strong,
+            approx_graph=approx,
+            metrics=metrics_from_graphs(len(points), strong, approx),
+        )
+        self._artifacts[key] = built
+        while len(self._artifacts) > self.maxsize:
+            self._artifacts.popitem(last=False)
+        return built
+
+    # -- maintenance -----------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._points.clear()
+        self._artifacts.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters (for tests and benchmark reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "points_entries": len(self._points),
+            "artifact_entries": len(self._artifacts),
+        }
+
+
+GLOBAL_CACHE = ArtifactCache()
+
+
+def deployment_artifacts(
+    points: PointSet,
+    params: SINRParameters,
+    cache: ArtifactCache | None = None,
+) -> DeploymentArtifacts:
+    """Memoized artifacts from the given (or global) cache."""
+    return (cache or GLOBAL_CACHE).artifacts(points, params)
+
+
+def resolve_deployment(
+    spec: DeploymentSpec, cache: ArtifactCache | None = None
+) -> PointSet:
+    """Memoized PointSet for a spec from the given (or global) cache."""
+    return (cache or GLOBAL_CACHE).resolve(spec)

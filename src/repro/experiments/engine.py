@@ -1,0 +1,331 @@
+"""The batched multi-trial experiment engine.
+
+Three execution modes, one contract — a
+:class:`~repro.experiments.plans.TrialPlan` yields the *same*
+:class:`~repro.experiments.plans.TrialResult` (dataclass-equal, i.e.
+bit-identical metrics) whichever way it runs:
+
+``sequential``
+    One trial at a time through the legacy harness path
+    (:func:`run_trial` builds the stack with the harness builders and
+    drives ``Runtime.run_until`` exactly as the old benchmarks did).
+
+``batched``
+    Plans with equal node count and physical parameters advance in
+    lockstep: each slot, every live trial's transmitter set is
+    collected, the whole batch's SINR physics is resolved as one
+    ``(trials, n, n)`` tensor reduction
+    (:func:`~repro.sinr.physics.successful_receptions_batch`), and each
+    trial's outcome is delivered through its own channel (own adversary
+    RNG, own trace).  Per-trial protocol state machines are untouched —
+    only the physics hot loop is fused.
+
+``workers > 1``
+    Plan chunks are shipped to a process pool; each worker runs its
+    chunk in the requested mode.  Determinism is unconditional because
+    every trial's randomness comes from its plan's seed alone (see
+    :func:`repro.simulation.rng.spawn_trial_seeds` for deriving
+    per-trial seeds from one master seed).
+
+Deployment-derived artifacts (distances, gains, graphs, metrics) come
+from the keyed cache in :mod:`repro.experiments.cache`, so a
+many-seed sweep over one deployment derives them once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.harness import (
+    StackBundle,
+    build_ack_stack,
+    build_approg_stack,
+    build_combined_stack,
+    build_decay_stack,
+)
+from repro.experiments.cache import ArtifactCache, resolve_deployment
+from repro.experiments.plans import TrialPlan, TrialResult
+from repro.experiments.workloads import Workload, get_workload
+from repro.sinr.physics import successful_receptions_batch
+
+__all__ = ["build_stack", "run_trial", "run_trials"]
+
+
+def build_stack(
+    plan: TrialPlan, cache: ArtifactCache | None = None
+) -> StackBundle:
+    """Materialize a plan's deployment + MAC stack (harness builders)."""
+    points = resolve_deployment(plan.deployment, cache)
+    workload = get_workload(plan.workload)
+    common = dict(
+        client_factory=workload.client_factory(plan),
+        seed=plan.seed,
+        max_slots=plan.max_slots,
+    )
+    if plan.stack == "combined":
+        return build_combined_stack(
+            points,
+            plan.params,
+            eps_ack=plan.eps_ack,
+            eps_approg=plan.eps_approg,
+            ack_config=plan.ack_config,
+            approg_config=plan.approg_config,
+            **common,
+        )
+    if plan.stack == "ack":
+        return build_ack_stack(
+            points,
+            plan.params,
+            eps_ack=plan.eps_ack,
+            ack_config=plan.ack_config,
+            **common,
+        )
+    if plan.stack == "approg":
+        return build_approg_stack(
+            points,
+            plan.params,
+            eps_approg=plan.eps_approg,
+            approg_config=plan.approg_config,
+            **common,
+        )
+    if plan.stack == "decay":
+        return build_decay_stack(
+            points,
+            plan.params,
+            eps_ack=plan.eps_ack,
+            decay_config=plan.decay_config,
+            **common,
+        )
+    raise ValueError(f"unknown stack {plan.stack!r}")  # guarded by TrialPlan
+
+
+def _result(
+    stack: StackBundle,
+    plan: TrialPlan,
+    workload: Workload,
+    completion: int,
+) -> TrialResult:
+    ack = stack.ack_report()
+    approg = stack.approg_report()
+    metrics = stack.metrics
+    channel = stack.runtime.channel
+    return TrialResult(
+        label=plan.display_label,
+        seed=plan.seed,
+        n=metrics.n,
+        degree=metrics.degree,
+        degree_tilde=metrics.degree_tilde,
+        diameter=metrics.diameter,
+        diameter_tilde=metrics.diameter_tilde,
+        lam=metrics.lam,
+        slots=stack.runtime.slot,
+        broadcasts=len(ack.records),
+        ack_latencies=tuple(ack.latencies()),
+        ack_completeness=ack.completeness_fraction(),
+        approg_latencies=tuple(approg.latencies()),
+        approg_episodes=len(approg.records),
+        transmissions=channel.total_transmissions,
+        receptions=channel.total_receptions,
+        extra=tuple(
+            sorted(workload.finalize(stack, plan, completion).items())
+        ),
+    )
+
+
+def run_trial(
+    plan: TrialPlan, cache: ArtifactCache | None = None
+) -> TrialResult:
+    """Run one plan sequentially — the legacy single-trial path.
+
+    Builds the stack with the harness builders and drives the runtime
+    with ``run_until``/``run`` exactly as the pre-engine benchmarks did;
+    the batched executor is verified bit-identical against this.
+    """
+    stack = build_stack(plan, cache)
+    workload = get_workload(plan.workload)
+    workload.start(stack, plan)
+    target = workload.target_slots(stack, plan)
+    if target is not None:
+        stack.runtime.run(target)
+        completion = stack.runtime.slot
+    else:
+        completion = stack.runtime.run_until(
+            lambda _rt: workload.done(stack, plan),
+            check_every=workload.check_every,
+        )
+    if plan.extra_slots:
+        stack.runtime.run(plan.extra_slots)
+    return _result(stack, plan, workload, completion)
+
+
+@dataclass
+class _TrialState:
+    """Bookkeeping for one trial inside a lockstep batch."""
+
+    index: int  # position in the caller's plan list
+    row: int  # position in the stacked distance/gain tensors
+    plan: TrialPlan
+    workload: Workload
+    stack: StackBundle
+    target: int | None  # fixed slot budget, or None for predicate polling
+    phase: str = "run"  # run -> extra -> done
+    steps: int = 0  # slots advanced since workload start
+    extra_left: int = 0
+    completion: int | None = None
+    result: TrialResult | None = field(default=None, repr=False)
+
+    def advance_phase(self) -> None:
+        """Run the phase transitions due at the top of a slot."""
+        if self.phase == "run":
+            finished = (
+                self.steps >= self.target
+                if self.target is not None
+                else (
+                    self.steps % self.workload.check_every == 0
+                    and self.workload.done(self.stack, self.plan)
+                )
+            )
+            if finished:
+                self.completion = self.stack.runtime.slot
+                self.extra_left = self.plan.extra_slots
+                self.phase = "extra"
+        if self.phase == "extra" and self.extra_left <= 0:
+            self.phase = "done"
+            self.result = _result(
+                self.stack, self.plan, self.workload, self.completion
+            )
+
+
+def _run_lockstep(
+    group: Sequence[tuple[int, TrialPlan]],
+    cache: ArtifactCache | None = None,
+) -> dict[int, TrialResult]:
+    """Advance one (n, params)-compatible group of trials in lockstep."""
+    states: list[_TrialState] = []
+    for row, (index, plan) in enumerate(group):
+        workload = get_workload(plan.workload)
+        stack = build_stack(plan, cache)
+        workload.start(stack, plan)
+        states.append(
+            _TrialState(
+                index=index,
+                row=row,
+                plan=plan,
+                workload=workload,
+                stack=stack,
+                target=workload.target_slots(stack, plan),
+            )
+        )
+    params = group[0][1].params
+    # One (trials, n, n) tensor each.  The common sweep — many seeds
+    # over one deployment — shares a single cached matrix across all
+    # trials, so broadcast a zero-stride view instead of materializing
+    # `trials` copies; only genuinely distinct deployments get stacked.
+    shape = (len(states), *states[0].stack.runtime.channel.distances.shape)
+
+    def tensor(matrices: list[np.ndarray]) -> np.ndarray:
+        if all(m is matrices[0] for m in matrices):
+            return np.broadcast_to(matrices[0], shape)
+        return np.stack(matrices)
+
+    dist_stack = tensor([st.stack.runtime.channel.distances for st in states])
+    gain_stack = tensor([st.stack.runtime.channel.gains for st in states])
+
+    results: dict[int, TrialResult] = {}
+    empty_tx: dict[int, Any] = {}
+    while True:
+        live = []
+        for st in states:
+            if st.phase != "done":
+                st.advance_phase()
+                if st.phase == "done":
+                    results[st.index] = st.result
+                    continue
+                live.append(st)
+        if not live:
+            return results
+        # Phase 1 everywhere, then one batched physics reduction, then
+        # phase 2 everywhere — per-trial adversaries, traces and
+        # counters all run in their own channel's finalize.
+        transmissions = [empty_tx] * len(states)
+        tx_ids = [np.empty(0, dtype=np.intp)] * len(states)
+        for st in live:
+            st.stack.runtime._check_budget()
+            tx = st.stack.runtime.collect_transmissions()
+            transmissions[st.row] = tx
+            tx_ids[st.row] = st.stack.runtime.channel.validated_transmitters(
+                tx
+            )
+        raws = successful_receptions_batch(
+            params, dist_stack, tx_ids, gains=gain_stack
+        )
+        for st in live:
+            outcome = st.stack.runtime.channel.finalize_slot(
+                transmissions[st.row], tx_ids[st.row], raws[st.row]
+            )
+            st.stack.runtime.deliver_outcome(outcome)
+            st.steps += 1
+            if st.phase == "extra":
+                st.extra_left -= 1
+
+
+def _batch_key(plan: TrialPlan, cache: ArtifactCache | None):
+    points = resolve_deployment(plan.deployment, cache)
+    return (len(points), plan.params)
+
+
+def _run_chunk(plans: Sequence[TrialPlan], mode: str) -> list[TrialResult]:
+    """Pool-worker entry point (module-level so it pickles)."""
+    return run_trials(plans, mode=mode, workers=1)
+
+
+def run_trials(
+    plans: Iterable[TrialPlan],
+    mode: str = "batched",
+    workers: int = 1,
+    cache: ArtifactCache | None = None,
+) -> list[TrialResult]:
+    """Run many plans; results come back in plan order.
+
+    ``mode`` is ``"batched"`` (default: lockstep groups keyed by
+    ``(node count, SINRParameters)``) or ``"sequential"`` (the legacy
+    one-at-a-time path).  ``workers > 1`` splits the plan list into
+    contiguous chunks over a process pool; batching then happens within
+    each worker's chunk.  All modes produce dataclass-equal results for
+    equal plans.
+    """
+    plan_list = list(plans)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if mode not in ("batched", "sequential"):
+        raise ValueError(f"unknown mode {mode!r}")
+    if not plan_list:
+        return []
+
+    if workers > 1:
+        chunk_count = min(workers, len(plan_list))
+        bounds = np.linspace(0, len(plan_list), chunk_count + 1).astype(int)
+        chunks = [
+            plan_list[bounds[i] : bounds[i + 1]]
+            for i in range(chunk_count)
+            if bounds[i] < bounds[i + 1]
+        ]
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(pool.map(_run_chunk, chunks, [mode] * len(chunks)))
+        return [result for part in parts for result in part]
+
+    if mode == "sequential":
+        return [run_trial(plan, cache) for plan in plan_list]
+
+    groups: dict[Any, list[tuple[int, TrialPlan]]] = {}
+    for index, plan in enumerate(plan_list):
+        groups.setdefault(_batch_key(plan, cache), []).append((index, plan))
+    out: list[TrialResult | None] = [None] * len(plan_list)
+    for group in groups.values():
+        for index, result in _run_lockstep(group, cache).items():
+            out[index] = result
+    return out  # type: ignore[return-value]

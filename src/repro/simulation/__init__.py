@@ -10,7 +10,7 @@ received message or by an explicit environment input.
 from repro.simulation.node import ProtocolNode, NodeAPI
 from repro.simulation.runtime import Runtime, RuntimeConfig
 from repro.simulation.trace import EventTrace, TraceEvent
-from repro.simulation.rng import spawn_node_rngs
+from repro.simulation.rng import spawn_node_rngs, spawn_trial_seeds
 
 __all__ = [
     "ProtocolNode",
@@ -20,4 +20,5 @@ __all__ = [
     "EventTrace",
     "TraceEvent",
     "spawn_node_rngs",
+    "spawn_trial_seeds",
 ]

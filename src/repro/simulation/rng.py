@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_node_rngs"]
+__all__ = ["spawn_node_rngs", "spawn_trial_seeds"]
 
 
 def spawn_node_rngs(n: int, seed: int | None = 0) -> list[np.random.Generator]:
@@ -19,3 +19,23 @@ def spawn_node_rngs(n: int, seed: int | None = 0) -> list[np.random.Generator]:
         raise ValueError("n must be >= 0")
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def spawn_trial_seeds(n: int, seed: int | None = 0) -> list[int]:
+    """Deterministic per-trial master seeds for multi-trial experiments.
+
+    Spawns ``n`` children of ``SeedSequence(seed)`` and collapses each to
+    a single integer, which becomes one trial's master seed (feeding
+    :func:`spawn_node_rngs` inside that trial).  Trial ``t``'s seed is a
+    pure function of ``(seed, t)``, so results are identical no matter
+    how trials are batched, ordered, or distributed over worker
+    processes — the statistical independence of the per-node sources
+    (§4.6) extends to independence *across trials*.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    seq = np.random.SeedSequence(seed)
+    return [
+        int(child.generate_state(1, dtype=np.uint32)[0])
+        for child in seq.spawn(n)
+    ]

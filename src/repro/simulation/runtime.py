@@ -85,8 +85,15 @@ class Runtime:
         for node in self.nodes:
             node.wake()
 
-    def step(self) -> dict[int, tuple[int, Any]]:
-        """Advance one slot; return the slot's receptions."""
+    def collect_transmissions(self) -> dict[int, Any]:
+        """Phase 1 of a slot: every awake node decides transmit/listen.
+
+        Records transmit trace events; does not advance the slot counter.
+        Split from :meth:`step` so the batched experiment engine can
+        gather many trials' transmitter sets, resolve all their SINR
+        physics in one reduction, and then deliver each trial's outcome
+        with :meth:`deliver_outcome`.
+        """
         transmissions: dict[int, Any] = {}
         for node in self.nodes:
             if not node.awake:
@@ -98,7 +105,14 @@ class Runtime:
                     self.trace.record(
                         self.slot, "transmit", node.node_id, payload
                     )
-        outcome = self.channel.resolve_slot(transmissions)
+        return transmissions
+
+    def deliver_outcome(self, outcome) -> dict[int, tuple[int, Any]]:
+        """Phase 2 of a slot: deliver a resolved outcome's receptions.
+
+        Wakes sleeping receivers (conditional wakeup, Definition 4.4),
+        records receive trace events, and advances the slot counter.
+        """
         for listener, (sender, payload) in outcome.receptions.items():
             node = self.nodes[listener]
             # Conditional wakeup: the decode itself wakes a sleeping node.
@@ -110,6 +124,12 @@ class Runtime:
             node.on_receive(self.slot, sender, payload)
         self.slot += 1
         return outcome.receptions
+
+    def step(self) -> dict[int, tuple[int, Any]]:
+        """Advance one slot; return the slot's receptions."""
+        transmissions = self.collect_transmissions()
+        outcome = self.channel.resolve_slot(transmissions)
+        return self.deliver_outcome(outcome)
 
     def run(self, slots: int) -> None:
         """Advance a fixed number of slots."""

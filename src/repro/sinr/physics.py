@@ -10,7 +10,21 @@ reception outcome of a slot is a partial function listener → transmitter.
 
 All functions take a precomputed pairwise-distance matrix so the per-slot
 cost is one masked matrix reduction (numpy), keeping thousand-node
-simulations fast.
+simulations fast.  Two further fast paths serve the batched experiment
+engine (:mod:`repro.experiments`):
+
+* the received-power (gain) matrix ``P / d^α`` can be computed once per
+  deployment with :func:`gain_matrix` and passed back in through the
+  ``gains`` parameter, removing the per-slot ``d**α`` power evaluation;
+* :func:`successful_receptions_batch` resolves one slot of *many
+  independent trials at once*, taking the per-trial ``(n, n)`` distance
+  matrices stacked into a ``(trials, n, n)`` tensor and reducing the
+  whole batch with a handful of numpy operations.
+
+The batched kernel is engineered to be *bit-identical* to the sequential
+one: per-trial interference totals are reduced over exactly the same
+addends in the same order as :func:`sinr_matrix`, so a batched experiment
+reproduces a sequential run decode-for-decode.
 """
 
 from __future__ import annotations
@@ -21,10 +35,13 @@ from repro.sinr.params import SINRParameters
 
 __all__ = [
     "received_power",
+    "gain_matrix",
+    "stack_distances",
     "interference_at",
     "sinr_matrix",
     "sinr_of_link",
     "successful_receptions",
+    "successful_receptions_batch",
 ]
 
 # Distances below this are clamped to avoid division blow-ups; the paper
@@ -40,15 +57,65 @@ def received_power(
 ) -> np.ndarray:
     """P / d^α for an array of distances (elementwise).
 
+    Distances are first clamped from below to ``_MIN_DISTANCE`` (1e-9):
+    the paper normalizes the minimum node distance to 1 (§4.2), so the
+    clamp never binds on valid layouts and exists only so degenerate
+    inputs (coincident points, zero diagonals) yield astronomically
+    large-but-finite powers instead of NaN/inf.
+
     ``power`` overrides the uniform model power; it may be an array
     broadcastable against ``dist`` (per-sender powers).  The paper's
     algorithms all use uniform power (§4.2), but the Theorem 6.1 lower
     bound holds *even under arbitrary power assignment*, which the
     corresponding experiment exercises through this hook.
+
+    ``dist`` may have any shape, including the batched ``(trials, n, n)``
+    distance tensor of the experiment engine — the computation is purely
+    elementwise.
     """
     d = np.maximum(np.asarray(dist, dtype=np.float64), _MIN_DISTANCE)
     p = params.power if power is None else power
     return p / d**params.alpha
+
+
+def gain_matrix(params: SINRParameters, distances: np.ndarray) -> np.ndarray:
+    """The full uniform-power link-gain matrix ``G[v, u] = P / d(v,u)^α``.
+
+    This is the deployment-derived artifact the experiment engine
+    memoizes: computing it once removes the per-slot ``d**α`` power
+    evaluation from every subsequent slot resolution (pass the result to
+    :func:`sinr_matrix` / :func:`successful_receptions` /
+    :func:`successful_receptions_batch` via their ``gains`` parameter).
+
+    Diagonal entries correspond to the clamped self-distance (see
+    :func:`received_power` for the ``_MIN_DISTANCE`` clamp) and are huge;
+    they are never read by the reception kernels, which exclude
+    transmitters from listening (half-duplex).  ``distances`` may also be
+    a ``(trials, n, n)`` stack, giving a ``(trials, n, n)`` gain tensor.
+    """
+    return received_power(params, distances)
+
+
+def stack_distances(matrices) -> np.ndarray:
+    """Stack per-trial ``(n, n)`` distance matrices into ``(trials, n, n)``.
+
+    All matrices must share one shape; trials over differently-sized
+    deployments cannot be batched together (the engine groups plans by
+    node count before calling this).
+    """
+    mats = [np.asarray(m, dtype=np.float64) for m in matrices]
+    if not mats:
+        raise ValueError("need at least one distance matrix")
+    shape = mats[0].shape
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ValueError(f"distance matrices must be square; got {shape!r}")
+    for m in mats[1:]:
+        if m.shape != shape:
+            raise ValueError(
+                f"cannot stack distance matrices of shapes {shape!r} "
+                f"and {m.shape!r}; batch trials share one node count"
+            )
+    return np.stack(mats)
 
 
 def interference_at(
@@ -98,6 +165,7 @@ def sinr_matrix(
     distances: np.ndarray,
     transmitters: np.ndarray,
     tx_powers: np.ndarray | None = None,
+    gains: np.ndarray | None = None,
 ) -> np.ndarray:
     """SINR of every (transmitter, node) pair in one shot.
 
@@ -107,6 +175,13 @@ def sinr_matrix(
     cannot hear while sending).  ``tx_powers`` optionally assigns a
     transmission power to each transmitter (aligned with
     ``transmitters``); omitted means the uniform model power.
+
+    ``gains`` optionally supplies the precomputed uniform-power gain
+    matrix of :func:`gain_matrix`; passing it skips the per-call power
+    evaluation without changing a single output bit (the gathered rows
+    hold exactly the values the direct computation would produce).  It is
+    ignored when ``tx_powers`` is given, since per-sender powers cannot
+    reuse the uniform-power cache.
     """
     tx = np.asarray(transmitters, dtype=np.intp)
     n = distances.shape[0]
@@ -122,7 +197,10 @@ def sinr_matrix(
     else:
         per_sender = None
     # (k, u): power of transmitter k received at u.
-    powers = received_power(params, distances[tx, :], power=per_sender)
+    if per_sender is None and gains is not None:
+        powers = gains[tx, :]
+    else:
+        powers = received_power(params, distances[tx, :], power=per_sender)
     total = powers.sum(axis=0)  # (n,) total received power at each node
     # Interference for transmitter k at u excludes k's own contribution.
     interference = total[None, :] - powers
@@ -140,6 +218,7 @@ def successful_receptions(
     transmitters: np.ndarray,
     listeners: np.ndarray | None = None,
     tx_powers: np.ndarray | None = None,
+    gains: np.ndarray | None = None,
 ) -> dict[int, int]:
     """Resolve one slot: which listener decodes which transmitter.
 
@@ -148,10 +227,17 @@ def successful_receptions(
     keys (half-duplex).  If ``listeners`` is given, only those nodes are
     considered as receivers; otherwise every non-transmitting node is.
     ``tx_powers`` optionally assigns per-transmitter powers (Theorem 6.1
-    experiments); the default is the uniform model power.
+    experiments); the default is the uniform model power.  ``gains``
+    optionally supplies the :func:`gain_matrix` cache (bit-identical
+    results, see :func:`sinr_matrix`).
+
+    Distances feeding the SINR are clamped from below to ``_MIN_DISTANCE``
+    (see :func:`received_power`), so coincident points decode as
+    astronomically strong links rather than NaNs.
 
     Because β > 1 guarantees uniqueness, ties are impossible and the
-    result is well-defined.
+    result is well-defined.  To resolve one slot of many independent
+    trials at once, use :func:`successful_receptions_batch`.
     """
     tx = np.asarray(transmitters, dtype=np.intp)
     n = distances.shape[0]
@@ -164,7 +250,7 @@ def successful_receptions(
         listener_mask[np.asarray(listeners, dtype=np.intp)] = True
     listener_mask[tx] = False  # half-duplex
 
-    sinr = sinr_matrix(params, distances, tx, tx_powers=tx_powers)
+    sinr = sinr_matrix(params, distances, tx, tx_powers=tx_powers, gains=gains)
     ok = sinr >= params.beta  # (k, n)
     ok[:, ~listener_mask] = False
 
@@ -175,3 +261,89 @@ def successful_receptions(
         assert u not in result, "beta > 1 violated: two decodable senders"
         result[u] = int(tx[k])
     return result
+
+
+def successful_receptions_batch(
+    params: SINRParameters,
+    distances: np.ndarray,
+    transmitters,
+    listeners=None,
+    gains: np.ndarray | None = None,
+) -> list[dict[int, int]]:
+    """Resolve one slot of ``trials`` independent runs in one reduction.
+
+    ``distances`` is the ``(trials, n, n)`` tensor of per-trial pairwise
+    distance matrices (see :func:`stack_distances`); ``transmitters`` is
+    a sequence of ``trials`` index arrays, one per trial (they may have
+    different lengths, including zero).  ``listeners`` is optionally a
+    per-trial sequence of receiver index arrays (default: every
+    non-transmitting node listens).  ``gains`` optionally supplies the
+    precomputed ``(trials, n, n)`` gain tensor of :func:`gain_matrix`.
+
+    Returns one ``listener -> transmitter`` dict per trial, in order.
+    The result is bit-identical to calling :func:`successful_receptions`
+    per trial: transmitter rows are laid out *ragged* (trial b owns a
+    contiguous ``(k_b, n)`` block — no padding, so skewed per-trial
+    transmitter counts cost nothing), each block's interference total
+    reduces with exactly the sequential kernel's addend order, and every
+    other step is elementwise over the flat ``(Σ k_b, n)`` layout.
+    Uniform power only — the per-sender ``tx_powers`` hook of the
+    sequential kernel is a single-trial feature (Theorem 6.1
+    experiments).
+    """
+    dist = np.asarray(distances, dtype=np.float64)
+    if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
+        raise ValueError(
+            f"distances must have shape (trials, n, n); got {dist.shape!r}"
+        )
+    trials, n, _ = dist.shape
+    tx_lists = [np.asarray(t, dtype=np.intp) for t in transmitters]
+    if len(tx_lists) != trials:
+        raise ValueError(
+            f"need one transmitter set per trial: {len(tx_lists)} != {trials}"
+        )
+    results: list[dict[int, int]] = [{} for _ in range(trials)]
+    sizes = [t.size for t in tx_lists]
+    if sum(sizes) == 0:
+        return results
+    if gains is None:
+        gains = gain_matrix(params, dist)
+
+    # Flat ragged layout: row r holds one (trial, transmitter) pair.
+    tx_flat = np.concatenate(tx_lists)
+    trial_of_row = np.repeat(np.arange(trials), sizes)
+    offsets = np.concatenate([[0], np.cumsum(sizes)])
+
+    # (r, u): power of row r's transmitter received at node u — one
+    # gather for the whole batch.
+    powers = gains[trial_of_row, tx_flat, :]
+    # Total received power per (trial, node).  Each trial's block is a
+    # contiguous (k_b, n) slice reduced exactly like the sequential
+    # kernel (bit-identical interference sums).
+    total = np.zeros((trials, n))
+    for b in range(trials):
+        if sizes[b]:
+            total[b] = powers[offsets[b] : offsets[b + 1]].sum(axis=0)
+    sinr = powers / ((total[trial_of_row] - powers) + params.noise)
+    ok = sinr >= params.beta
+
+    if listeners is None:
+        listener_mask = np.ones((trials, n), dtype=bool)
+    else:
+        if len(listeners) != trials:
+            raise ValueError("need one listener set per trial")
+        listener_mask = np.zeros((trials, n), dtype=bool)
+        for b, ls in enumerate(listeners):
+            listener_mask[b, np.asarray(ls, dtype=np.intp)] = True
+    listener_mask[trial_of_row, tx_flat] = False  # half-duplex
+    ok &= listener_mask[trial_of_row]
+
+    row_idx, u_idx = np.nonzero(ok)
+    senders = tx_flat[row_idx]
+    trials_hit = trial_of_row[row_idx]
+    for b, u, sender in zip(
+        trials_hit.tolist(), u_idx.tolist(), senders.tolist()
+    ):
+        assert u not in results[b], "beta > 1 violated: two decodable senders"
+        results[b][u] = int(sender)
+    return results

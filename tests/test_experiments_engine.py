@@ -1,0 +1,178 @@
+"""The batched experiment engine: equivalence, determinism, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.harness import (
+    build_ack_stack,
+    run_local_broadcast_experiment,
+)
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.experiments import (
+    DeploymentSpec,
+    TrialPlan,
+    resolve_deployment,
+    run_trials,
+    seeded_plans,
+)
+from repro.experiments.engine import run_trial
+from repro.experiments.workloads import get_workload, workload_names
+from repro.simulation.rng import spawn_trial_seeds
+from repro.sinr.params import SINRParameters
+
+PARAMS = SINRParameters()
+DISK = DeploymentSpec.of("uniform_disk", n=10, radius=8.0, seed=55)
+SPACING = PARAMS.approx_range * 0.9
+LINE = DeploymentSpec.of("line_deployment", n=4, spacing=SPACING)
+APPROG_CFG = ApproxProgressConfig(
+    lambda_bound=2.0, eps_approg=0.2, alpha=PARAMS.alpha, t_scale=0.25
+)
+
+
+def ack_sweep_plans(trials=3) -> list[TrialPlan]:
+    base = TrialPlan(
+        deployment=DISK, stack="ack", workload="local_broadcast"
+    )
+    return seeded_plans(base, spawn_trial_seeds(trials, seed=7))
+
+
+class TestBatchedEquivalence:
+    def test_same_seeds_identical_results(self):
+        plans = ack_sweep_plans()
+        sequential = run_trials(plans, mode="sequential")
+        batched = run_trials(plans, mode="batched")
+        assert sequential == batched  # bit-identical TrialResults
+
+    def test_mixed_sizes_group_correctly(self):
+        # Two node counts -> two lockstep groups; order preserved.
+        other = DeploymentSpec.of("uniform_disk", n=8, radius=8.0, seed=9)
+        plans = [
+            TrialPlan(deployment=DISK, stack="ack", seed=1),
+            TrialPlan(deployment=other, stack="ack", seed=2),
+            TrialPlan(deployment=DISK, stack="ack", seed=3),
+        ]
+        sequential = run_trials(plans, mode="sequential")
+        batched = run_trials(plans, mode="batched")
+        assert sequential == batched
+        assert [r.n for r in batched] == [10, 8, 10]
+
+    def test_fixed_slots_workload_equivalence(self):
+        base = TrialPlan(
+            deployment=DISK,
+            stack="approg",
+            workload="fixed_slots",
+            approg_config=APPROG_CFG,
+            options=TrialPlan.pack_options(epochs=1),
+        )
+        plans = seeded_plans(base, spawn_trial_seeds(2, seed=4))
+        assert run_trials(plans, mode="sequential") == run_trials(
+            plans, mode="batched"
+        )
+
+    def test_global_workloads_equivalence(self):
+        plans = [
+            TrialPlan(
+                deployment=LINE,
+                stack="combined",
+                workload="smb",
+                seed=5,
+                approg_config=APPROG_CFG,
+            ),
+            TrialPlan(
+                deployment=LINE,
+                stack="combined",
+                workload="consensus",
+                seed=3,
+                approg_config=APPROG_CFG,
+                options=TrialPlan.pack_options(waves=8),
+            ),
+            TrialPlan(
+                deployment=LINE,
+                stack="combined",
+                workload="mmb",
+                seed=2,
+                approg_config=APPROG_CFG,
+                options=TrialPlan.pack_options(
+                    arrivals=((0, ("m0", "m1")),)
+                ),
+            ),
+        ]
+        sequential = run_trials(plans, mode="sequential")
+        batched = run_trials(plans, mode="batched")
+        assert sequential == batched
+        smb, consensus, mmb = batched
+        assert smb.completion == smb.slots
+        assert consensus.extra_value("agreed") is True
+        assert consensus.extra_value("decided_value") == (4 - 1) % 2
+        assert mmb.completion is not None
+
+    def test_extra_slots_respected(self):
+        plan = TrialPlan(
+            deployment=DISK, stack="ack", seed=1, extra_slots=32
+        )
+        sequential = run_trial(plan)
+        (batched,) = run_trials([plan], mode="batched")
+        assert sequential == batched
+        assert batched.slots == batched.completion + 32
+
+
+class TestLegacyWrapperFidelity:
+    def test_matches_direct_harness_run(self):
+        """run_trial is a thin wrapper over the legacy harness path."""
+        plan = TrialPlan(deployment=DISK, stack="ack", seed=42)
+        result = run_trial(plan)
+        points = resolve_deployment(DISK)
+        stack = build_ack_stack(points, PARAMS, eps_ack=0.1, seed=42)
+        report, _ = run_local_broadcast_experiment(
+            stack, list(range(len(points)))
+        )
+        assert result.slots == stack.runtime.slot
+        assert result.ack_latencies == tuple(report.latencies())
+        assert result.ack_completeness == report.completeness_fraction()
+
+
+class TestProcessPool:
+    def test_pool_matches_in_process(self):
+        plans = ack_sweep_plans(trials=4)
+        in_process = run_trials(plans, mode="batched")
+        pooled = run_trials(plans, mode="batched", workers=2)
+        assert pooled == in_process
+
+    def test_pool_more_workers_than_plans(self):
+        plans = ack_sweep_plans(trials=2)
+        assert run_trials(plans, workers=4) == run_trials(plans)
+
+
+class TestEngineGuards:
+    def test_budget_exhaustion_raises(self):
+        plan = TrialPlan(deployment=DISK, stack="ack", seed=1, max_slots=8)
+        with pytest.raises(RuntimeError, match="slot budget"):
+            run_trials([plan], mode="batched")
+        with pytest.raises(RuntimeError, match="slot budget"):
+            run_trials([plan], mode="sequential")
+
+    def test_empty_plan_list(self):
+        assert run_trials([]) == []
+
+    def test_bad_mode_and_workers(self):
+        plans = ack_sweep_plans(trials=1)
+        with pytest.raises(ValueError, match="unknown mode"):
+            run_trials(plans, mode="warp")
+        with pytest.raises(ValueError, match="workers"):
+            run_trials(plans, workers=0)
+
+    def test_unknown_workload_listed(self):
+        plan = TrialPlan(deployment=DISK, workload="nope")
+        with pytest.raises(ValueError, match="registered"):
+            run_trials([plan])
+
+    def test_registry_contents(self):
+        assert {
+            "local_broadcast",
+            "fixed_slots",
+            "smb",
+            "mmb",
+            "consensus",
+        } <= set(workload_names())
+        assert get_workload("smb").name == "smb"

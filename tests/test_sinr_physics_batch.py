@@ -1,0 +1,161 @@
+"""Batched SINR kernels: equivalence with the sequential reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.deployment import uniform_disk
+from repro.geometry.points import pairwise_distances
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import (
+    gain_matrix,
+    received_power,
+    sinr_matrix,
+    stack_distances,
+    successful_receptions,
+    successful_receptions_batch,
+)
+
+
+@pytest.fixture
+def params() -> SINRParameters:
+    return SINRParameters(
+        power=1.0, alpha=3.0, beta=1.5, noise=1.0e-4, epsilon=0.1
+    )
+
+
+def random_trials(params, trials=6, n=14, seed=0):
+    """Distance stack + heterogeneous transmitter sets for testing."""
+    rng = np.random.default_rng(seed)
+    matrices = []
+    tx_sets = []
+    for t in range(trials):
+        points = uniform_disk(n, radius=8.0, seed=1000 + seed * 100 + t)
+        matrices.append(pairwise_distances(points.coords))
+        k = int(rng.integers(0, n + 1))
+        tx_sets.append(
+            np.sort(rng.choice(n, size=k, replace=False)).astype(np.intp)
+        )
+    return stack_distances(matrices), tx_sets
+
+
+class TestGainMatrix:
+    def test_matches_received_power(self, params):
+        dists = pairwise_distances(uniform_disk(10, 8.0, seed=3).coords)
+        assert np.array_equal(
+            gain_matrix(params, dists), received_power(params, dists)
+        )
+
+    def test_clamps_degenerate_distances(self, params):
+        gains = gain_matrix(params, np.array([[0.0, 1e-15], [1e-15, 0.0]]))
+        assert np.all(np.isfinite(gains))
+        assert gains.max() > 1e20  # clamped, astronomically strong
+
+    def test_batched_shape(self, params):
+        stack, _ = random_trials(params, trials=3, n=7)
+        assert gain_matrix(params, stack).shape == (3, 7, 7)
+
+
+class TestSinrMatrixGainsPath:
+    def test_gains_path_bit_identical(self, params):
+        dists = pairwise_distances(uniform_disk(12, 8.0, seed=5).coords)
+        gains = gain_matrix(params, dists)
+        tx = np.array([0, 3, 7], dtype=np.intp)
+        direct = sinr_matrix(params, dists, tx)
+        cached = sinr_matrix(params, dists, tx, gains=gains)
+        assert np.array_equal(direct, cached)
+
+    def test_tx_powers_ignores_gains(self, params):
+        dists = pairwise_distances(uniform_disk(8, 8.0, seed=6).coords)
+        gains = gain_matrix(params, dists)
+        tx = np.array([1, 4], dtype=np.intp)
+        powered = sinr_matrix(
+            params, dists, tx, tx_powers=np.array([2.0, 3.0]), gains=gains
+        )
+        assert not np.array_equal(powered, sinr_matrix(params, dists, tx))
+
+
+class TestBatchedReceptions:
+    def test_matches_sequential_per_trial(self, params):
+        stack, tx_sets = random_trials(params, trials=8, n=14, seed=1)
+        batch = successful_receptions_batch(params, stack, tx_sets)
+        for b, tx in enumerate(tx_sets):
+            assert batch[b] == successful_receptions(params, stack[b], tx)
+
+    def test_precomputed_gains_identical(self, params):
+        stack, tx_sets = random_trials(params, trials=5, n=12, seed=2)
+        gains = gain_matrix(params, stack)
+        assert successful_receptions_batch(
+            params, stack, tx_sets, gains=gains
+        ) == successful_receptions_batch(params, stack, tx_sets)
+
+    def test_empty_transmitter_trials(self, params):
+        stack, tx_sets = random_trials(params, trials=4, n=10, seed=3)
+        tx_sets[1] = np.empty(0, dtype=np.intp)
+        batch = successful_receptions_batch(params, stack, tx_sets)
+        assert batch[1] == {}
+        for b in (0, 2, 3):
+            assert batch[b] == successful_receptions(
+                params, stack[b], tx_sets[b]
+            )
+
+    def test_all_trials_silent(self, params):
+        stack, _ = random_trials(params, trials=3, n=6, seed=4)
+        empty = [np.empty(0, dtype=np.intp)] * 3
+        assert successful_receptions_batch(params, stack, empty) == [{}] * 3
+
+    def test_per_trial_listener_restriction(self, params):
+        stack, tx_sets = random_trials(params, trials=4, n=12, seed=5)
+        listeners = [np.array([0, 1, 2]), np.array([5]), np.arange(12), []]
+        batch = successful_receptions_batch(
+            params, stack, tx_sets, listeners=listeners
+        )
+        for b, (tx, ls) in enumerate(zip(tx_sets, listeners)):
+            assert batch[b] == successful_receptions(
+                params, stack[b], tx, listeners=np.asarray(ls, dtype=np.intp)
+            )
+
+    def test_half_duplex_in_batch(self, params):
+        # Node 0 transmits in trial 0 only; it must still be able to
+        # listen in trial 1 (padding/masking must be per-trial).
+        points = uniform_disk(6, radius=4.0, seed=9)
+        dists = pairwise_distances(points.coords)
+        stack = stack_distances([dists, dists])
+        batch = successful_receptions_batch(
+            params, stack, [np.array([0]), np.array([1])]
+        )
+        assert 0 not in batch[0]
+        assert batch[1].get(0) == 1  # dense disk: node 0 decodes node 1
+
+    def test_rejects_wrong_rank(self, params):
+        dists = pairwise_distances(uniform_disk(5, 6.0, seed=1).coords)
+        with pytest.raises(ValueError, match="trials, n, n"):
+            successful_receptions_batch(params, dists, [np.array([0])])
+
+    def test_rejects_mismatched_trial_count(self, params):
+        stack, tx_sets = random_trials(params, trials=3, n=8, seed=6)
+        with pytest.raises(ValueError, match="one transmitter set"):
+            successful_receptions_batch(params, stack, tx_sets[:2])
+        with pytest.raises(ValueError, match="one listener set"):
+            successful_receptions_batch(
+                params, stack, tx_sets, listeners=[np.array([0])]
+            )
+
+
+class TestStackDistances:
+    def test_stacks(self, params):
+        a = pairwise_distances(uniform_disk(7, 6.0, seed=1).coords)
+        b = pairwise_distances(uniform_disk(7, 6.0, seed=2).coords)
+        stacked = stack_distances([a, b])
+        assert stacked.shape == (2, 7, 7)
+        assert np.array_equal(stacked[0], a)
+        assert np.array_equal(stacked[1], b)
+
+    def test_rejects_empty_and_mixed_shapes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            stack_distances([])
+        with pytest.raises(ValueError, match="square"):
+            stack_distances([np.zeros((3, 4))])
+        with pytest.raises(ValueError, match="one node count"):
+            stack_distances([np.zeros((3, 3)), np.zeros((4, 4))])
