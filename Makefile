@@ -3,7 +3,7 @@
 
 PY ?= python
 
-.PHONY: test bench docs-check verify
+.PHONY: test bench bench-smoke docs-check verify
 
 # Tier-1 verification: the full test suite.
 test:
@@ -13,10 +13,15 @@ test:
 bench:
 	PYTHONPATH=src $(PY) -m pytest benchmarks -q --benchmark-only
 
+# Fast bit-rot gate: every bench script's smallest configuration
+# (imports + one tiny sweep each, statistical assertions skipped).
+bench-smoke:
+	$(PY) scripts/bench_smoke.py
+
 # Documentation completeness: every bench_*.py must be catalogued in
 # docs/benchmarks.md, and the doc suite must exist.
 docs-check:
 	$(PY) scripts/check_docs.py
 
 # Everything the CI gate cares about.
-verify: test docs-check
+verify: test docs-check bench-smoke

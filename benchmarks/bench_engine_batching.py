@@ -14,8 +14,12 @@ multi-core hosts.
 This benchmark runs one Table-1-style multi-trial sweep (f_ack local
 broadcast, 8 seeds over one deployment) through the legacy per-trial
 loop (artifact cache cleared between trials — exactly what the
-pre-engine benchmarks paid) and through the batched engine, asserts the
-results are **bit-identical**, and reports the wall-clock comparison.
+pre-engine benchmarks paid), through the batched object engine, and
+through the columnar fast path (``vectorize=True`` — array-state
+kernels instead of per-node ``on_slot`` dispatch, see
+:mod:`repro.vectorized` and ``bench_vectorized_stack.py`` for the
+at-scale numbers), asserts all results are **bit-identical**, and
+reports the wall-clock comparison.
 When the host has more than one core it also times the process-pool
 mode; on a single-core container the pool can only add overhead, so it
 is reported but never asserted on.
@@ -69,10 +73,19 @@ def run_legacy(plans) -> tuple[list, float]:
 
 
 def run_batched(plans) -> tuple[list, float]:
-    """The engine: shared artifacts + lockstep ragged-tensor physics."""
+    """The engine: shared artifacts + lockstep ragged-tensor physics
+    (object executor — the columnar fast path explicitly opted out)."""
     GLOBAL_CACHE.clear()
     start = time.perf_counter()
-    results = run_trials(plans, mode="batched")
+    results = run_trials(plans, mode="batched", vectorize=False)
+    return results, time.perf_counter() - start
+
+
+def run_vectorized(plans) -> tuple[list, float]:
+    """The columnar fast path: array-state kernels over the lattice."""
+    GLOBAL_CACHE.clear()
+    start = time.perf_counter()
+    results = run_trials(plans, mode="batched", vectorize=True)
     return results, time.perf_counter() - start
 
 
@@ -93,14 +106,19 @@ def test_engine_batching_speedup(benchmark, emit):
     def sweep_modes():
         legacy, legacy_time = run_legacy(plans)
         batched, batched_time = run_batched(plans)
+        vectorized, vectorized_time = run_vectorized(plans)
         pooled = pooled_time = None
         if pool_workers:
             pooled, pooled_time = run_pooled(plans, pool_workers)
-        return legacy, legacy_time, batched, batched_time, pooled, pooled_time
+        return (
+            legacy, legacy_time, batched, batched_time,
+            vectorized, vectorized_time, pooled, pooled_time,
+        )
 
-    legacy, legacy_time, batched, batched_time, pooled, pooled_time = (
-        benchmark.pedantic(sweep_modes, rounds=1, iterations=1)
-    )
+    (
+        legacy, legacy_time, batched, batched_time,
+        vectorized, vectorized_time, pooled, pooled_time,
+    ) = benchmark.pedantic(sweep_modes, rounds=1, iterations=1)
 
     rows = [
         [
@@ -114,6 +132,12 @@ def test_engine_batching_speedup(benchmark, emit):
             TRIALS,
             f"{batched_time:.3f}",
             f"{1000 * batched_time / TRIALS:.1f}",
+        ],
+        [
+            "engine vectorized",
+            TRIALS,
+            f"{vectorized_time:.3f}",
+            f"{1000 * vectorized_time / TRIALS:.1f}",
         ],
     ]
     if pool_workers:
@@ -145,6 +169,7 @@ def test_engine_batching_speedup(benchmark, emit):
     # The engine's defining contract: same seeds => bit-identical
     # per-trial metrics, whatever the execution mode.
     assert batched == legacy, "batched results diverged from sequential"
+    assert vectorized == legacy, "vectorized results diverged from sequential"
     if pooled is not None:
         assert pooled == legacy, "pooled results diverged from sequential"
     # Wall-clock regression guard (loose: CI boxes are noisy; the

@@ -13,6 +13,11 @@ that (a) latency grows with Δ, (b) growth is at most mildly super-linear
 Both sweeps run through the batched experiment engine
 (:func:`repro.experiments.run_trials`): the ε-sweep reuses one cached
 deployment across its four trials and resolves their slots in lockstep.
+Every plan here is a homogeneous Ack population under the
+local-broadcast workload, so the engine auto-selects the columnar fast
+path (:mod:`repro.vectorized`) — ``test_table1_fack_rides_fast_path``
+pins that selection, and the engine's equivalence suite guarantees the
+numbers are bit-identical to the object runtime's.
 """
 
 from __future__ import annotations
@@ -22,14 +27,16 @@ import pytest
 from repro.analysis.bounds import fack_upper_bound
 from repro.analysis.harness import correlation_with_shape, format_table
 from repro.experiments import DeploymentSpec, TrialPlan, run_trials
+from repro.vectorized import vector_eligible
 
 POPULATIONS = (8, 16, 32)
 RADIUS = 9.0
 EPS_ACK = 0.1
 
 
-def run_sweep() -> list[dict]:
-    plans = [
+def sweep_plans() -> list[TrialPlan]:
+    """The Δ-sweep plans (shared by the sweep and the fast-path pin)."""
+    return [
         TrialPlan(
             deployment=DeploymentSpec.of(
                 "uniform_disk", n=n, radius=RADIUS, seed=100 + n
@@ -42,6 +49,10 @@ def run_sweep() -> list[dict]:
         )
         for n in POPULATIONS
     ]
+
+
+def run_sweep() -> list[dict]:
+    plans = sweep_plans()
     rows = []
     for result in run_trials(plans):
         rows.append(
@@ -96,6 +107,12 @@ def test_table1_fack(benchmark, emit):
     assert shape["pearson"] > 0.8
     # Acknowledgments overwhelmingly complete (1 - eps_ack modulo noise).
     assert all(r["completeness"] >= 0.7 for r in rows)
+
+
+def test_table1_fack_rides_fast_path():
+    """Every f_ack plan is columnar-eligible: the engine's default
+    auto-selection runs this whole benchmark on the vectorized path."""
+    assert all(vector_eligible(plan) for plan in sweep_plans())
 
 
 def run_eps_sweep() -> list[dict]:

@@ -16,6 +16,13 @@ grows linearly with Δ while Algorithm 9.1's tracks only polylog Λ
 (Λ ~ √Δ here, since the range must scale to fit the dense ball).
 The absolute crossover sits beyond laptop-scale Δ and is reported by
 extrapolation.
+
+The Decay half of the sweep — 5 seeds × 3 degrees of a homogeneous
+Decay population — runs on the columnar runtime
+(:func:`measure_decay_progress` defaults to ``vectorized=True``),
+which the equivalence tests pin decode-for-decode identical to the
+object runtime, so the measured growth law is unchanged while the
+sweep's dominant cost (per-node slot dispatch at Δ=192) drops away.
 """
 
 from __future__ import annotations

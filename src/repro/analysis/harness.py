@@ -49,6 +49,8 @@ from repro.sinr.params import SINRParameters
 
 __all__ = [
     "StackBundle",
+    "default_ack_config",
+    "default_decay_config",
     "build_combined_stack",
     "build_decay_stack",
     "build_approg_stack",
@@ -74,15 +76,42 @@ class StackBundle:
     graph: nx.Graph  # G_{1-ε}
     approx_graph: nx.Graph  # G_{1-2ε}
 
-    def ack_report(self) -> AckReport:
+    def ack_report(self, intervals=None) -> AckReport:
         """Acknowledgment measurements of the run so far."""
-        return measure_acknowledgments(self.runtime.trace, self.graph)
+        return measure_acknowledgments(
+            self.runtime.trace, self.graph, intervals
+        )
 
-    def approg_report(self) -> ProgressReport:
+    def approg_report(self, intervals=None) -> ProgressReport:
         """Approximate-progress measurements of the run so far."""
         return measure_approximate_progress(
-            self.runtime.trace, self.graph, self.approx_graph
+            self.runtime.trace, self.graph, self.approx_graph, intervals
         )
+
+
+def default_ack_config(lam: float, eps_ack: float) -> AckConfig:
+    """The paper-formula Algorithm B.1 default: Ñ = 4Λ² at the measured Λ.
+
+    Single source of truth shared by the harness builders and the
+    columnar fast path (``repro.vectorized.engine.plan_protocol_config``)
+    — the two executors' bit-identity contract requires equal configs,
+    so the formula must never fork.
+    """
+    return AckConfig(
+        contention_bound=SINRParameters.max_contention_bound(max(lam, 2.0)),
+        eps_ack=eps_ack,
+    )
+
+
+def default_decay_config(n: int, eps_ack: float) -> DecayConfig:
+    """The Decay baseline default: contention bound = population size.
+
+    Shared with the columnar fast path exactly like
+    :func:`default_ack_config`.
+    """
+    return DecayConfig(
+        contention_bound=max(float(n), 2.0), eps_ack=eps_ack
+    )
 
 
 def _assemble(
@@ -93,6 +122,7 @@ def _assemble(
     seed: int,
     max_slots: int,
     adversary: JammingAdversary | None,
+    record_physical: bool,
 ) -> StackBundle:
     artifacts = deployment_artifacts(points, params)
     registry = MessageRegistry()
@@ -109,7 +139,13 @@ def _assemble(
         gains=artifacts.gains,
     )
     runtime = Runtime(
-        channel, macs, RuntimeConfig(seed=seed, max_slots=max_slots)
+        channel,
+        macs,
+        RuntimeConfig(
+            seed=seed,
+            max_slots=max_slots,
+            record_physical=record_physical,
+        ),
     )
     return StackBundle(
         points=points,
@@ -135,6 +171,7 @@ def build_combined_stack(
     adversary: JammingAdversary | None = None,
     ack_config: AckConfig | None = None,
     approg_config: ApproxProgressConfig | None = None,
+    record_physical: bool = True,
 ) -> StackBundle:
     """The paper's full absMAC (Algorithm 11.1) over a deployment.
 
@@ -144,10 +181,7 @@ def build_combined_stack(
     metrics = deployment_artifacts(points, params).metrics
     lam = max(metrics.lam, 2.0)
     if ack_config is None:
-        ack_config = AckConfig(
-            contention_bound=SINRParameters.max_contention_bound(lam),
-            eps_ack=eps_ack,
-        )
+        ack_config = default_ack_config(lam, eps_ack)
     if approg_config is None:
         approg_config = ApproxProgressConfig(
             lambda_bound=lam, eps_approg=eps_approg, alpha=params.alpha
@@ -158,7 +192,8 @@ def build_combined_stack(
         return CombinedMacLayer(i, reg, ack_config, schedule, client)
 
     return _assemble(
-        points, params, factory, client_factory, seed, max_slots, adversary
+        points, params, factory, client_factory, seed, max_slots,
+        adversary, record_physical,
     )
 
 
@@ -171,21 +206,20 @@ def build_ack_stack(
     max_slots: int = 2_000_000,
     adversary: JammingAdversary | None = None,
     ack_config: AckConfig | None = None,
+    record_physical: bool = True,
 ) -> StackBundle:
     """Algorithm B.1 alone (the Theorem 5.1 object of study)."""
     metrics = deployment_artifacts(points, params).metrics
     lam = max(metrics.lam, 2.0)
     if ack_config is None:
-        ack_config = AckConfig(
-            contention_bound=SINRParameters.max_contention_bound(lam),
-            eps_ack=eps_ack,
-        )
+        ack_config = default_ack_config(lam, eps_ack)
 
     def factory(i: int, reg: MessageRegistry, client: MacClient):
         return AckMacLayer(i, reg, ack_config, client)
 
     return _assemble(
-        points, params, factory, client_factory, seed, max_slots, adversary
+        points, params, factory, client_factory, seed, max_slots,
+        adversary, record_physical,
     )
 
 
@@ -198,6 +232,7 @@ def build_approg_stack(
     max_slots: int = 2_000_000,
     adversary: JammingAdversary | None = None,
     approg_config: ApproxProgressConfig | None = None,
+    record_physical: bool = True,
 ) -> StackBundle:
     """Algorithm 9.1 alone (the Theorem 9.1 object of study)."""
     metrics = deployment_artifacts(points, params).metrics
@@ -212,7 +247,8 @@ def build_approg_stack(
         return ApproxProgressMacLayer(i, reg, schedule, client)
 
     return _assemble(
-        points, params, factory, client_factory, seed, max_slots, adversary
+        points, params, factory, client_factory, seed, max_slots,
+        adversary, record_physical,
     )
 
 
@@ -225,18 +261,18 @@ def build_decay_stack(
     max_slots: int = 2_000_000,
     adversary: JammingAdversary | None = None,
     decay_config: DecayConfig | None = None,
+    record_physical: bool = True,
 ) -> StackBundle:
     """The Decay MAC baseline over the same deployment."""
     if decay_config is None:
-        decay_config = DecayConfig(
-            contention_bound=max(float(len(points)), 2.0), eps_ack=eps_ack
-        )
+        decay_config = default_decay_config(len(points), eps_ack)
 
     def factory(i: int, reg: MessageRegistry, client: MacClient):
         return DecayMacLayer(i, reg, decay_config, client)
 
     return _assemble(
-        points, params, factory, client_factory, seed, max_slots, adversary
+        points, params, factory, client_factory, seed, max_slots,
+        adversary, record_physical,
     )
 
 

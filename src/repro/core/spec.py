@@ -201,9 +201,20 @@ def _first_deliveries(trace: EventTrace) -> dict[tuple[int, int], int]:
     return deliveries
 
 
-def measure_acknowledgments(trace: EventTrace, graph: nx.Graph) -> AckReport:
-    """Measure every broadcast's ack latency and neighbor coverage."""
-    intervals = broadcast_intervals(trace)
+def measure_acknowledgments(
+    trace: EventTrace,
+    graph: nx.Graph,
+    intervals: dict[int, tuple[int, int, int]] | None = None,
+) -> AckReport:
+    """Measure every broadcast's ack latency and neighbor coverage.
+
+    ``intervals`` optionally reuses a precomputed
+    :func:`broadcast_intervals` scan — callers measuring several
+    quantities over one big trace (the experiment engine's per-trial
+    result assembly) share one pass instead of rescanning per measure.
+    """
+    if intervals is None:
+        intervals = broadcast_intervals(trace)
     deliveries = _first_deliveries(trace)
     acks = {
         event.data: event.slot for event in trace if event.kind == "ack"
@@ -239,27 +250,48 @@ def _neighbor_origin_receptions(
     """node -> sorted slots of physical receptions of bcast-messages
     originating at a G-neighbor of the node."""
     receptions: dict[int, list[int]] = {}
+    # Raw adjacency-dict lookups instead of has_node/has_edge calls:
+    # physical receive events are the bulkiest trace kind (one per
+    # decode), so this scan is measurement's hottest loop on big
+    # populations and the Mapping-protocol wrappers around `graph.adj`
+    # cost more than the membership tests themselves.
+    adjacency = _plain_adjacency(graph)
     for event in trace:
         if event.kind != "receive":
             continue
         _sender, payload = event.data
         if not isinstance(payload, BcastMessage):
             continue
-        if not graph.has_node(event.node):
+        neighbors = adjacency.get(event.node)
+        if neighbors is None:
             continue
         if payload.origin == event.node:
             continue
-        if graph.has_edge(payload.origin, event.node):
+        if payload.origin in neighbors:
             receptions.setdefault(event.node, []).append(event.slot)
     for slots in receptions.values():
         slots.sort()
     return receptions
 
 
+def _plain_adjacency(graph: nx.Graph) -> dict:
+    """The graph's node -> neighbor-dict mapping as plain dicts.
+
+    ``graph._adj`` is the stable networkx backing store (dict of
+    dicts); falling back to materializing ``graph.adj`` keeps exotic
+    graph subclasses working.
+    """
+    adjacency = getattr(graph, "_adj", None)
+    if isinstance(adjacency, dict):
+        return adjacency
+    return {node: dict(neighbors) for node, neighbors in graph.adj.items()}
+
+
 def _measure_episodes(
     trace: EventTrace,
     comm_graph: nx.Graph,
     trigger_graph: nx.Graph,
+    intervals: dict[int, tuple[int, int, int]] | None = None,
 ) -> ProgressReport:
     """Shared core of progress and approximate-progress measurement.
 
@@ -270,14 +302,24 @@ def _measure_episodes(
     we take the earliest trigger per receiver for a conservative
     measurement (longest exposure).
     """
-    intervals = broadcast_intervals(trace)
+    if intervals is None:
+        intervals = broadcast_intervals(trace)
     receptions = _neighbor_origin_receptions(trace, comm_graph)
+    # Earliest broadcast start per origin, then one adjacency walk per
+    # receiver: min over a node's broadcasting neighbors equals the old
+    # min over every (interval, has_edge) pair, without the
+    # O(nodes × broadcasts) edge probes that dominated measurement on
+    # thousand-node all-broadcast sweeps.
+    earliest_start: dict[int, int] = {}
+    for origin, start, _end in intervals.values():
+        known = earliest_start.get(origin)
+        if known is None or start < known:
+            earliest_start[origin] = start
     report = ProgressReport()
+    adjacency = _plain_adjacency(trigger_graph)
     for v in trigger_graph.nodes:
         triggers = [
-            start
-            for origin, start, _end in intervals.values()
-            if trigger_graph.has_edge(origin, v)
+            earliest_start[u] for u in adjacency[v] if u in earliest_start
         ]
         if not triggers:
             continue
@@ -297,9 +339,14 @@ def measure_approximate_progress(
     trace: EventTrace,
     comm_graph: nx.Graph,
     approx_graph: nx.Graph,
+    intervals: dict[int, tuple[int, int, int]] | None = None,
 ) -> ProgressReport:
-    """Definition 7.1: triggers in G̃, receptions from G-neighbors."""
-    return _measure_episodes(trace, comm_graph, approx_graph)
+    """Definition 7.1: triggers in G̃, receptions from G-neighbors.
+
+    ``intervals`` optionally shares a :func:`broadcast_intervals` scan
+    (see :func:`measure_acknowledgments`).
+    """
+    return _measure_episodes(trace, comm_graph, approx_graph, intervals)
 
 
 @dataclass

@@ -47,10 +47,12 @@ from repro.analysis.harness import (
     build_combined_stack,
     build_decay_stack,
 )
+from repro.core.spec import broadcast_intervals
 from repro.experiments.cache import ArtifactCache, resolve_deployment
 from repro.experiments.plans import TrialPlan, TrialResult
 from repro.experiments.workloads import Workload, get_workload
-from repro.sinr.physics import successful_receptions_batch
+from repro.sinr.physics import batch_tensor, successful_receptions_batch
+from repro.vectorized.engine import run_vector_group, vector_eligible
 
 __all__ = ["build_stack", "run_trial", "run_trials"]
 
@@ -65,6 +67,7 @@ def build_stack(
         client_factory=workload.client_factory(plan),
         seed=plan.seed,
         max_slots=plan.max_slots,
+        record_physical=plan.record_physical,
     )
     if plan.stack == "combined":
         return build_combined_stack(
@@ -109,8 +112,11 @@ def _result(
     workload: Workload,
     completion: int,
 ) -> TrialResult:
-    ack = stack.ack_report()
-    approg = stack.approg_report()
+    # One broadcast-interval scan serves both measurements; traces of
+    # big all-broadcast trials run to millions of events.
+    intervals = broadcast_intervals(stack.runtime.trace)
+    ack = stack.ack_report(intervals)
+    approg = stack.approg_report(intervals)
     metrics = stack.metrics
     channel = stack.runtime.channel
     return TrialResult(
@@ -221,19 +227,15 @@ def _run_lockstep(
             )
         )
     params = group[0][1].params
-    # One (trials, n, n) tensor each.  The common sweep — many seeds
-    # over one deployment — shares a single cached matrix across all
-    # trials, so broadcast a zero-stride view instead of materializing
-    # `trials` copies; only genuinely distinct deployments get stacked.
-    shape = (len(states), *states[0].stack.runtime.channel.distances.shape)
-
-    def tensor(matrices: list[np.ndarray]) -> np.ndarray:
-        if all(m is matrices[0] for m in matrices):
-            return np.broadcast_to(matrices[0], shape)
-        return np.stack(matrices)
-
-    dist_stack = tensor([st.stack.runtime.channel.distances for st in states])
-    gain_stack = tensor([st.stack.runtime.channel.gains for st in states])
+    # One (trials, n, n) tensor each: a zero-stride view for the
+    # common shared-deployment sweep, a byte-budget-guarded stack for
+    # genuinely distinct deployments (see physics.batch_tensor).
+    dist_stack = batch_tensor(
+        [st.stack.runtime.channel.distances for st in states]
+    )
+    gain_stack = batch_tensor(
+        [st.stack.runtime.channel.gains for st in states]
+    )
 
     results: dict[int, TrialResult] = {}
     empty_tx: dict[int, Any] = {}
@@ -278,9 +280,11 @@ def _batch_key(plan: TrialPlan, cache: ArtifactCache | None):
     return (len(points), plan.params)
 
 
-def _run_chunk(plans: Sequence[TrialPlan], mode: str) -> list[TrialResult]:
+def _run_chunk(
+    plans: Sequence[TrialPlan], mode: str, vectorize: bool | None
+) -> list[TrialResult]:
     """Pool-worker entry point (module-level so it pickles)."""
-    return run_trials(plans, mode=mode, workers=1)
+    return run_trials(plans, mode=mode, workers=1, vectorize=vectorize)
 
 
 def run_trials(
@@ -288,6 +292,7 @@ def run_trials(
     mode: str = "batched",
     workers: int = 1,
     cache: ArtifactCache | None = None,
+    vectorize: bool | None = None,
 ) -> list[TrialResult]:
     """Run many plans; results come back in plan order.
 
@@ -297,6 +302,16 @@ def run_trials(
     contiguous chunks over a process pool; batching then happens within
     each worker's chunk.  All modes produce dataclass-equal results for
     equal plans.
+
+    ``vectorize`` controls the columnar fast path
+    (:mod:`repro.vectorized`) inside batched mode: ``None`` (default)
+    auto-selects it for eligible plans — homogeneous Decay/Ack stacks
+    under a columnar-ready workload — and runs everything else on the
+    object lockstep executor; ``False`` opts the whole sweep out (the
+    pure object path, e.g. for before/after benchmarking); ``True``
+    demands it and raises ``ValueError`` when some plan is ineligible.
+    The selection never changes results — both executors are
+    decode-for-decode identical.
     """
     plan_list = list(plans)
     if workers < 1:
@@ -305,6 +320,19 @@ def run_trials(
         raise ValueError(f"unknown mode {mode!r}")
     if not plan_list:
         return []
+    if vectorize is True:
+        if mode == "sequential":
+            raise ValueError(
+                "vectorize=True demands the columnar executor, which "
+                "only batched mode runs; drop vectorize or use "
+                'mode="batched"'
+            )
+        bad = [p.display_label for p in plan_list if not vector_eligible(p)]
+        if bad:
+            raise ValueError(
+                "vectorize=True but these plans are not columnar-"
+                f"eligible: {bad}"
+            )
 
     if workers > 1:
         chunk_count = min(workers, len(plan_list))
@@ -315,7 +343,14 @@ def run_trials(
             if bounds[i] < bounds[i + 1]
         ]
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            parts = list(pool.map(_run_chunk, chunks, [mode] * len(chunks)))
+            parts = list(
+                pool.map(
+                    _run_chunk,
+                    chunks,
+                    [mode] * len(chunks),
+                    [vectorize] * len(chunks),
+                )
+            )
         return [result for part in parts for result in part]
 
     if mode == "sequential":
@@ -323,9 +358,16 @@ def run_trials(
 
     groups: dict[Any, list[tuple[int, TrialPlan]]] = {}
     for index, plan in enumerate(plan_list):
-        groups.setdefault(_batch_key(plan, cache), []).append((index, plan))
+        # The columnar executor needs one kernel per batch, so eligible
+        # plans additionally group by stack kind; ineligible plans keep
+        # the pure (n, params) key and run on the object executor.
+        key = _batch_key(plan, cache)
+        if vectorize is not False and vector_eligible(plan):
+            key = (*key, "vector", plan.stack, plan.record_physical)
+        groups.setdefault(key, []).append((index, plan))
     out: list[TrialResult | None] = [None] * len(plan_list)
-    for group in groups.values():
-        for index, result in _run_lockstep(group, cache).items():
+    for key, group in groups.items():
+        runner = run_vector_group if "vector" in key else _run_lockstep
+        for index, result in runner(group, cache).items():
             out[index] = result
     return out  # type: ignore[return-value]

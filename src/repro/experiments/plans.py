@@ -134,6 +134,14 @@ class TrialPlan:
     broadcasters:
         Which nodes inject broadcasts (None = all), for workloads that
         read it.
+    record_physical:
+        When True (default), every physical transmit/receive lands in
+        the trace (needed by the progress measurements and the spec
+        checker).  False is the production-throughput mode: only
+        MAC-level events (bcast/rcv/ack) are traced, so
+        ``approg_latencies`` comes back empty while acknowledgment
+        metrics and channel counters stay exact.  Either way both
+        engine executors produce bit-identical results.
     options:
         Workload-specific knobs as a sorted tuple of pairs (build with
         :meth:`pack_options`): ``source``/``payload`` for smb,
@@ -155,6 +163,7 @@ class TrialPlan:
     eps_approg: float = 0.1
     max_slots: int = 2_000_000
     extra_slots: int = 0
+    record_physical: bool = True
     options: tuple[tuple[str, Any], ...] = ()
     ack_config: AckConfig | None = None
     approg_config: ApproxProgressConfig | None = None

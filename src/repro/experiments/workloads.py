@@ -47,7 +47,17 @@ __all__ = [
 
 
 class Workload:
-    """Base workload: hooks the engine drives, documented above."""
+    """Base workload: hooks the engine drives, documented above.
+
+    A workload may additionally opt into the columnar fast path
+    (:mod:`repro.vectorized`) by implementing the ``vector_*`` hooks —
+    array-state counterparts of ``start``/``done``/``target_slots``/
+    ``finalize`` that read a :class:`~repro.vectorized.VectorRuntime`
+    instead of a stack of MAC objects.  :meth:`vector_ready` gates the
+    opt-in per plan; the default is False, which routes the plan to the
+    object runtime (workloads whose clients are protocol state machines
+    — BSMB/BMMB relays, consensus voters — cannot be columnar).
+    """
 
     name = "abstract"
     check_every = 16
@@ -73,6 +83,29 @@ class Workload:
         """Workload-specific result metrics (must be hashable values)."""
         return {"completion": completion}
 
+    # -- columnar fast-path hooks -----------------------------------------
+
+    def vector_ready(self, plan) -> bool:
+        """May this plan's workload phase run on the columnar runtime?"""
+        return False
+
+    def vector_start(self, runtime, trial: int, plan) -> None:
+        """Array-state :meth:`start`: inject broadcasts into one trial."""
+        raise NotImplementedError(f"workload {self.name!r} is not columnar")
+
+    def vector_done(self, runtime, trial: int, plan) -> bool:
+        """Array-state :meth:`done` for one trial of the batch."""
+        raise NotImplementedError(f"workload {self.name!r} is not columnar")
+
+    def vector_target_slots(self, plan) -> int | None:
+        """Array-state :meth:`target_slots` (stack-independent)."""
+        return None
+
+    def vector_finalize(self, plan, completion: int) -> dict[str, Any]:
+        """Array-state :meth:`finalize`; must match the object path's
+        metrics for every vector-eligible stack."""
+        return {"completion": completion}
+
     # -- shared helpers ---------------------------------------------------
 
     @staticmethod
@@ -80,6 +113,14 @@ class Workload:
         """The plan's broadcaster set (default: every node)."""
         if plan.broadcasters is None:
             return range(len(stack.macs))
+        return plan.broadcasters
+
+    @staticmethod
+    def vector_broadcasters(runtime, plan) -> Iterable[int]:
+        """:meth:`broadcasters` for the columnar runtime (same
+        None-means-every-node rule, read off the lattice width)."""
+        if plan.broadcasters is None:
+            return range(runtime.n)
         return plan.broadcasters
 
 
@@ -104,6 +145,19 @@ class LocalBroadcastWorkload(Workload):
             not stack.macs[node].busy
             for node in self.broadcasters(stack, plan)
         )
+
+    def vector_ready(self, plan) -> bool:
+        return True
+
+    def vector_start(self, runtime, trial: int, plan) -> None:
+        for node in self.vector_broadcasters(runtime, plan):
+            runtime.bcast(trial, node, payload=f"payload-{node}")
+
+    def vector_done(self, runtime, trial: int, plan) -> bool:
+        broadcasters = (
+            None if plan.broadcasters is None else plan.broadcasters
+        )
+        return not runtime.any_busy(trial, broadcasters)
 
 
 class FixedSlotsWorkload(Workload):
@@ -140,6 +194,23 @@ class FixedSlotsWorkload(Workload):
         if schedule is not None:
             out["epoch_slots"] = schedule.epoch_slots
         return out
+
+    def vector_ready(self, plan) -> bool:
+        # Epoch-schedule budgets need a materialized MAC stack; only
+        # explicit slot budgets are columnar (the Decay/Ack case — the
+        # vector-eligible stacks have no epoch schedule, so the object
+        # path's finalize adds no epoch_slots either).
+        return plan.option("slots") is not None
+
+    def vector_start(self, runtime, trial: int, plan) -> None:
+        for node in self.vector_broadcasters(runtime, plan):
+            runtime.bcast(trial, node, payload=f"m{node}")
+
+    def vector_done(self, runtime, trial: int, plan) -> bool:
+        return True  # unreachable: the fixed target drives completion
+
+    def vector_target_slots(self, plan) -> int | None:
+        return int(plan.option("slots"))
 
 
 class SmbWorkload(Workload):

@@ -147,28 +147,48 @@ def measure_decay_progress(
     eps: float = 0.1,
     max_slots: int = 400_000,
     seed: int = 0,
+    vectorized: bool = True,
 ) -> dict:
     """Run Decay with everyone broadcasting; time B1's first progress.
 
     The Theorem 8.1 scenario: both balls broadcast under Decay, and the
     measured quantity is how long until one B1 node receives the other's
     message.  Expected to scale linearly with Δ (· log(1/ε)).
+
+    ``vectorized`` (default) advances the homogeneous Decay population
+    on the columnar :class:`~repro.vectorized.VectorRuntime` —
+    decode-for-decode identical to the object runtime (same seeds, same
+    trace, same progress slot; the equivalence tests pin it), so the
+    flag only changes wall-clock, which matters because this experiment
+    is rerun for every (Δ, seed) point of the Theorem 8.1 sweep.
     """
     n = 2 + network.delta
-    registry = MessageRegistry()
     config = DecayConfig(
         contention_bound=max(float(n), 2.0), eps_ack=eps, ack_factor=8.0
     )
-    macs = [DecayMacLayer(i, registry, config) for i in range(n)]
-    runtime = Runtime(
-        network.channel(),
-        macs,
-        RuntimeConfig(seed=seed, max_slots=max_slots),
-    )
-    for mac in macs:
-        mac.bcast(payload=f"decay-{mac.node_id}")
+    if vectorized:
+        from repro.vectorized import DecayKernel, VectorRuntime
 
-    def b1_done(rt: Runtime) -> bool:
+        runtime = VectorRuntime(
+            [network.channel()],
+            DecayKernel([config], n),
+            seeds=[seed],
+            max_slots=max_slots,
+        )
+        for node in range(n):
+            runtime.bcast(0, node, payload=f"decay-{node}")
+    else:
+        registry = MessageRegistry()
+        macs = [DecayMacLayer(i, registry, config) for i in range(n)]
+        runtime = Runtime(
+            network.channel(),
+            macs,
+            RuntimeConfig(seed=seed, max_slots=max_slots),
+        )
+        for mac in macs:
+            mac.bcast(payload=f"decay-{mac.node_id}")
+
+    def b1_done(rt) -> bool:
         return _first_b1_progress_slot(rt, network) is not None
 
     try:

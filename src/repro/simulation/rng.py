@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_node_rngs", "spawn_trial_seeds"]
+__all__ = ["spawn_node_rngs", "spawn_trial_seeds", "NodeUniformBuffer"]
 
 
 def spawn_node_rngs(n: int, seed: int | None = 0) -> list[np.random.Generator]:
@@ -39,3 +39,62 @@ def spawn_trial_seeds(n: int, seed: int | None = 0) -> list[int]:
         int(child.generate_state(1, dtype=np.uint32)[0])
         for child in seq.spawn(n)
     ]
+
+
+class NodeUniformBuffer:
+    """Bulk pre-draw of per-node uniforms, stream-identical to scalar draws.
+
+    The columnar fast path (:mod:`repro.vectorized`) needs one uniform
+    per *owned slot* per node, exactly as the object runtime draws them
+    — node ``i``'s k-th vectorized draw must be the same float its
+    ``Generator.random()`` would have produced on its k-th owned slot,
+    or the fast path stops being decode-for-decode identical.
+
+    This buffer wraps one generator per node and refills each node's
+    lane ``chunk`` values at a time with ``Generator.random(chunk)``,
+    which emits the same float64 stream as ``chunk`` successive scalar
+    ``random()`` calls (each double consumes one 64-bit PCG64 output on
+    either path; ``tests/test_vectorized_equivalence.py`` pins this).
+    :meth:`take` then serves a whole population's draws for one slot as
+    a single fancy-indexed gather instead of N Python method calls.
+    """
+
+    # The buffer costs lanes × chunk × 8 bytes; beyond this ceiling the
+    # chunk auto-scales down (draw streams are chunk-independent, so
+    # only refill frequency changes) instead of letting a huge
+    # population sweep allocate hundreds of MB of pre-drawn uniforms.
+    MAX_BUFFER_BYTES = 64 << 20
+
+    def __init__(self, rngs, chunk: int = 512) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self._rngs = list(rngs)
+        lanes = len(self._rngs)
+        if lanes:
+            cap = max(8, self.MAX_BUFFER_BYTES // (lanes * 8))
+            chunk = min(int(chunk), cap)
+        self.chunk = int(chunk)
+        self._buf = np.empty((lanes, self.chunk), dtype=np.float64)
+        # All lanes start exhausted; they fill lazily on first use so
+        # nodes that never draw (asleep / never broadcasting) cost
+        # nothing and leave their generator untouched.
+        self._cursor = np.full(lanes, self.chunk, dtype=np.intp)
+
+    def __len__(self) -> int:
+        return len(self._rngs)
+
+    def take(self, indices: np.ndarray) -> np.ndarray:
+        """Next uniform of each indexed lane, aligned with ``indices``.
+
+        ``indices`` must not repeat a lane within one call (a node owns
+        at most one draw per slot); across calls, each lane's values
+        appear in exactly its generator's scalar stream order.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        exhausted = idx[self._cursor[idx] >= self.chunk]
+        for lane in exhausted.tolist():
+            self._buf[lane] = self._rngs[lane].random(self.chunk)
+            self._cursor[lane] = 0
+        out = self._buf[idx, self._cursor[idx]]
+        self._cursor[idx] += 1
+        return out

@@ -50,8 +50,14 @@ class EventTrace:
     events: list[TraceEvent] = field(default_factory=list)
 
     def record(self, slot: int, kind: str, node: int, data: Any = None) -> None:
-        """Append one event."""
-        self.events.append(TraceEvent(slot, kind, node, data))
+        """Append one event.
+
+        Uses ``TraceEvent._make`` (plain ``tuple.__new__``) rather than
+        the namedtuple constructor: record() runs once per transmission
+        and reception, and the constructor's keyword/default machinery
+        measurably taxes million-event simulations.
+        """
+        self.events.append(TraceEvent._make((slot, kind, node, data)))
 
     def __len__(self) -> int:
         return len(self.events)

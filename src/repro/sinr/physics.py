@@ -29,6 +29,8 @@ reproduces a sequential run decode-for-decode.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.sinr.params import SINRParameters
@@ -36,6 +38,9 @@ from repro.sinr.params import SINRParameters
 __all__ = [
     "received_power",
     "gain_matrix",
+    "batch_tensor",
+    "batch_tensor_bytes",
+    "check_batch_tensor_budget",
     "stack_distances",
     "interference_at",
     "sinr_matrix",
@@ -96,12 +101,92 @@ def gain_matrix(params: SINRParameters, distances: np.ndarray) -> np.ndarray:
     return received_power(params, distances)
 
 
-def stack_distances(matrices) -> np.ndarray:
+# Ceiling on the bytes a batched (trials, n, n) tensor may allocate
+# before :func:`stack_distances` refuses.  Overridable per call or via
+# the REPRO_BATCH_TENSOR_BUDGET environment variable (read at each
+# check, so tests and long-lived sessions can adjust it); the default
+# (1 GiB) admits ~16 trials of 2896-node deployments while catching the
+# accidental thousand-trial stack that would silently swap the host.
+DEFAULT_BATCH_TENSOR_BUDGET = 1 << 30
+
+
+def _batch_tensor_budget() -> int:
+    raw = os.environ.get("REPRO_BATCH_TENSOR_BUDGET")
+    if raw is None:
+        return DEFAULT_BATCH_TENSOR_BUDGET
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BATCH_TENSOR_BUDGET must be an integer byte count; "
+            f"got {raw!r}"
+        ) from None
+
+
+def batch_tensor_bytes(trials: int, n: int, itemsize: int = 8) -> int:
+    """Bytes a dense ``(trials, n, n)`` tensor of ``itemsize`` would take."""
+    return int(trials) * int(n) * int(n) * int(itemsize)
+
+
+def check_batch_tensor_budget(
+    trials: int, n: int, max_bytes: int | None = None, itemsize: int = 8
+) -> None:
+    """Raise before a ``(trials, n, n)`` tensor blows the byte budget.
+
+    The error names the offending shape and suggests the largest trial
+    chunk that fits, so callers can split their sweep (e.g. via the
+    engine's ``workers`` chunking) instead of silently allocating
+    gigabytes.  ``max_bytes=None`` reads the module default, which the
+    ``REPRO_BATCH_TENSOR_BUDGET`` environment variable overrides.
+    """
+    budget = _batch_tensor_budget() if max_bytes is None else max_bytes
+    if budget <= 0:  # explicit opt-out
+        return
+    need = batch_tensor_bytes(trials, n, itemsize)
+    if need <= budget:
+        return
+    per_trial = batch_tensor_bytes(1, n, itemsize)
+    chunk = max(1, budget // per_trial) if per_trial <= budget else 0
+    hint = (
+        f"split the batch into chunks of <= {chunk} trial(s)"
+        if chunk
+        else f"a single {n}-node trial already needs {per_trial} bytes"
+    )
+    raise MemoryError(
+        f"batched ({trials}, {n}, {n}) tensor needs {need} bytes, over "
+        f"the {budget}-byte budget; {hint}, or raise the budget via "
+        "REPRO_BATCH_TENSOR_BUDGET / the max_bytes parameter"
+    )
+
+
+def batch_tensor(matrices, itemsize: int = 16) -> np.ndarray:
+    """``(trials, n, n)`` view-or-stack for the batched executors.
+
+    When every entry is literally the same matrix object — the common
+    sweep, many seeds over one cached deployment — a zero-stride
+    broadcast view costs nothing.  Genuinely distinct matrices
+    materialize through :func:`check_batch_tensor_budget`; the default
+    ``itemsize=16`` accounts for the two float64 stacks a batch
+    materializes together (distances AND gains), so the budget bounds
+    the batch's peak rather than one allocation.
+    """
+    first = matrices[0]
+    shape = (len(matrices), *first.shape)
+    if all(m is first for m in matrices):
+        return np.broadcast_to(first, shape)
+    check_batch_tensor_budget(len(matrices), first.shape[0], itemsize=itemsize)
+    return np.stack(matrices)
+
+
+def stack_distances(matrices, max_bytes: int | None = None) -> np.ndarray:
     """Stack per-trial ``(n, n)`` distance matrices into ``(trials, n, n)``.
 
     All matrices must share one shape; trials over differently-sized
     deployments cannot be batched together (the engine groups plans by
-    node count before calling this).
+    node count before calling this).  The allocation is guarded by
+    :func:`check_batch_tensor_budget`: a stack that would exceed the
+    byte budget raises ``MemoryError`` with a suggested chunk size
+    instead of silently allocating gigabytes.
     """
     mats = [np.asarray(m, dtype=np.float64) for m in matrices]
     if not mats:
@@ -115,6 +200,7 @@ def stack_distances(matrices) -> np.ndarray:
                 f"cannot stack distance matrices of shapes {shape!r} "
                 f"and {m.shape!r}; batch trials share one node count"
             )
+    check_batch_tensor_budget(len(mats), shape[0], max_bytes=max_bytes)
     return np.stack(mats)
 
 
@@ -254,13 +340,49 @@ def successful_receptions(
     ok = sinr >= params.beta  # (k, n)
     ok[:, ~listener_mask] = False
 
-    result: dict[int, int] = {}
     k_idx, u_idx = np.nonzero(ok)
-    for k, u in zip(k_idx.tolist(), u_idx.tolist()):
-        # beta > 1 makes duplicates impossible, but assert defensively.
-        assert u not in result, "beta > 1 violated: two decodable senders"
-        result[u] = int(tx[k])
-    return result
+    _check_unique_listeners(u_idx)
+    return dict(zip(u_idx.tolist(), tx[k_idx].tolist()))
+
+
+def _check_unique_listeners(listener_idx: np.ndarray) -> None:
+    """Defend the β > 1 uniqueness invariant in one vectorized check.
+
+    The historical per-pair ``assert u not in result`` cost O(k·n) dict
+    probes on every slot and vanished under ``python -O``; this single
+    ``np.unique`` comparison costs one sort of the (sparse) decode list
+    and runs identically with or without ``-O``.
+    """
+    if listener_idx.size != np.unique(listener_idx).size:
+        raise RuntimeError(
+            "beta > 1 violated: two decodable senders at one listener"
+        )
+
+
+def _segment_totals(
+    powers: np.ndarray, sizes: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """Per-trial interference totals over the ragged ``(Σ k_b, n)`` layout.
+
+    Each trial's contiguous ``(k_b, n)`` block reduces with
+    ``ndarray.sum(axis=0)`` — sequential row accumulation, the exact
+    addend order of the sequential kernel's ``sinr_matrix`` — so batched
+    results stay bit-identical to per-trial resolution.
+
+    Deliberately NOT ``np.add.reduceat``: measured on numpy 2.4,
+    reduceat re-associates additions at SIMD width (ULP-divergent from
+    ``sum(axis=0)`` for >= 7 rows, breaking the bit-identity contract)
+    *and* is ~2.5x slower than this per-block loop at the engine's
+    shapes (the loop body is one fused C reduction per trial; the loop
+    overhead is trials × ~1µs, negligible against the (Σ k_b, n)
+    elementwise work around it).
+    """
+    trials = sizes.size
+    n = powers.shape[1]
+    total = np.zeros((trials, n))
+    for b in np.flatnonzero(sizes).tolist():
+        total[b] = powers[offsets[b] : offsets[b + 1]].sum(axis=0)
+    return total
 
 
 def successful_receptions_batch(
@@ -269,7 +391,8 @@ def successful_receptions_batch(
     transmitters,
     listeners=None,
     gains: np.ndarray | None = None,
-) -> list[dict[int, int]]:
+    flat: bool = False,
+):
     """Resolve one slot of ``trials`` independent runs in one reduction.
 
     ``distances`` is the ``(trials, n, n)`` tensor of per-trial pairwise
@@ -280,16 +403,22 @@ def successful_receptions_batch(
     non-transmitting node listens).  ``gains`` optionally supplies the
     precomputed ``(trials, n, n)`` gain tensor of :func:`gain_matrix`.
 
-    Returns one ``listener -> transmitter`` dict per trial, in order.
+    Returns one ``listener -> transmitter`` dict per trial, in order —
+    or, with ``flat=True``, the dict-building tail is skipped and the
+    decodes come back as three aligned index arrays
+    ``(trial_idx, listener_idx, sender_idx)`` in (trial, transmitter,
+    listener) order, which the columnar :class:`~repro.vectorized`
+    runtime consumes directly without per-decode Python dict traffic.
+
     The result is bit-identical to calling :func:`successful_receptions`
     per trial: transmitter rows are laid out *ragged* (trial b owns a
     contiguous ``(k_b, n)`` block — no padding, so skewed per-trial
     transmitter counts cost nothing), each block's interference total
-    reduces with exactly the sequential kernel's addend order, and every
-    other step is elementwise over the flat ``(Σ k_b, n)`` layout.
-    Uniform power only — the per-sender ``tx_powers`` hook of the
-    sequential kernel is a single-trial feature (Theorem 6.1
-    experiments).
+    reduces with exactly the sequential kernel's addend order (see
+    :func:`_segment_totals`), and every other step is elementwise over
+    the flat ``(Σ k_b, n)`` layout.  Uniform power only — the per-sender
+    ``tx_powers`` hook of the sequential kernel is a single-trial
+    feature (Theorem 6.1 experiments).
     """
     dist = np.asarray(distances, dtype=np.float64)
     if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
@@ -302,10 +431,12 @@ def successful_receptions_batch(
         raise ValueError(
             f"need one transmitter set per trial: {len(tx_lists)} != {trials}"
         )
-    results: list[dict[int, int]] = [{} for _ in range(trials)]
-    sizes = [t.size for t in tx_lists]
-    if sum(sizes) == 0:
-        return results
+    sizes = np.array([t.size for t in tx_lists], dtype=np.intp)
+    if int(sizes.sum()) == 0:
+        empty = np.empty(0, dtype=np.intp)
+        if flat:
+            return empty, empty.copy(), empty.copy()
+        return [{} for _ in range(trials)]
     if gains is None:
         gains = gain_matrix(params, dist)
 
@@ -315,16 +446,26 @@ def successful_receptions_batch(
     offsets = np.concatenate([[0], np.cumsum(sizes)])
 
     # (r, u): power of row r's transmitter received at node u — one
-    # gather for the whole batch.
-    powers = gains[trial_of_row, tx_flat, :]
-    # Total received power per (trial, node).  Each trial's block is a
-    # contiguous (k_b, n) slice reduced exactly like the sequential
-    # kernel (bit-identical interference sums).
-    total = np.zeros((trials, n))
-    for b in range(trials):
-        if sizes[b]:
-            total[b] = powers[offsets[b] : offsets[b + 1]].sum(axis=0)
-    sinr = powers / ((total[trial_of_row] - powers) + params.noise)
+    # gather for the whole batch.  A zero-stride gain stack (every
+    # trial sharing one deployment, the common sweep) gathers through
+    # its base matrix: same values, one less index dimension.
+    gains = np.asarray(gains)
+    if gains.ndim == 3 and gains.strides[0] == 0:
+        powers = gains[0][tx_flat, :]
+    else:
+        powers = gains[trial_of_row, tx_flat, :]
+    # Total received power per (trial, node), bit-identical to the
+    # sequential kernel's per-trial reduction.  The SINR evaluation
+    # reuses the interference buffer in place — identical operations
+    # and operand order as `powers / ((total[tor] - powers) + noise)`,
+    # without three (Σ k_b, n) temporaries per slot.
+    total = _segment_totals(powers, sizes, offsets)
+    # Expanding total back to rows via repeat (contiguous block copies)
+    # beats a fancy-index gather; the values are identical.
+    interference = np.repeat(total, sizes, axis=0)
+    np.subtract(interference, powers, out=interference)
+    interference += params.noise
+    sinr = np.divide(powers, interference, out=interference)
     ok = sinr >= params.beta
 
     if listeners is None:
@@ -341,9 +482,15 @@ def successful_receptions_batch(
     row_idx, u_idx = np.nonzero(ok)
     senders = tx_flat[row_idx]
     trials_hit = trial_of_row[row_idx]
+    # beta > 1 makes two decodes at one (trial, listener) impossible;
+    # one vectorized uniqueness check replaces the old per-pair asserts.
+    _check_unique_listeners(trials_hit * n + u_idx)
+    if flat:
+        return trials_hit, u_idx, senders
+
+    results: list[dict[int, int]] = [{} for _ in range(trials)]
     for b, u, sender in zip(
         trials_hit.tolist(), u_idx.tolist(), senders.tolist()
     ):
-        assert u not in results[b], "beta > 1 violated: two decodable senders"
         results[b][u] = int(sender)
     return results

@@ -1,0 +1,36 @@
+"""repro.vectorized — columnar fast path for homogeneous populations.
+
+The object runtime (:mod:`repro.simulation.runtime`) dispatches one
+``on_slot`` call per node per slot; for homogeneous Decay / Algorithm
+B.1 populations that Python dispatch layer dominates thousand-node
+sweeps.  This package transposes the per-node protocol engines into
+struct-of-arrays kernels over the ``trials × n`` lattice and advances
+whole populations with a handful of numpy operations per slot —
+**decode-for-decode identical** to the object runtime (same RNG
+streams, same traces, same results; the equivalence suite in
+``tests/test_vectorized_equivalence.py`` pins the contract).
+
+The experiment engine (:func:`repro.experiments.run_trials`)
+auto-selects this path for eligible plans; pass ``vectorize=False``
+there to opt out.  See ``docs/architecture.md`` ("The vectorized fast
+path") for the selection rules and why bit-identity holds.
+"""
+
+from __future__ import annotations
+
+from repro.vectorized.engine import (
+    plan_protocol_config,
+    run_vector_group,
+    vector_eligible,
+)
+from repro.vectorized.kernels import AckKernel, DecayKernel
+from repro.vectorized.runtime import VectorRuntime
+
+__all__ = [
+    "AckKernel",
+    "DecayKernel",
+    "VectorRuntime",
+    "plan_protocol_config",
+    "run_vector_group",
+    "vector_eligible",
+]

@@ -1,0 +1,221 @@
+"""Plan-level entry points of the columnar fast path.
+
+:func:`vector_eligible` decides whether a
+:class:`~repro.experiments.plans.TrialPlan` can run columnar;
+:func:`run_vector_group` advances one batch-compatible group of eligible
+plans in lockstep on a :class:`~repro.vectorized.runtime.VectorRuntime`,
+reproducing the object engine's phase machinery (done-predicate cadence,
+``extra_slots`` observation tail, slot budgets) so the
+:class:`~repro.experiments.plans.TrialResult` of every plan is
+dataclass-equal to what the object path produces.
+
+Eligibility — all of:
+
+* ``plan.stack`` is ``"decay"`` or ``"ack"`` (homogeneous populations
+  whose per-node engines have columnar kernels);
+* the plan's workload opted in via ``Workload.vector_ready`` (bare
+  ``MacClient`` clients, single-shot broadcasts).
+
+Everything else falls back to the object lockstep executor — the
+selection happens inside :func:`repro.experiments.run_trials`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.harness import default_ack_config, default_decay_config
+from repro.core.spec import (
+    broadcast_intervals,
+    measure_acknowledgments,
+    measure_approximate_progress,
+)
+from repro.experiments.cache import (
+    ArtifactCache,
+    deployment_artifacts,
+    resolve_deployment,
+)
+from repro.experiments.plans import TrialPlan, TrialResult
+from repro.experiments.workloads import Workload, get_workload
+from repro.sinr.channel import Channel
+from repro.vectorized.kernels import AckKernel, DecayKernel
+from repro.vectorized.runtime import VectorRuntime
+
+__all__ = ["vector_eligible", "run_vector_group", "plan_protocol_config"]
+
+_VECTOR_STACKS = ("decay", "ack")
+
+
+def vector_eligible(plan: TrialPlan) -> bool:
+    """May this plan run on the columnar fast path?"""
+    if plan.stack not in _VECTOR_STACKS:
+        return False
+    return get_workload(plan.workload).vector_ready(plan)
+
+
+def plan_protocol_config(plan: TrialPlan, cache: ArtifactCache | None = None):
+    """The plan's effective Decay/Ack config — explicit, or the shared
+    paper-formula default the harness builders use
+    (:func:`~repro.analysis.harness.default_decay_config` /
+    :func:`~repro.analysis.harness.default_ack_config`; bit-identical
+    configuration is the first precondition of bit-identical runs)."""
+    if plan.stack == "decay":
+        if plan.decay_config is not None:
+            return plan.decay_config
+        points = resolve_deployment(plan.deployment, cache)
+        return default_decay_config(len(points), plan.eps_ack)
+    if plan.stack == "ack":
+        if plan.ack_config is not None:
+            return plan.ack_config
+        points = resolve_deployment(plan.deployment, cache)
+        metrics = deployment_artifacts(points, plan.params, cache).metrics
+        return default_ack_config(metrics.lam, plan.eps_ack)
+    raise ValueError(f"stack {plan.stack!r} has no columnar kernel")
+
+
+@dataclass
+class _VectorTrialState:
+    """Phase bookkeeping for one trial — the columnar twin of the
+    object engine's ``_TrialState`` (same transitions, same cadence)."""
+
+    index: int  # position in the caller's plan list
+    row: int  # position in the batch lattice
+    plan: TrialPlan
+    workload: Workload
+    target: int | None
+    phase: str = "run"  # run -> extra -> done
+    steps: int = 0
+    extra_left: int = 0
+    completion: int | None = None
+    result: TrialResult | None = field(default=None, repr=False)
+
+
+def run_vector_group(
+    group: Sequence[tuple[int, TrialPlan]],
+    cache: ArtifactCache | None = None,
+) -> dict[int, TrialResult]:
+    """Advance one batch-compatible group of eligible plans in lockstep.
+
+    ``group`` pairs each plan with its position in the caller's plan
+    list, exactly like the object lockstep executor; all plans must
+    share node count, SINR parameters and stack kind.
+    """
+    stack_kind = group[0][1].stack
+    params = group[0][1].params
+    artifacts = []
+    for _index, plan in group:
+        if plan.stack != stack_kind or plan.params != params:
+            raise ValueError("vector groups must share stack and params")
+        points = resolve_deployment(plan.deployment, cache)
+        artifacts.append(deployment_artifacts(points, plan.params, cache))
+
+    n = artifacts[0].metrics.n
+    configs = [plan_protocol_config(plan, cache) for _, plan in group]
+    kernel_cls = DecayKernel if stack_kind == "decay" else AckKernel
+    kernel = kernel_cls(configs, n)
+    channels = [
+        Channel(
+            art.points,
+            params,
+            distances=art.distances,
+            gains=art.gains,
+        )
+        for art in artifacts
+    ]
+    record_physical = group[0][1].record_physical
+    for _index, plan in group:
+        if plan.record_physical != record_physical:
+            raise ValueError("vector groups must agree on record_physical")
+    runtime = VectorRuntime(
+        channels,
+        kernel,
+        seeds=[plan.seed for _, plan in group],
+        max_slots=[plan.max_slots for _, plan in group],
+        record_physical=record_physical,
+    )
+
+    states: list[_VectorTrialState] = []
+    for row, (index, plan) in enumerate(group):
+        workload = get_workload(plan.workload)
+        workload.vector_start(runtime, row, plan)
+        states.append(
+            _VectorTrialState(
+                index=index,
+                row=row,
+                plan=plan,
+                workload=workload,
+                target=workload.vector_target_slots(plan),
+            )
+        )
+
+    def finish(st: _VectorTrialState) -> TrialResult:
+        art = artifacts[st.row]
+        trace = runtime.traces[st.row]
+        channel = channels[st.row]
+        intervals = broadcast_intervals(trace)
+        ack = measure_acknowledgments(trace, art.graph, intervals)
+        approg = measure_approximate_progress(
+            trace, art.graph, art.approx_graph, intervals
+        )
+        metrics = art.metrics
+        return TrialResult(
+            label=st.plan.display_label,
+            seed=st.plan.seed,
+            n=metrics.n,
+            degree=metrics.degree,
+            degree_tilde=metrics.degree_tilde,
+            diameter=metrics.diameter,
+            diameter_tilde=metrics.diameter_tilde,
+            lam=metrics.lam,
+            slots=runtime.slots[st.row],
+            broadcasts=len(ack.records),
+            ack_latencies=tuple(ack.latencies()),
+            ack_completeness=ack.completeness_fraction(),
+            approg_latencies=tuple(approg.latencies()),
+            approg_episodes=len(approg.records),
+            transmissions=channel.total_transmissions,
+            receptions=channel.total_receptions,
+            extra=tuple(
+                sorted(
+                    st.workload.vector_finalize(
+                        st.plan, st.completion
+                    ).items()
+                )
+            ),
+        )
+
+    results: dict[int, TrialResult] = {}
+    while True:
+        live: list[_VectorTrialState] = []
+        for st in states:
+            if st.phase == "done":
+                continue
+            # Phase transitions due at the top of a slot — identical
+            # cadence to the object engine's _TrialState.advance_phase.
+            if st.phase == "run":
+                finished = (
+                    st.steps >= st.target
+                    if st.target is not None
+                    else (
+                        st.steps % st.workload.check_every == 0
+                        and st.workload.vector_done(runtime, st.row, st.plan)
+                    )
+                )
+                if finished:
+                    st.completion = runtime.slots[st.row]
+                    st.extra_left = st.plan.extra_slots
+                    st.phase = "extra"
+            if st.phase == "extra" and st.extra_left <= 0:
+                st.phase = "done"
+                st.result = finish(st)
+                results[st.index] = st.result
+                continue
+            live.append(st)
+        if not live:
+            return results
+        runtime.advance([st.row for st in live])
+        for st in live:
+            st.steps += 1
+            if st.phase == "extra":
+                st.extra_left -= 1

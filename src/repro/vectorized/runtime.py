@@ -1,0 +1,397 @@
+"""The columnar population runtime.
+
+:class:`VectorRuntime` is the fast-path counterpart of
+:class:`~repro.simulation.runtime.Runtime`: it advances the MAC
+populations of many batched trials one slot at a time, but where the
+object runtime makes N ``on_slot`` calls per trial per slot, this one
+makes a fixed number of array operations over the ``trials × n``
+lattice — the per-node protocol state lives in a columnar kernel
+(:mod:`repro.vectorized.kernels`), the per-slot uniforms come from a
+bulk pre-draw (:class:`~repro.simulation.rng.NodeUniformBuffer`), and
+the SINR physics of the whole batch resolves through the flat-index
+mode of :func:`~repro.sinr.physics.successful_receptions_batch`.
+
+Equivalence contract
+--------------------
+A trial advanced here is **decode-for-decode identical** to the same
+trial on the object runtime: same per-node RNG streams (drawn in the
+same order), same transmit decisions, same receptions, same
+wake/bcast/rcv/ack slots, same channel counters, and the same
+:class:`~repro.simulation.trace.EventTrace` content.  The only visible
+difference is intra-slot event interleaving: the object runtime
+interleaves events node by node, while this runtime records each slot's
+events grouped by kind (all transmits, then acks, then the delivery
+events) — within one kind the order is identical, and every
+measurement in :mod:`repro.core.spec` is ordering-free within a slot.
+
+Scope: homogeneous single-shot broadcast populations — every node runs
+the same Decay/Ack protocol with a bare ``MacClient``, each node
+broadcasts at most once (the Table-1 and Theorem-8.1 experiment shape),
+sleeping nodes are pure listeners woken by their first decode
+(conditional wakeup, Definition 4.4).  Protocol stacks with reactive
+clients (BSMB/BMMB relays, consensus) stay on the object runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.events import BcastMessage, MessageRegistry
+from repro.simulation.rng import NodeUniformBuffer, spawn_node_rngs
+from repro.simulation.trace import EventTrace, TraceEvent
+from repro.sinr.channel import Channel
+from repro.sinr.physics import batch_tensor, successful_receptions_batch
+
+__all__ = ["VectorRuntime"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.intp)
+
+
+class VectorRuntime:
+    """Lockstep columnar executor for a batch of homogeneous trials.
+
+    Parameters
+    ----------
+    channels:
+        One :class:`~repro.sinr.channel.Channel` per trial; all must
+        share the node count and SINR parameters (the engine's batch
+        key).  Each trial keeps its own adversary, counters and trace.
+    kernel:
+        A columnar protocol kernel sized for ``len(channels)`` trials of
+        ``n`` nodes (:class:`~repro.vectorized.kernels.DecayKernel` or
+        :class:`~repro.vectorized.kernels.AckKernel`).
+    seeds:
+        Per-trial master seeds; node generators are spawned exactly as
+        the object runtime spawns them, so streams line up node for
+        node.
+    max_slots:
+        Per-trial slot budget (int applies to all trials); exceeding it
+        raises ``RuntimeError`` like the object runtime's budget check.
+    record_physical:
+        When True (default), every physical transmit/receive is traced.
+    """
+
+    def __init__(
+        self,
+        channels: Sequence[Channel],
+        kernel,
+        seeds: Sequence[int | None],
+        max_slots: Sequence[int] | int = 2_000_000,
+        record_physical: bool = True,
+        chunk: int = 512,
+    ) -> None:
+        self.channels = list(channels)
+        if not self.channels:
+            raise ValueError("need at least one trial channel")
+        trials = len(self.channels)
+        if len(seeds) != trials:
+            raise ValueError("need one seed per trial")
+        n = self.channels[0].n
+        params = self.channels[0].params
+        for channel in self.channels[1:]:
+            if channel.n != n or channel.params != params:
+                raise ValueError(
+                    "all trials of one vector batch must share node "
+                    "count and SINR parameters"
+                )
+        kernel_cells = len(kernel.configs) * kernel.n
+        if kernel.n != n or kernel_cells != trials * n:
+            raise ValueError("kernel lattice does not match the batch")
+        self.kernel = kernel
+        self.params = params
+        self.trials = trials
+        self._n = n
+        self.record_physical = bool(record_physical)
+        if isinstance(max_slots, int):
+            max_slots = [max_slots] * trials
+        self.max_slots = [int(m) for m in max_slots]
+        if len(self.max_slots) != trials:
+            raise ValueError("need one max_slots per trial")
+
+        self._has_adversary = any(
+            c.adversary is not None for c in self.channels
+        )
+        self._dist_stack = batch_tensor(
+            [c.distances for c in self.channels]
+        )
+        self._gain_stack = batch_tensor([c.gains for c in self.channels])
+
+        rngs = [
+            rng
+            for seed in seeds
+            for rng in spawn_node_rngs(n, seed)
+        ]
+        self._uniforms = NodeUniformBuffer(rngs, chunk=chunk)
+
+        self.traces = [EventTrace() for _ in range(trials)]
+        self.registries = [MessageRegistry() for _ in range(trials)]
+        self.slots = [0] * trials
+        self._awake = np.zeros(trials * n, dtype=bool)
+        self._busy = np.zeros(trials * n, dtype=bool)
+        self._has_broadcast = np.zeros(trials * n, dtype=bool)
+        self._current: list[list[BcastMessage | None]] = [
+            [None] * n for _ in range(trials)
+        ]
+        self._delivered: list[set[tuple[int, int]]] = [
+            set() for _ in range(trials)
+        ]
+
+    # -- population facts --------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Nodes per trial."""
+        return self._n
+
+    @property
+    def slot(self) -> int:
+        """Current slot of trial 0 (the single-trial convenience view)."""
+        return self.slots[0]
+
+    @property
+    def trace(self) -> EventTrace:
+        """Trace of trial 0 (the single-trial convenience view)."""
+        return self.traces[0]
+
+    def busy_nodes(self, trial: int) -> np.ndarray:
+        """Ids of the trial's nodes with a broadcast in flight."""
+        row = self._busy[trial * self._n : (trial + 1) * self._n]
+        return np.flatnonzero(row)
+
+    def any_busy(self, trial: int, nodes=None) -> bool:
+        """True while any (given) node of the trial is broadcasting."""
+        row = self._busy[trial * self._n : (trial + 1) * self._n]
+        if nodes is None:
+            return bool(row.any())
+        return bool(row[np.asarray(list(nodes), dtype=np.intp)].any())
+
+    # -- environment inputs ------------------------------------------------
+
+    def wake_node(self, trial: int, node: int) -> None:
+        """Wake one node (environment input or conditional wakeup)."""
+        cell = trial * self._n + node
+        if not self._awake[cell]:
+            self._awake[cell] = True
+            self.traces[trial].record(self.slots[trial], "wake", node)
+
+    def bcast(self, trial: int, node: int, payload: Any = None) -> BcastMessage:
+        """Begin the node's (single) local broadcast, as MacLayer.bcast."""
+        cell = trial * self._n + node
+        if self._busy[cell]:
+            raise RuntimeError(
+                f"node {node} of trial {trial} is already broadcasting"
+            )
+        if self._has_broadcast[cell]:
+            raise NotImplementedError(
+                "columnar kernels support one broadcast per node; "
+                "rebroadcasting nodes need the object runtime"
+            )
+        message = self.registries[trial].mint(node, payload)
+        self.wake_node(trial, node)
+        self._has_broadcast[cell] = True
+        self._busy[cell] = True
+        self._current[trial][node] = message
+        self.traces[trial].record(self.slots[trial], "bcast", node, message.mid)
+        return message
+
+    # -- the slot loop -----------------------------------------------------
+
+    def advance(self, rows: Sequence[int] | None = None) -> None:
+        """Advance the given trials (default: all) by one slot."""
+        n = self._n
+        trials = self.trials
+        rows = list(range(trials)) if rows is None else list(rows)
+        for t in rows:
+            if self.slots[t] >= self.max_slots[t]:
+                raise RuntimeError(
+                    f"slot budget exhausted ({self.max_slots[t]}); "
+                    "protocol appears not to terminate"
+                )
+
+        live = np.zeros(trials, dtype=bool)
+        live[rows] = True
+        idx = np.flatnonzero(self._busy & np.repeat(live, n))
+
+        # Phase 1: every broadcasting cell decides transmit/listen in
+        # one kernel step (drawing its node's next private uniform).
+        uniforms = self._uniforms.take(idx)
+        transmit, halted = self.kernel.step(idx, uniforms)
+        tx_cells = idx[transmit]
+        ack_cells = idx[halted]
+
+        tx_trial = tx_cells // n
+        tx_node = tx_cells - tx_trial * n
+        bounds = np.searchsorted(tx_trial, np.arange(trials + 1))
+        make = TraceEvent._make  # tuple.__new__, ~4x cheaper per event
+        tx_ids: list[np.ndarray] = [_EMPTY_IDS] * trials
+        for t in rows:
+            lo, hi = bounds[t], bounds[t + 1]
+            if lo == hi:
+                continue
+            nodes = tx_node[lo:hi]
+            tx_ids[t] = nodes
+            if self.record_physical:
+                current = self._current[t]
+                events = self.traces[t].events
+                slot = self.slots[t]
+                for node in nodes.tolist():
+                    events.append(
+                        make((slot, "transmit", node, current[node]))
+                    )
+
+        # Acknowledgments fire in the same slot the budget runs out,
+        # with the final transmission still on the air; the message
+        # stays attached until after delivery so this slot's receptions
+        # of it still resolve their payload (the object path snapshots
+        # payloads into the transmissions dict for the same reason).
+        if ack_cells.size:
+            ack_trial = ack_cells // n
+            ack_node = ack_cells - ack_trial * n
+            self._busy[ack_cells] = False
+            for t, node in zip(ack_trial.tolist(), ack_node.tolist()):
+                message = self._current[t][node]
+                self.traces[t].record(self.slots[t], "ack", node, message.mid)
+        else:
+            ack_trial = ack_node = None
+
+        # One flat SINR reduction for the whole batch.
+        hit_trial, hit_listener, hit_sender = successful_receptions_batch(
+            self.params,
+            self._dist_stack,
+            tx_ids,
+            gains=self._gain_stack,
+            flat=True,
+        )
+
+        rx_bounds = np.searchsorted(hit_trial, np.arange(trials + 1))
+        if self._has_adversary:
+            self._deliver_filtered(
+                rows, tx_ids, hit_trial, hit_listener, hit_sender, rx_bounds
+            )
+        else:
+            # Fast delivery (no failure injection anywhere in the
+            # batch): every raw decode is a delivered reception, so
+            # conditional wakeup and rc feedback vectorize over the
+            # flat hit arrays and only the per-reception trace/dedup
+            # work stays in Python.
+            hit_cells = hit_trial * n + hit_listener
+            woken = hit_cells[~self._awake[hit_cells]]
+            if woken.size:
+                self._awake[woken] = True
+            feedback = (
+                hit_cells[self._busy[hit_cells]]
+                if self.kernel.needs_reception_feedback
+                else None
+            )
+            for t in rows:
+                lo, hi = rx_bounds[t], rx_bounds[t + 1]
+                slot = self.slots[t]
+                self.slots[t] = slot + 1
+                channel = self.channels[t]
+                # finalize_slot's bookkeeping without the dict traffic.
+                channel._slot_count += 1
+                channel.total_transmissions += int(tx_ids[t].size)
+                channel.total_receptions += int(hi - lo)
+                if lo == hi:
+                    continue
+                current = self._current[t]
+                events = self.traces[t].events
+                delivered = self._delivered[t]
+                record = self.record_physical
+                for listener, sender in zip(
+                    hit_listener[lo:hi].tolist(), hit_sender[lo:hi].tolist()
+                ):
+                    payload = current[sender]
+                    if record:
+                        events.append(
+                            make((slot, "receive", listener, (sender, payload)))
+                        )
+                    key = (listener, payload.mid)
+                    if payload.origin != listener and key not in delivered:
+                        delivered.add(key)
+                        events.append(make((slot, "rcv", listener, payload.mid)))
+            if woken.size:
+                wk_trial = woken // n
+                wk_node = woken - wk_trial * n
+                for t, node in zip(wk_trial.tolist(), wk_node.tolist()):
+                    # The wake belongs to the slot just resolved.
+                    self.traces[t].record(self.slots[t] - 1, "wake", node)
+            if feedback is not None and feedback.size:
+                self.kernel.notify(feedback)
+
+        # Acked broadcasts detach only now (see the ack comment above).
+        if ack_trial is not None:
+            for t, node in zip(ack_trial.tolist(), ack_node.tolist()):
+                self._current[t][node] = None
+
+    def _deliver_filtered(
+        self, rows, tx_ids, hit_trial, hit_listener, hit_sender, rx_bounds
+    ) -> None:
+        """Delivery through ``Channel.finalize_slot`` for batches with
+        failure injection: the adversary filters the same receptions
+        dict in the same order as the object runtime (consuming its RNG
+        stream identically), and wakeup / rcv / rc feedback see only the
+        surviving receptions."""
+        n = self._n
+        feedback_cells: list[int] = []
+        needs_feedback = self.kernel.needs_reception_feedback
+        for t in rows:
+            lo, hi = rx_bounds[t], rx_bounds[t + 1]
+            raw = dict(
+                zip(hit_listener[lo:hi].tolist(), hit_sender[lo:hi].tolist())
+            )
+            current = self._current[t]
+            sent = {
+                node: current[node] for node in tx_ids[t].tolist()
+            }
+            outcome = self.channels[t].finalize_slot(sent, tx_ids[t], raw)
+            slot = self.slots[t]
+            self.slots[t] = slot + 1
+            trace = self.traces[t]
+            delivered = self._delivered[t]
+            base = t * n
+            for listener, (sender, payload) in outcome.receptions.items():
+                cell = base + listener
+                if not self._awake[cell]:
+                    self._awake[cell] = True
+                    trace.record(slot, "wake", listener)
+                if self.record_physical:
+                    trace.events.append(
+                        TraceEvent(slot, "receive", listener, (sender, payload))
+                    )
+                key = (listener, payload.mid)
+                if payload.origin != listener and key not in delivered:
+                    delivered.add(key)
+                    trace.record(slot, "rcv", listener, payload.mid)
+                if needs_feedback and self._busy[cell]:
+                    feedback_cells.append(cell)
+        if feedback_cells:
+            self.kernel.notify(np.asarray(feedback_cells, dtype=np.intp))
+
+    # -- single-batch drivers (Runtime-compatible) -------------------------
+
+    def run(self, slots: int) -> None:
+        """Advance every trial a fixed number of slots."""
+        if slots < 0:
+            raise ValueError("slots must be >= 0")
+        for _ in range(slots):
+            self.advance()
+
+    def run_until(
+        self,
+        predicate: Callable[["VectorRuntime"], bool],
+        check_every: int = 1,
+    ) -> int:
+        """Advance all trials until ``predicate(self)`` holds.
+
+        Same contract as :meth:`Runtime.run_until` (budget exhaustion
+        raises ``RuntimeError``); returns trial 0's slot count.
+        """
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        while not predicate(self):
+            for _ in range(check_every):
+                self.advance()
+        return self.slot

@@ -9,6 +9,8 @@ from repro.geometry.deployment import uniform_disk
 from repro.geometry.points import pairwise_distances
 from repro.sinr.params import SINRParameters
 from repro.sinr.physics import (
+    _check_unique_listeners,
+    check_batch_tensor_budget,
     gain_matrix,
     received_power,
     sinr_matrix,
@@ -159,3 +161,86 @@ class TestStackDistances:
             stack_distances([np.zeros((3, 4))])
         with pytest.raises(ValueError, match="one node count"):
             stack_distances([np.zeros((3, 3)), np.zeros((4, 4))])
+
+
+class TestFlatIndexMode:
+    """flat=True returns (trial, listener, sender) arrays equal to the
+    dict mode's content, in (trial, transmitter, listener) order."""
+
+    def test_flat_matches_dicts(self, params):
+        stack, tx_sets = random_trials(params, trials=7, n=14, seed=7)
+        dicts = successful_receptions_batch(params, stack, tx_sets)
+        t_idx, u_idx, s_idx = successful_receptions_batch(
+            params, stack, tx_sets, flat=True
+        )
+        rebuilt = [dict() for _ in range(len(tx_sets))]
+        for t, u, s in zip(t_idx.tolist(), u_idx.tolist(), s_idx.tolist()):
+            rebuilt[t][u] = s
+        assert rebuilt == dicts
+        # trial indices come back sorted (trial-major flat layout)
+        assert np.all(np.diff(t_idx) >= 0)
+
+    def test_flat_empty_batch(self, params):
+        stack, _ = random_trials(params, trials=3, n=6, seed=8)
+        empty = [np.empty(0, dtype=np.intp)] * 3
+        t_idx, u_idx, s_idx = successful_receptions_batch(
+            params, stack, empty, flat=True
+        )
+        assert t_idx.size == u_idx.size == s_idx.size == 0
+
+    def test_flat_respects_listener_restriction(self, params):
+        stack, tx_sets = random_trials(params, trials=4, n=12, seed=9)
+        listeners = [np.array([0, 1, 2]), np.array([5]), np.arange(12), []]
+        dicts = successful_receptions_batch(
+            params, stack, tx_sets, listeners=listeners
+        )
+        t_idx, u_idx, s_idx = successful_receptions_batch(
+            params, stack, tx_sets, listeners=listeners, flat=True
+        )
+        rebuilt = [dict() for _ in range(len(tx_sets))]
+        for t, u, s in zip(t_idx.tolist(), u_idx.tolist(), s_idx.tolist()):
+            rebuilt[t][u] = s
+        assert rebuilt == dicts
+
+
+class TestBatchTensorBudget:
+    """The memory guard: oversized (trials, n, n) stacks refuse loudly."""
+
+    def test_within_budget_passes(self):
+        check_batch_tensor_budget(4, 100, max_bytes=4 * 100 * 100 * 8)
+
+    def test_over_budget_raises_with_chunk_hint(self):
+        with pytest.raises(MemoryError, match="chunks of <= 2 trial"):
+            check_batch_tensor_budget(5, 100, max_bytes=2 * 100 * 100 * 8)
+
+    def test_single_trial_too_big_says_so(self):
+        with pytest.raises(MemoryError, match="already needs"):
+            check_batch_tensor_budget(2, 1000, max_bytes=100)
+
+    def test_zero_budget_disables_guard(self):
+        check_batch_tensor_budget(10_000, 10_000, max_bytes=0)
+
+    def test_stack_distances_guarded(self):
+        mats = [np.ones((20, 20)) for _ in range(6)]
+        with pytest.raises(MemoryError, match="REPRO_BATCH_TENSOR_BUDGET"):
+            stack_distances(mats, max_bytes=3 * 20 * 20 * 8)
+        assert stack_distances(mats, max_bytes=6 * 20 * 20 * 8).shape == (
+            6, 20, 20,
+        )
+
+    def test_default_budget_admits_engine_scale(self):
+        # The default must not get in the way of the recorded
+        # 8-seed / 1000-node sweeps.
+        check_batch_tensor_budget(8, 1000)
+
+
+class TestUniquenessCheck:
+    """The β > 1 invariant is enforced identically with and without -O."""
+
+    def test_duplicate_listeners_raise(self):
+        with pytest.raises(RuntimeError, match="beta > 1 violated"):
+            _check_unique_listeners(np.array([3, 1, 3], dtype=np.intp))
+
+    def test_unique_listeners_pass(self):
+        _check_unique_listeners(np.array([2, 0, 5], dtype=np.intp))
+        _check_unique_listeners(np.empty(0, dtype=np.intp))
