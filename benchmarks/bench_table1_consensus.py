@@ -9,6 +9,13 @@ Experiment: flood-based consensus over the combined stack on line
 networks of growing diameter (the ``consensus`` workload of the
 experiment engine, parity inputs ``i % 2``); completion vs the D·f_ack
 shape.
+
+A second sweep runs the same algorithm at 4x the diameter over the
+standalone Algorithm B.1 MAC — the [44] analysis is *purely* in terms
+of f_ack, so any MAC honoring the acknowledgment guarantee carries it —
+riding the columnar protocol kernels
+(``test_table1_consensus_scaled_rides_fast_path`` pins the selection);
+agreement and validity must survive 2·D+2 waves on a 24-hop line.
 """
 
 from __future__ import annotations
@@ -20,8 +27,11 @@ from repro.analysis.harness import correlation_with_shape, format_table
 from repro.core.approx_progress import ApproxProgressConfig
 from repro.experiments import DeploymentSpec, TrialPlan, run_trials
 from repro.sinr.params import SINRParameters
+from repro.vectorized import vector_eligible
 
 HOPS = (2, 4, 6)
+SCALED_HOPS = (8, 16, 24)
+SCALED_EPS_ACK = 0.01
 EPS_CONS = 0.1
 
 
@@ -103,3 +113,67 @@ def test_table1_consensus(benchmark, emit):
         f"ratio-spread={shape['ratio_spread']:.2f}"
     )
     assert shape["pearson"] > 0.8
+
+
+def scaled_plans() -> list[TrialPlan]:
+    """Consensus over Algorithm B.1 lines up to 24 hops (columnar)."""
+    params = SINRParameters()
+    spacing = params.approx_range * 0.9
+    return [
+        TrialPlan(
+            deployment=DeploymentSpec.of(
+                "line_deployment", n=hops + 1, spacing=spacing
+            ),
+            stack="ack",
+            workload="consensus",
+            seed=hops,
+            eps_ack=SCALED_EPS_ACK,
+            options=TrialPlan.pack_options(waves=2 * hops + 2),
+            max_slots=3_000_000,
+            label=f"consensus-ack-hops{hops}",
+        )
+        for hops in SCALED_HOPS
+    ]
+
+
+def run_scaled_sweep() -> list[dict]:
+    rows = []
+    for hops, result in zip(SCALED_HOPS, run_trials(scaled_plans())):
+        n = result.n
+        rows.append(
+            {
+                "hops": hops,
+                "n": n,
+                "agreed": result.extra_value("agreed"),
+                "valid": result.extra_value("decided_value") == (n - 1) % 2,
+                "completion": result.completion,
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="table1-consensus")
+def test_table1_consensus_scaled_fast_path(benchmark, emit):
+    rows = benchmark.pedantic(run_scaled_sweep, rounds=1, iterations=1)
+    emit(
+        "",
+        "=== Table 1 / global CONS at 4x D (Alg. B.1 MAC, columnar) ===",
+        format_table(
+            ["n", "agreed", "valid", "completion slots"],
+            [
+                [r["n"], r["agreed"], r["valid"], r["completion"]]
+                for r in rows
+            ],
+        ),
+    )
+    assert all(r["agreed"] for r in rows), "agreement violated"
+    assert all(r["valid"] for r in rows), "validity violated"
+    completions = [r["completion"] for r in rows]
+    assert completions == sorted(completions)
+
+
+def test_table1_consensus_scaled_rides_fast_path():
+    """Every scaled plan is columnar-eligible: the engine's default
+    auto-selection runs the diameter sweep on the vectorized protocol
+    kernels."""
+    assert all(vector_eligible(plan) for plan in scaled_plans())

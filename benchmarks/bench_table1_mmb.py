@@ -10,6 +10,12 @@ growing k (the ``mmb`` workload of the experiment engine — all four
 trials share one deployment and one lockstep batch); the per-message
 marginal cost (slope in k) must stay roughly constant (additive k-term)
 rather than scale with D.
+
+A second sweep pushes k to 16 on a 20-hop line over the standalone
+Algorithm B.1 MAC (the protocols are MAC-agnostic): the FIFO pipeline's
+additivity claim is the same, and the homogeneous Ack population rides
+the columnar protocol kernels end-to-end
+(``test_table1_mmb_scaled_rides_fast_path`` pins the selection).
 """
 
 from __future__ import annotations
@@ -21,9 +27,13 @@ from repro.analysis.harness import format_table
 from repro.core.approx_progress import ApproxProgressConfig
 from repro.experiments import DeploymentSpec, TrialPlan, run_trials
 from repro.sinr.params import SINRParameters
+from repro.vectorized import vector_eligible
 
 KS = (1, 2, 4, 8)
 HOPS = 4
+SCALED_KS = (2, 4, 8, 16)
+SCALED_HOPS = 20
+SCALED_EPS_ACK = 0.01
 EPS_MMB = 0.1
 
 
@@ -100,3 +110,67 @@ def test_table1_mmb(benchmark, emit):
     assert max(margins) <= 4.0 * max(min(margins), 1.0), (
         f"marginal costs suggest multiplicative D·k: {margins}"
     )
+
+
+def scaled_plans() -> list[TrialPlan]:
+    """BMMB over Algorithm B.1: k up to 16 on a 20-hop line (columnar)."""
+    params = SINRParameters()
+    spacing = params.approx_range * 0.9
+    deployment = DeploymentSpec.of(
+        "line_deployment", n=SCALED_HOPS + 1, spacing=spacing
+    )
+    return [
+        TrialPlan(
+            deployment=deployment,
+            stack="ack",
+            workload="mmb",
+            seed=k,
+            eps_ack=SCALED_EPS_ACK,
+            options=TrialPlan.pack_options(
+                arrivals=((0, tuple(f"msg-{j}" for j in range(k))),)
+            ),
+            max_slots=800_000,
+            label=f"mmb-ack-k{k}",
+        )
+        for k in SCALED_KS
+    ]
+
+
+def run_scaled_sweep() -> list[dict]:
+    return [
+        {"k": k, "completion": result.completion}
+        for k, result in zip(SCALED_KS, run_trials(scaled_plans()))
+    ]
+
+
+@pytest.mark.benchmark(group="table1-mmb")
+def test_table1_mmb_scaled_fast_path(benchmark, emit):
+    rows = benchmark.pedantic(run_scaled_sweep, rounds=1, iterations=1)
+    completions = [r["completion"] for r in rows]
+    margins = [
+        (completions[i + 1] - completions[i])
+        / (SCALED_KS[i + 1] - SCALED_KS[i])
+        for i in range(len(SCALED_KS) - 1)
+    ]
+    emit(
+        "",
+        "=== Table 1 / global MMB at k=16 (Alg. B.1 MAC, columnar) ===",
+        format_table(
+            ["k", "completion slots"],
+            [[r["k"], r["completion"]] for r in rows],
+        ),
+        f"per-message marginal slots: {[f'{m:.0f}' for m in margins]}",
+    )
+    assert completions == sorted(completions), "MMB must grow with k"
+    # The additive k-term survives the deeper pipeline: late margins
+    # stay within a small constant of early ones.
+    assert max(margins) <= 4.0 * max(min(margins), 1.0), (
+        f"marginal costs suggest multiplicative D·k: {margins}"
+    )
+
+
+def test_table1_mmb_scaled_rides_fast_path():
+    """Every scaled plan is columnar-eligible: the engine's default
+    auto-selection runs the k-sweep on the vectorized protocol
+    kernels."""
+    assert all(vector_eligible(plan) for plan in scaled_plans())

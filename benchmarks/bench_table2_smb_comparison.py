@@ -18,10 +18,17 @@ reproduce it twice:
    * *Daum-style [14]*: BSMB forwarding over the standalone epoch
      machinery (Algorithm 9.1 without any ack layer — that is what
      [14]'s global algorithm is) at w.h.p. parameters ε = 1/n², paying
-     the multiplicative log n in epoch length.
+     the multiplicative log n in epoch length;
+   * *Decay baseline*: BSMB over the graph-model-style
+     :class:`~repro.core.decay.DecayMacLayer`, reported for context
+     (Decay does not appear in the paper's Table 2; its *progress*
+     separation lives in Theorem 8.1 and is measured by
+     ``bench_thm81_decay_approg.py``).
 
-   (Decay does not appear in the paper's Table 2; its separation lives
-   in Theorem 8.1 and is measured by ``bench_thm81_decay_approg.py``.)
+   All three stacks run as :class:`TrialPlan`\\ s through the batched
+   experiment engine; the homogeneous Decay population rides the
+   columnar protocol kernels (``test_table2_decay_rides_fast_path``),
+   while the epoch-machinery stacks run the object executor.
 """
 
 from __future__ import annotations
@@ -33,15 +40,17 @@ from repro.analysis.bounds import (
     smb_bound_jurdzinski,
     smb_upper_bound,
 )
-from repro.analysis.harness import (
-    build_approg_stack,
-    build_combined_stack,
-    format_table,
+from repro.analysis.harness import format_table
+from repro.core.approx_progress import ApproxProgressConfig, EpochSchedule
+from repro.experiments import (
+    DeploymentSpec,
+    TrialPlan,
+    deployment_artifacts,
+    resolve_deployment,
+    run_trials,
 )
-from repro.core.approx_progress import ApproxProgressConfig
-from repro.geometry.deployment import cluster_deployment
-from repro.protocols.bsmb import BsmbClient, run_single_message_broadcast
 from repro.sinr.params import SINRParameters
+from repro.vectorized import vector_eligible
 
 
 def formula_grid() -> list[dict]:
@@ -62,11 +71,12 @@ def formula_grid() -> list[dict]:
     return rows
 
 
-def dense_line_points(seed=5):
+def dense_line_spec(seed=5) -> DeploymentSpec:
     """Five dense clusters along a line: multihop AND high contention."""
     params = SINRParameters()
     spacing = params.approx_range * 0.8
-    return cluster_deployment(
+    return DeploymentSpec.of(
+        "cluster_deployment",
         n_clusters=5,
         nodes_per_cluster=7,
         cluster_radius=2.0,
@@ -76,57 +86,65 @@ def dense_line_points(seed=5):
     )
 
 
-def run_empirical() -> dict:
+def empirical_plans() -> tuple[list[TrialPlan], dict]:
+    """The three head-to-head stacks as engine plans, plus context."""
     params = SINRParameters()
-    points = dense_line_points()
+    deployment = dense_line_spec()
+    points = resolve_deployment(deployment)
     n = len(points)
+    metrics = deployment_artifacts(points, params).metrics
 
     # Shared knowledge: the polynomial bound on Lambda.
-    probe = build_combined_stack(points, params, seed=0)
-    lam = max(probe.metrics.lam, 2.0)
-
-    # Ours: combined MAC, constant-probability epochs.
-    ours_stack = build_combined_stack(
-        points,
-        params,
-        eps_ack=0.1,
-        client_factory=lambda i: BsmbClient(),
-        approg_config=ApproxProgressConfig(
-            lambda_bound=lam, eps_approg=0.125, alpha=params.alpha,
-            t_scale=0.25,
-        ),
+    lam = max(metrics.lam, 2.0)
+    ours_config = ApproxProgressConfig(
+        lambda_bound=lam, eps_approg=0.125, alpha=params.alpha,
+        t_scale=0.25,
+    )
+    daum_config = ApproxProgressConfig(
+        lambda_bound=lam,
+        eps_approg=1.0 / (n * n),
+        alpha=params.alpha,
+        t_scale=0.25,
+    )
+    common = dict(
+        deployment=deployment,
+        workload="smb",
         seed=1,
+        options=TrialPlan.pack_options(source=0),
     )
-    ours = run_single_message_broadcast(
-        ours_stack.runtime, ours_stack.macs, ours_stack.clients, source=0
-    )
-
-    # Daum-style: standalone epoch machinery at w.h.p. parameters.
-    daum_stack = build_approg_stack(
-        points,
-        params,
-        client_factory=lambda i: BsmbClient(),
-        approg_config=ApproxProgressConfig(
-            lambda_bound=lam,
-            eps_approg=1.0 / (n * n),
-            alpha=params.alpha,
-            t_scale=0.25,
+    plans = [
+        TrialPlan(
+            stack="combined",
+            eps_ack=0.1,
+            approg_config=ours_config,
+            label="table2-ours",
+            **common,
         ),
-        seed=1,
-    )
-    daum = run_single_message_broadcast(
-        daum_stack.runtime, daum_stack.macs, daum_stack.clients, source=0
-    )
-
-    return {
+        TrialPlan(
+            stack="approg",
+            approg_config=daum_config,
+            label="table2-daum",
+            **common,
+        ),
+        TrialPlan(stack="decay", label="table2-decay", **common),
+    ]
+    context = {
         "n": n,
-        "delta": ours_stack.metrics.degree,
+        "delta": metrics.degree,
         "lam": lam,
-        "ours": ours,
-        "daum": daum,
-        "epoch_ours": ours_stack.macs[0].schedule.epoch_slots,
-        "epoch_daum": daum_stack.macs[0].schedule.epoch_slots,
+        "epoch_ours": EpochSchedule(ours_config).epoch_slots,
+        "epoch_daum": EpochSchedule(daum_config).epoch_slots,
     }
+    return plans, context
+
+
+def run_empirical() -> dict:
+    plans, row = empirical_plans()
+    ours, daum, decay = run_trials(plans)
+    row.update(
+        ours=ours.completion, daum=daum.completion, decay=decay.completion
+    )
+    return row
 
 
 @pytest.mark.benchmark(group="table2-smb")
@@ -168,9 +186,9 @@ def test_table2_empirical_stacks(benchmark, emit):
     row = benchmark.pedantic(run_empirical, rounds=1, iterations=1)
     emit(
         "",
-        "=== Table 2 (empirical): two stacks, dense 5-cluster line ===",
+        "=== Table 2 (empirical): three stacks, dense 5-cluster line ===",
         format_table(
-            ["n", "Δ", "Λ", "ours", "Daum-style [14]"],
+            ["n", "Δ", "Λ", "ours", "Daum-style [14]", "Decay MAC"],
             [
                 [
                     row["n"],
@@ -178,6 +196,7 @@ def test_table2_empirical_stacks(benchmark, emit):
                     f"{row['lam']:.1f}",
                     row["ours"],
                     row["daum"],
+                    row["decay"],
                 ]
             ],
         ),
@@ -190,3 +209,16 @@ def test_table2_empirical_stacks(benchmark, emit):
     assert row["ours"] < row["daum"]
     # Mechanism check: the forced w.h.p. parameters inflate the epoch.
     assert row["epoch_daum"] > 1.5 * row["epoch_ours"]
+    # The Decay baseline ran to completion on the columnar path.
+    assert row["decay"] > 0
+
+
+def test_table2_decay_rides_fast_path():
+    """The Decay-MAC baseline plan is columnar-eligible (the other two
+    stacks carry the epoch machinery, which stays on the object
+    executor)."""
+    plans, _context = empirical_plans()
+    ours, daum, decay = plans
+    assert not vector_eligible(ours)
+    assert not vector_eligible(daum)
+    assert vector_eligible(decay)

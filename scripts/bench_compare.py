@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""bench-compare: guard the columnar fast path's speedups in CI.
+
+Compares freshly recorded benchmark JSONs (``BENCH_vectorized.json``,
+``BENCH_protocols.json`` — written by
+``benchmarks/bench_vectorized_stack.py``) against the versions
+committed at a git ref (default ``HEAD``).  The gate is the
+*counters-only speedup*: for every counters-only row present in both
+baseline and candidate, the candidate's speedup must not fall more than
+``--tolerance`` (default 20%) below the committed one.  Absolute
+seconds are deliberately ignored — they track the host machine; the
+vector/object ratio is what the fast path owns.
+
+Files with no committed baseline (first introduction) are reported and
+skipped, so the gate bootstraps cleanly.
+
+Run via ``make bench-compare`` (after ``make bench-record``); the CI
+``bench-regression`` job wires both together and uploads the fresh
+JSONs as workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def committed_json(ref: str, relpath: str) -> dict | None:
+    """The file's content at ``ref``, or None if not committed there."""
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{relpath}"],
+            cwd=REPO,
+            capture_output=True,
+            check=True,
+        ).stdout
+    except subprocess.CalledProcessError:
+        return None
+    return json.loads(blob)
+
+
+def row_key(row: dict) -> str:
+    """Stable identity of a benchmark row across schema generations."""
+    if "workload" in row:
+        return str(row["workload"])
+    return "physical" if row.get("record_physical") else "counters-only"
+
+
+def counters_only_rows(report: dict) -> dict[str, dict]:
+    return {
+        row_key(row): row
+        for row in report.get("rows", [])
+        if not row.get("record_physical", False)
+    }
+
+
+def compare(
+    relpath: str, ref: str, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Return (log lines, failure lines) for one benchmark file."""
+    lines: list[str] = []
+    failures: list[str] = []
+    candidate_path = REPO / relpath
+    if not candidate_path.is_file():
+        failures.append(
+            f"{relpath}: not found — run `make bench-record` first"
+        )
+        return lines, failures
+    candidate = json.loads(candidate_path.read_text(encoding="utf-8"))
+    baseline = committed_json(ref, relpath)
+    if baseline is None:
+        lines.append(
+            f"{relpath}: no baseline at {ref} (new benchmark) — skipped"
+        )
+        return lines, failures
+
+    base_rows = counters_only_rows(baseline)
+    cand_rows = counters_only_rows(candidate)
+    for key, base_row in sorted(base_rows.items()):
+        cand_row = cand_rows.get(key)
+        if cand_row is None:
+            failures.append(
+                f"{relpath}[{key}]: row present at {ref} but missing "
+                "from the fresh record"
+            )
+            continue
+        base_speedup = float(base_row["speedup"])
+        cand_speedup = float(cand_row["speedup"])
+        floor = base_speedup * (1.0 - tolerance)
+        verdict = "ok" if cand_speedup >= floor else "REGRESSED"
+        lines.append(
+            f"{relpath}[{key}]: speedup {cand_speedup:.2f}x vs committed "
+            f"{base_speedup:.2f}x (floor {floor:.2f}x) {verdict}"
+        )
+        if cand_speedup < floor:
+            failures.append(
+                f"{relpath}[{key}]: counters-only speedup regressed "
+                f">{tolerance:.0%}: {cand_speedup:.2f}x < {floor:.2f}x"
+            )
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "files",
+        nargs="*",
+        default=["BENCH_vectorized.json", "BENCH_protocols.json"],
+        help="benchmark JSONs (repo-relative) to compare",
+    )
+    parser.add_argument(
+        "--ref", default="HEAD", help="git ref holding the baseline"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional speedup regression (default 0.2)",
+    )
+    args = parser.parse_args(argv)
+
+    all_failures: list[str] = []
+    for relpath in args.files:
+        lines, failures = compare(relpath, args.ref, args.tolerance)
+        for line in lines:
+            print(f"  {line}")
+        all_failures.extend(failures)
+    if all_failures:
+        print(f"bench-compare: FAILED ({len(all_failures)} problem(s))")
+        for failure in all_failures:
+            print(f"  - {failure}")
+        return 1
+    print("bench-compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

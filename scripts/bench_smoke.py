@@ -84,21 +84,29 @@ def smoke_table1_fapprog(m):
 
 
 def smoke_table1_smb(m):
-    _shrink(m, HOPS=(2,))
+    _shrink(m, HOPS=(2,), SCALED_HOPS=(6,))
+    assert all(m.vector_eligible(p) for p in m.scaled_plans())
+    m.run_scaled_sweep()
     return m.run_sweep()
 
 
 def smoke_table1_mmb(m):
-    _shrink(m, KS=(1,), HOPS=2)
+    _shrink(m, KS=(1,), HOPS=2, SCALED_KS=(2,), SCALED_HOPS=4)
+    assert all(m.vector_eligible(p) for p in m.scaled_plans())
+    m.run_scaled_sweep()
     return m.run_sweep()
 
 
 def smoke_table1_consensus(m):
-    _shrink(m, HOPS=(2,))
+    _shrink(m, HOPS=(2,), SCALED_HOPS=(4,))
+    assert all(m.vector_eligible(p) for p in m.scaled_plans())
+    m.run_scaled_sweep()
     return m.run_sweep()
 
 
 def smoke_table2(m):
+    plans, _context = m.empirical_plans()
+    assert m.vector_eligible(plans[-1])  # the Decay baseline row
     return m.formula_grid()
 
 
@@ -111,6 +119,19 @@ def smoke_vectorized_stack(m):
     _shrink(m, N=100, SEEDS=2, SLOTS=120, RADIUS=40.0)
     report = m.run_comparison(rounds=1)
     assert all(r["bit_identical"] for r in report["rows"])
+    # The protocol sweep (BSMB/BMMB/consensus rows), miniaturized.
+    _shrink(
+        m,
+        PROTOCOL_SEEDS=2,
+        SMB_CLUSTERS=10,
+        SMB_PER_CLUSTER=6,
+        MMB_N=80,
+        MMB_RADIUS=22.0,
+        CONS_N=80,
+        CONS_RADIUS=31.0,
+    )
+    protocol_report = m.run_protocol_comparison(rounds=1)
+    assert all(r["bit_identical"] for r in protocol_report["rows"])
     return report
 
 

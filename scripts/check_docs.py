@@ -46,7 +46,11 @@ def main() -> int:
                 f"benchmarks/{name} is not documented in docs/benchmarks.md"
             )
 
-    mentioned = set(re.findall(r"\bbench_[A-Za-z0-9_]+\.py\b", catalogue))
+    # `scripts/bench_*.py` helpers (the smoke runner, the compare gate)
+    # are not benchmark scripts; only bare mentions are catalogue rows.
+    mentioned = set(
+        re.findall(r"(?<!scripts/)\bbench_[A-Za-z0-9_]+\.py\b", catalogue)
+    )
     for name in sorted(mentioned.difference(scripts)):
         problems.append(
             f"docs/benchmarks.md mentions {name}, which does not exist "

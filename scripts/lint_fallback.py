@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Stdlib-only lint fallback for environments without ruff.
+
+``make lint`` prefers ruff (``ruff check`` + ``ruff format --check``,
+configured in ``pyproject.toml``); this script approximates the
+highest-signal subset with the standard library only, so the lint gate
+still catches real rot in offline/air-gapped development containers:
+
+* every ``*.py`` file must compile (syntax errors, ``E9``);
+* no unused imports (the bulk of pyflakes ``F401``; ``__init__.py``
+  re-export modules are exempt, and names listed in ``__all__`` count
+  as used);
+* no tabs in indentation, no trailing whitespace, newline at EOF
+  (the mechanical half of the formatter contract).
+
+It intentionally does NOT wrap or reflow anything — formatting
+authority stays with ruff in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ROOTS = ("src", "tests", "benchmarks", "scripts", "examples")
+
+
+def iter_sources():
+    for root in ROOTS:
+        yield from sorted((REPO / root).glob("**/*.py"))
+
+
+def used_names(tree: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # Dotted usage like `repro.geometry.deployment`: record the
+            # full dotted path so `import a.b` counts as used by `a.b.c`.
+            parts = []
+            cur: ast.AST = node
+            while isinstance(cur, ast.Attribute):
+                parts.append(cur.attr)
+                cur = cur.value
+            if isinstance(cur, ast.Name):
+                parts.append(cur.id)
+                dotted = ".".join(reversed(parts))
+                names.add(dotted)
+                names.add(cur.id)
+    return names
+
+
+def exported_names(tree: ast.AST) -> set[str]:
+    exported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                for element in node.value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, str
+                    ):
+                        exported.add(element.value)
+    return exported
+
+
+def unused_imports(tree: ast.AST) -> list[tuple[int, str]]:
+    used = used_names(tree)
+    exported = exported_names(tree)
+    problems: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if bound.split(".")[0] in used or bound in used:
+                    continue
+                if bound in exported:
+                    continue
+                problems.append((node.lineno, f"unused import {bound!r}"))
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                if bound in used or bound in exported:
+                    continue
+                problems.append((node.lineno, f"unused import {bound!r}"))
+    return problems
+
+
+def check_file(path: Path) -> list[str]:
+    rel = path.relative_to(REPO)
+    problems: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(text, filename=str(rel))
+    except SyntaxError as exc:
+        return [f"{rel}:{exc.lineno}: syntax error: {exc.msg}"]
+    if path.name != "__init__.py":  # packages re-export via imports
+        for lineno, message in unused_imports(tree):
+            problems.append(f"{rel}:{lineno}: {message}")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.rstrip("\n")
+        if stripped != stripped.rstrip():
+            problems.append(f"{rel}:{lineno}: trailing whitespace")
+        if stripped[: len(stripped) - len(stripped.lstrip())].count("\t"):
+            problems.append(f"{rel}:{lineno}: tab in indentation")
+    if text and not text.endswith("\n"):
+        problems.append(f"{rel}: missing newline at end of file")
+    return problems
+
+
+def main() -> int:
+    problems: list[str] = []
+    count = 0
+    for path in iter_sources():
+        count += 1
+        problems.extend(check_file(path))
+    if problems:
+        print(f"lint-fallback: FAILED ({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"lint-fallback: OK ({count} files; install ruff for the full gate)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

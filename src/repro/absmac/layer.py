@@ -12,6 +12,12 @@ All concrete MAC implementations in this repository
 :class:`~repro.absmac.ideal.IdealMacLayer`) subclass
 :class:`MacLayerBase`, so higher-level protocols (BSMB, BMMB, consensus)
 run unchanged over any of them — the paper's plug-and-play property.
+
+The columnar fast path realizes the same event vocabulary over whole
+populations at once: a
+:class:`~repro.vectorized.protocols.VectorMacAdapter` reports
+wake/rcv/ack as cell index arrays and accepts batched ``bcast``
+requests, so the protocol layer stays MAC-agnostic there too.
 """
 
 from __future__ import annotations

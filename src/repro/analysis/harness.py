@@ -25,7 +25,7 @@ import networkx as nx
 import numpy as np
 
 from repro.absmac.layer import MacClient, MacLayerBase
-from repro.analysis.metrics import NetworkMetrics, compute_metrics
+from repro.analysis.metrics import NetworkMetrics
 from repro.core.ack_protocol import AckConfig, AckMacLayer
 from repro.core.approx_progress import (
     ApproxProgressConfig,

@@ -39,7 +39,7 @@ aligned; a node waking mid-epoch listens until the next epoch boundary
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

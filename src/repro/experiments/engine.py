@@ -358,12 +358,19 @@ def run_trials(
 
     groups: dict[Any, list[tuple[int, TrialPlan]]] = {}
     for index, plan in enumerate(plan_list):
-        # The columnar executor needs one kernel per batch, so eligible
-        # plans additionally group by stack kind; ineligible plans keep
-        # the pure (n, params) key and run on the object executor.
+        # The columnar executor needs one MAC kernel and one client
+        # population per batch, so eligible plans additionally group by
+        # stack kind and workload; ineligible plans keep the pure
+        # (n, params) key and run on the object executor.
         key = _batch_key(plan, cache)
         if vectorize is not False and vector_eligible(plan):
-            key = (*key, "vector", plan.stack, plan.record_physical)
+            key = (
+                *key,
+                "vector",
+                plan.stack,
+                plan.workload,
+                plan.record_physical,
+            )
         groups.setdefault(key, []).append((index, plan))
     out: list[TrialResult | None] = [None] * len(plan_list)
     for key, group in groups.items():

@@ -40,10 +40,28 @@ __all__ = [
     "SmbWorkload",
     "MmbWorkload",
     "ConsensusWorkload",
+    "consensus_outcome",
     "register",
     "get_workload",
     "workload_names",
 ]
+
+
+def consensus_outcome(
+    decisions: tuple[tuple[int, int | None], ...], completion: int
+) -> dict[str, Any]:
+    """The consensus workload's result metrics from (node, decision)
+    pairs — single source of truth for the object path and the
+    columnar client population
+    (:class:`~repro.vectorized.protocols.ConsensusClients`), whose
+    ``extra`` tuples must stay dataclass-equal."""
+    values = {decision for _, decision in decisions}
+    return {
+        "completion": completion,
+        "decisions": decisions,
+        "agreed": len(values) <= 1,
+        "decided_value": values.pop() if len(values) == 1 else None,
+    }
 
 
 class Workload:
@@ -55,8 +73,11 @@ class Workload:
     ``finalize`` that read a :class:`~repro.vectorized.VectorRuntime`
     instead of a stack of MAC objects.  :meth:`vector_ready` gates the
     opt-in per plan; the default is False, which routes the plan to the
-    object runtime (workloads whose clients are protocol state machines
-    — BSMB/BMMB relays, consensus voters — cannot be columnar).
+    object runtime.  Workloads whose clients are protocol state
+    machines (BSMB relays, BMMB queues, consensus voters) return their
+    columnar client population from :meth:`vector_clients`
+    (:mod:`repro.vectorized.protocols`), which the engine installs on
+    the batch's :class:`~repro.vectorized.protocols.VectorMacAdapter`.
     """
 
     name = "abstract"
@@ -89,6 +110,13 @@ class Workload:
         """May this plan's workload phase run on the columnar runtime?"""
         return False
 
+    def vector_clients(self, adapter, plans) -> Any | None:
+        """Columnar client population for one batch (None = bare
+        listeners).  ``plans`` lists the batch's plans in row order;
+        ``adapter`` is the batch's MAC adapter, handed to the client
+        kernel as its broadcast interface."""
+        return None
+
     def vector_start(self, runtime, trial: int, plan) -> None:
         """Array-state :meth:`start`: inject broadcasts into one trial."""
         raise NotImplementedError(f"workload {self.name!r} is not columnar")
@@ -101,7 +129,9 @@ class Workload:
         """Array-state :meth:`target_slots` (stack-independent)."""
         return None
 
-    def vector_finalize(self, plan, completion: int) -> dict[str, Any]:
+    def vector_finalize(
+        self, runtime, trial: int, plan, completion: int
+    ) -> dict[str, Any]:
         """Array-state :meth:`finalize`; must match the object path's
         metrics for every vector-eligible stack."""
         return {"completion": completion}
@@ -235,6 +265,22 @@ class SmbWorkload(Workload):
     def done(self, stack, plan) -> bool:
         return all(client.done for client in stack.clients)
 
+    def vector_ready(self, plan) -> bool:
+        return True
+
+    def vector_clients(self, adapter, plans):
+        from repro.vectorized.protocols import BsmbClients
+
+        return BsmbClients(adapter)
+
+    def vector_start(self, runtime, trial: int, plan) -> None:
+        source = int(plan.option("source", 0))
+        payload = plan.option("payload", "smb-message")
+        runtime.adapter.client.start_as_source(trial, source, payload)
+
+    def vector_done(self, runtime, trial: int, plan) -> bool:
+        return runtime.adapter.client.done(trial)
+
 
 class MmbWorkload(Workload):
     """Multi-message broadcast (BMMB of [37], Theorem 12.7).
@@ -280,6 +326,27 @@ class MmbWorkload(Workload):
         tokens = self._tokens(self._arrivals(plan))
         return all(client.has_all(tokens) for client in stack.clients)
 
+    def vector_ready(self, plan) -> bool:
+        return True
+
+    def vector_clients(self, adapter, plans):
+        from repro.vectorized.protocols import BmmbClients
+
+        return BmmbClients(
+            adapter,
+            [self._tokens(self._arrivals(plan)) for plan in plans],
+        )
+
+    def vector_start(self, runtime, trial: int, plan) -> None:
+        client = runtime.adapter.client
+        for node, batch in self._arrivals(plan):
+            runtime.wake_node(trial, node)
+            for token in batch:
+                client.arrive(trial, node, token)
+
+    def vector_done(self, runtime, trial: int, plan) -> bool:
+        return runtime.adapter.client.done(trial)
+
 
 class ConsensusWorkload(Workload):
     """Flood-based consensus (Corollary 5.5 after [44]).
@@ -316,13 +383,43 @@ class ConsensusWorkload(Workload):
         decisions = tuple(
             (client.node_id, client.decision) for client in stack.clients
         )
-        values = {decision for _, decision in decisions}
-        return {
-            "completion": completion,
-            "decisions": decisions,
-            "agreed": len(values) <= 1,
-            "decided_value": values.pop() if len(values) == 1 else None,
-        }
+        return consensus_outcome(decisions, completion)
+
+    @staticmethod
+    def _trial_inputs(plan, n: int) -> tuple[int, list[int]]:
+        waves = plan.option("waves")
+        if waves is None:
+            raise ValueError("consensus workload needs a 'waves' option")
+        values = plan.option("values")
+        inputs = [
+            (i % 2) if values is None else int(values[i]) for i in range(n)
+        ]
+        return int(waves), inputs
+
+    def vector_ready(self, plan) -> bool:
+        return True
+
+    def vector_clients(self, adapter, plans):
+        from repro.vectorized.protocols import ConsensusClients
+
+        n = adapter.runtime.n
+        per_trial = [self._trial_inputs(plan, n) for plan in plans]
+        return ConsensusClients(
+            adapter,
+            waves=[waves for waves, _ in per_trial],
+            values=[inputs for _, inputs in per_trial],
+        )
+
+    def vector_start(self, runtime, trial: int, plan) -> None:
+        runtime.adapter.client.start(trial)
+
+    def vector_done(self, runtime, trial: int, plan) -> bool:
+        return runtime.adapter.client.done(trial)
+
+    def vector_finalize(
+        self, runtime, trial: int, plan, completion: int
+    ) -> dict[str, Any]:
+        return runtime.adapter.client.finalize(trial, completion)
 
 
 _REGISTRY: dict[str, Workload] = {}

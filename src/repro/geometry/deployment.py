@@ -219,7 +219,9 @@ def annulus_deployment(
     return PointSet(coords, name=f"annulus(n={n})")
 
 
-def two_parallel_lines(delta: int, line_distance: float, spacing: float = 1.0) -> PointSet:
+def two_parallel_lines(
+    delta: int, line_distance: float, spacing: float = 1.0
+) -> PointSet:
     """The Theorem 6.1 / Figure 1 lower-bound construction.
 
     Two parallel lines at Euclidean distance ``line_distance``, each with

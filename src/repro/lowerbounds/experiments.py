@@ -8,9 +8,6 @@ the benchmarks and tests can compare them against the predicted
 
 from __future__ import annotations
 
-import math
-
-from repro.core.ack_protocol import AckConfig
 from repro.core.approx_progress import (
     ApproxProgressConfig,
     ApproxProgressMacLayer,

@@ -16,6 +16,11 @@ Theorem 12.5 + 12.6 bound completion by
 ``D`` and ``k`` enter *additively* (D·polylog + k·(Δ + polylog)) instead
 of multiplicatively (D·k·Δ); the Table 1 MMB benchmark measures exactly
 that additivity.
+
+The protocol code is MAC-agnostic: it sees only bcast/rcv/ack events.
+:class:`~repro.vectorized.protocols.BmmbClients` is this client's
+columnar twin (the FIFO queue as padded index arrays); the equivalence
+suite pins them decode-for-decode identical.
 """
 
 from __future__ import annotations

@@ -12,6 +12,9 @@ bound; Theorem 12.7 instantiates this with the paper's implementation to
 get global SMB in O((D_{G_{1-2ε}} + log(n/ε))·log^{α+1} Λ).
 
 The protocol code is MAC-agnostic: it sees only bcast/rcv/ack events.
+:class:`~repro.vectorized.protocols.BsmbClients` is this client's
+columnar twin (same transitions as whole-population column updates);
+the equivalence suite pins them decode-for-decode identical.
 """
 
 from __future__ import annotations

@@ -26,6 +26,11 @@ probability ≥ 1 − ε_CONS after the union bound of Theorem 5.4):
 **validity** — the decided value is the max-id node's input;
 **agreement** — every node sees the same global maximum;
 **termination** — a fixed number of acked broadcasts.
+
+The protocol code is MAC-agnostic: it sees only bcast/rcv/ack events.
+:class:`~repro.vectorized.protocols.ConsensusClients` is this client's
+columnar twin (flood-wave max-(id, value) columns); the equivalence
+suite pins them decode-for-decode identical.
 """
 
 from __future__ import annotations

@@ -7,8 +7,15 @@ sweeps.  This package transposes the per-node protocol engines into
 struct-of-arrays kernels over the ``trials × n`` lattice and advances
 whole populations with a handful of numpy operations per slot —
 **decode-for-decode identical** to the object runtime (same RNG
-streams, same traces, same results; the equivalence suite in
-``tests/test_vectorized_equivalence.py`` pins the contract).
+streams, same traces, same results; the equivalence suites in
+``tests/test_vectorized_equivalence.py`` and
+``tests/test_vectorized_protocols.py`` pin the contract).
+
+The treatment covers both halves of the paper's stack: the MAC
+primitives (:mod:`~repro.vectorized.kernels`) and the absMAC protocol
+layer above them (:mod:`~repro.vectorized.protocols` — BSMB relays,
+BMMB queues, flood consensus as client-state columns behind a
+``VectorMacAdapter``).
 
 The experiment engine (:func:`repro.experiments.run_trials`)
 auto-selects this path for eligible plans; pass ``vectorize=False``
@@ -24,11 +31,21 @@ from repro.vectorized.engine import (
     vector_eligible,
 )
 from repro.vectorized.kernels import AckKernel, DecayKernel
+from repro.vectorized.protocols import (
+    BmmbClients,
+    BsmbClients,
+    ConsensusClients,
+    VectorMacAdapter,
+)
 from repro.vectorized.runtime import VectorRuntime
 
 __all__ = [
     "AckKernel",
+    "BmmbClients",
+    "BsmbClients",
+    "ConsensusClients",
     "DecayKernel",
+    "VectorMacAdapter",
     "VectorRuntime",
     "plan_protocol_config",
     "run_vector_group",

@@ -13,8 +13,10 @@ Eligibility — all of:
 
 * ``plan.stack`` is ``"decay"`` or ``"ack"`` (homogeneous populations
   whose per-node engines have columnar kernels);
-* the plan's workload opted in via ``Workload.vector_ready`` (bare
-  ``MacClient`` clients, single-shot broadcasts).
+* the plan's workload opted in via ``Workload.vector_ready`` — bare
+  ``MacClient`` workloads (local_broadcast, fixed_slots) and the
+  protocol workloads with columnar client populations (smb, mmb,
+  consensus; :mod:`repro.vectorized.protocols`).
 
 Everything else falls back to the object lockstep executor — the
 selection happens inside :func:`repro.experiments.run_trials`.
@@ -40,6 +42,7 @@ from repro.experiments.plans import TrialPlan, TrialResult
 from repro.experiments.workloads import Workload, get_workload
 from repro.sinr.channel import Channel
 from repro.vectorized.kernels import AckKernel, DecayKernel
+from repro.vectorized.protocols import VectorMacAdapter
 from repro.vectorized.runtime import VectorRuntime
 
 __all__ = ["vector_eligible", "run_vector_group", "plan_protocol_config"]
@@ -99,14 +102,22 @@ def run_vector_group(
 
     ``group`` pairs each plan with its position in the caller's plan
     list, exactly like the object lockstep executor; all plans must
-    share node count, SINR parameters and stack kind.
+    share node count, SINR parameters, stack kind and workload (one
+    columnar client population serves the whole batch).
     """
     stack_kind = group[0][1].stack
     params = group[0][1].params
+    workload_name = group[0][1].workload
     artifacts = []
     for _index, plan in group:
-        if plan.stack != stack_kind or plan.params != params:
-            raise ValueError("vector groups must share stack and params")
+        if (
+            plan.stack != stack_kind
+            or plan.params != params
+            or plan.workload != workload_name
+        ):
+            raise ValueError(
+                "vector groups must share stack, params and workload"
+            )
         points = resolve_deployment(plan.deployment, cache)
         artifacts.append(deployment_artifacts(points, plan.params, cache))
 
@@ -134,6 +145,16 @@ def run_vector_group(
         max_slots=[plan.max_slots for _, plan in group],
         record_physical=record_physical,
     )
+    # Reactive-protocol workloads bring a columnar client population,
+    # wired to the runtime through the MAC adapter; bare workloads
+    # return None and the runtime runs adapter-free as before.
+    shared_workload = get_workload(workload_name)
+    adapter = VectorMacAdapter(runtime)
+    clients = shared_workload.vector_clients(
+        adapter, [plan for _, plan in group]
+    )
+    if clients is not None:
+        adapter.install(clients)
 
     states: list[_VectorTrialState] = []
     for row, (index, plan) in enumerate(group):
@@ -179,7 +200,7 @@ def run_vector_group(
             extra=tuple(
                 sorted(
                     st.workload.vector_finalize(
-                        st.plan, st.completion
+                        runtime, st.row, st.plan, st.completion
                     ).items()
                 )
             ),

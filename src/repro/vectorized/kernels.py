@@ -25,7 +25,12 @@ engines is the design invariant (the equivalence tests pin it):
   :class:`~repro.simulation.rng.NodeUniformBuffer`);
 * per-trial configuration scalars are expanded to per-cell columns at
   construction, so one lockstep batch may mix trials with different
-  protocol parameters (e.g. an ε-sweep over one deployment).
+  protocol parameters (e.g. an ε-sweep over one deployment);
+* :meth:`reset` restores the cells of a new broadcast to freshly
+  constructed engine state — the columnar form of the object MACs'
+  fresh-``Engine``-per-broadcast rule, which is what lets reactive
+  clients (BSMB relays, BMMB queues, consensus waves; see
+  :mod:`repro.vectorized.protocols`) rebroadcast through one kernel.
 
 Kernels know nothing about slots, channels or traces — the
 :class:`~repro.vectorized.runtime.VectorRuntime` owns that choreography.
@@ -91,6 +96,11 @@ class DecayKernel:
     def notify(self, idx: np.ndarray) -> None:
         """Decay ignores overheard traffic (no fallback machinery)."""
 
+    def reset(self, idx: np.ndarray) -> None:
+        """Restore ``idx`` to fresh-engine state (new broadcast)."""
+        self.slots_run[idx] = 0
+        self.transmissions[idx] = 0
+
 
 class AckKernel:
     """Array-state form of :class:`~repro.core.ack_protocol.AckEngine`.
@@ -129,18 +139,11 @@ class AckKernel:
             [c.floor_probability for c in self.configs], n, np.float64
         )
 
-        # AckEngine.__init__ runs one fallback + one inner-block entry
-        # before the first slot: p = min(cap, 2·max(floor, p0/divisor)).
-        initial = _expand(
+        self.initial_probability = _expand(
             [c.initial_probability for c in self.configs], n, np.float64
         )
-        self.probability = np.minimum(
-            self.prob_cap,
-            2.0 * np.maximum(self.floor_probability,
-                             initial / self.fallback_divisor),
-        )
-        self.block_remaining = self.inner_block_slots.copy()
-
+        self.probability = np.zeros(size, dtype=np.float64)
+        self.block_remaining = np.zeros(size, dtype=np.int64)
         self.tp = np.zeros(size, dtype=np.float64)
         self.rc = np.zeros(size, dtype=np.int64)
         self.halted = np.zeros(size, dtype=bool)
@@ -148,6 +151,30 @@ class AckKernel:
         self.slots_run = np.zeros(size, dtype=np.int64)
         self.transmissions = np.zeros(size, dtype=np.int64)
         self.fallbacks = np.zeros(size, dtype=np.int64)
+        self.reset(np.arange(size, dtype=np.intp))
+
+    def reset(self, idx: np.ndarray) -> None:
+        """Restore ``idx`` to fresh-engine state (new broadcast).
+
+        AckEngine.__init__ runs one fallback + one inner-block entry
+        before the first slot: p = min(cap, 2·max(floor, p0/divisor)).
+        """
+        self.probability[idx] = np.minimum(
+            self.prob_cap[idx],
+            2.0
+            * np.maximum(
+                self.floor_probability[idx],
+                self.initial_probability[idx] / self.fallback_divisor[idx],
+            ),
+        )
+        self.block_remaining[idx] = self.inner_block_slots[idx]
+        self.tp[idx] = 0.0
+        self.rc[idx] = 0
+        self.halted[idx] = False
+        self.fallback_pending[idx] = False
+        self.slots_run[idx] = 0
+        self.transmissions[idx] = 0
+        self.fallbacks[idx] = 0
 
     def step(self, idx: np.ndarray, uniforms: np.ndarray):
         """Run one owned slot for the lattice cells ``idx``.

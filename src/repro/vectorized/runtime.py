@@ -24,12 +24,19 @@ events grouped by kind (all transmits, then acks, then the delivery
 events) — within one kind the order is identical, and every
 measurement in :mod:`repro.core.spec` is ordering-free within a slot.
 
-Scope: homogeneous single-shot broadcast populations — every node runs
-the same Decay/Ack protocol with a bare ``MacClient``, each node
-broadcasts at most once (the Table-1 and Theorem-8.1 experiment shape),
-sleeping nodes are pure listeners woken by their first decode
-(conditional wakeup, Definition 4.4).  Protocol stacks with reactive
-clients (BSMB/BMMB relays, consensus) stay on the object runtime.
+Scope: homogeneous populations — every node runs the same Decay/Ack
+protocol.  Bare ``MacClient`` populations (the Table-1 and Theorem-8.1
+experiment shape) run exactly as before; reactive protocol clients
+(BSMB relays, BMMB queues, consensus waves) attach through a
+:class:`~repro.vectorized.protocols.VectorMacAdapter`, which receives
+this runtime's MAC events (wake / rcv / ack) as cell index arrays and
+may start new broadcasts in response.  Rebroadcasting detaches the
+single-shot restriction: each new broadcast resets the cell's kernel
+state to a fresh engine (``kernel.reset``), mirroring the object MACs'
+fresh-``Engine``-per-broadcast rule.  Sleeping nodes remain pure
+listeners woken by their first decode (conditional wakeup,
+Definition 4.4).  Heterogeneous stacks (the combined Algorithm 11.1
+MAC) stay on the object runtime.
 """
 
 from __future__ import annotations
@@ -47,6 +54,10 @@ from repro.sinr.physics import batch_tensor, successful_receptions_batch
 __all__ = ["VectorRuntime"]
 
 _EMPTY_IDS = np.empty(0, dtype=np.intp)
+
+# Byte ceiling for the rcv-dedup boolean matrix ((trials·n, n) cells);
+# batches beyond it use the per-decode set fallback instead.
+SEEN_MATRIX_CAP = 64 << 20
 
 
 class VectorRuntime:
@@ -137,6 +148,32 @@ class VectorRuntime:
         self._delivered: list[set[tuple[int, int]]] = [
             set() for _ in range(trials)
         ]
+        self.adapter = None
+        # Broadcasts requested while this slot's transmissions are being
+        # resolved swap in only after delivery: receivers of the final
+        # (halting) transmission must still see the message that was on
+        # the air, exactly like the object runtime's payload snapshot.
+        self._in_phase1 = False
+        self._staged_current: list[tuple[int, int, BcastMessage]] = []
+        self._tx_mid = np.full(trials * n, -1, dtype=np.int64)
+        # Columnar rcv dedup for the counters-only mode: because only a
+        # message's origin ever transmits it (every MAC mints its own
+        # messages), "listener already delivered the sender's current
+        # message" is exactly the per-mid dedup rule of
+        # MacLayerBase._deliver — one boolean gather replaces the
+        # per-decode set probes, and duplicate decodes (the common case
+        # under Decay/Ack repetition) cost no Python at all.  Falls
+        # back to the per-decode sets when the matrix would be large
+        # (big-n many-trial batches) or when full physical tracing
+        # walks every decode anyway.
+        self._seen = None
+        if not self.record_physical and trials * n * n <= SEEN_MATRIX_CAP:
+            self._seen = np.zeros((trials * n, n), dtype=bool)
+
+    def attach_adapter(self, adapter) -> None:
+        """Install a protocol client adapter
+        (:class:`~repro.vectorized.protocols.VectorMacAdapter`)."""
+        self.adapter = adapter
 
     # -- population facts --------------------------------------------------
 
@@ -167,6 +204,10 @@ class VectorRuntime:
             return bool(row.any())
         return bool(row[np.asarray(list(nodes), dtype=np.intp)].any())
 
+    def busy_cells(self, cells: np.ndarray) -> np.ndarray:
+        """Broadcast-in-flight flags for flat lattice cells."""
+        return self._busy[cells]
+
     # -- environment inputs ------------------------------------------------
 
     def wake_node(self, trial: int, node: int) -> None:
@@ -177,24 +218,68 @@ class VectorRuntime:
             self.traces[trial].record(self.slots[trial], "wake", node)
 
     def bcast(self, trial: int, node: int, payload: Any = None) -> BcastMessage:
-        """Begin the node's (single) local broadcast, as MacLayer.bcast."""
+        """Begin a local broadcast at the node, as MacLayer.bcast.
+
+        A node may broadcast again once its previous broadcast acked;
+        every new broadcast resets the cell's kernel state to a fresh
+        engine (the object MACs construct a fresh ``Engine`` per
+        broadcast).  Requests arriving while this slot's transmissions
+        resolve (phase 1: ack-triggered rebroadcasts) stage the
+        in-flight message swap until after delivery.
+        """
         cell = trial * self._n + node
+        self._check_idle(cell)
+        if self._has_broadcast[cell]:
+            self.kernel.reset(np.array([cell], dtype=np.intp))
+        return self._begin_broadcast(cell, payload)
+
+    def bcast_cells(self, cells: np.ndarray, payloads: Sequence[Any]) -> None:
+        """Population form of :meth:`bcast` (``payloads`` cell-aligned).
+
+        One batched ``kernel.reset`` serves every rebroadcasting cell;
+        messages are minted and traced per cell in the given order.
+        """
+        busy = self._busy[cells]
+        if busy.any():
+            self._check_idle(int(cells[busy][0]))
+        reset_cells = cells[self._has_broadcast[cells]]
+        if reset_cells.size:
+            self.kernel.reset(reset_cells)
+        for cell, payload in zip(cells.tolist(), payloads):
+            self._begin_broadcast(cell, payload)
+
+    def _check_idle(self, cell: int) -> None:
         if self._busy[cell]:
+            trial, node = divmod(cell, self._n)
             raise RuntimeError(
                 f"node {node} of trial {trial} is already broadcasting"
             )
-        if self._has_broadcast[cell]:
-            raise NotImplementedError(
-                "columnar kernels support one broadcast per node; "
-                "rebroadcasting nodes need the object runtime"
-            )
+
+    def _begin_broadcast(self, cell: int, payload: Any) -> BcastMessage:
+        """Mint, trace and arm one broadcast (cell idle, kernel reset)."""
+        trial, node = divmod(cell, self._n)
         message = self.registries[trial].mint(node, payload)
         self.wake_node(trial, node)
         self._has_broadcast[cell] = True
         self._busy[cell] = True
-        self._current[trial][node] = message
+        if self._in_phase1:
+            self._staged_current.append((trial, node, message))
+        else:
+            self._attach_message(trial, node, message)
         self.traces[trial].record(self.slots[trial], "bcast", node, message.mid)
         return message
+
+    def _attach_message(
+        self, trial: int, node: int, message: BcastMessage
+    ) -> None:
+        """Make ``message`` the cell's in-flight broadcast: payload
+        source for deliveries, mid column for rcv events, and a fresh
+        dedup column (nobody has delivered the new message yet)."""
+        n = self._n
+        self._current[trial][node] = message
+        self._tx_mid[trial * n + node] = message.mid
+        if self._seen is not None:
+            self._seen[trial * n : (trial + 1) * n, node] = False
 
     # -- the slot loop -----------------------------------------------------
 
@@ -221,6 +306,15 @@ class VectorRuntime:
         tx_cells = idx[transmit]
         ack_cells = idx[halted]
 
+        # Reception feedback (Ack fallback counting) is owed to exactly
+        # the engines that ran this slot and did not halt: on the object
+        # path a halting cell's engine is gone before delivery, and a
+        # same-slot (re)broadcast has no engine until its first step.
+        feedback_ok = None
+        if self.kernel.needs_reception_feedback:
+            feedback_ok = np.zeros(trials * n, dtype=bool)
+            feedback_ok[idx[~halted]] = True
+
         tx_trial = tx_cells // n
         tx_node = tx_cells - tx_trial * n
         bounds = np.searchsorted(tx_trial, np.arange(trials + 1))
@@ -246,15 +340,25 @@ class VectorRuntime:
         # stays attached until after delivery so this slot's receptions
         # of it still resolve their payload (the object path snapshots
         # payloads into the transmissions dict for the same reason).
+        acked: list[tuple[int, int, BcastMessage]] = []
         if ack_cells.size:
             ack_trial = ack_cells // n
             ack_node = ack_cells - ack_trial * n
             self._busy[ack_cells] = False
             for t, node in zip(ack_trial.tolist(), ack_node.tolist()):
                 message = self._current[t][node]
+                acked.append((t, node, message))
                 self.traces[t].record(self.slots[t], "ack", node, message.mid)
-        else:
-            ack_trial = ack_node = None
+            if self.adapter is not None:
+                # Client reactions to the acks (queue pumps, next waves)
+                # run now, in ascending cell order like the object
+                # runtime's phase-1 node loop; any rebroadcast they
+                # request stages its message swap until after delivery.
+                self._in_phase1 = True
+                try:
+                    self.adapter.on_ack(ack_cells)
+                finally:
+                    self._in_phase1 = False
 
         # One flat SINR reduction for the whole batch.
         hit_trial, hit_listener, hit_sender = successful_receptions_batch(
@@ -268,7 +372,13 @@ class VectorRuntime:
         rx_bounds = np.searchsorted(hit_trial, np.arange(trials + 1))
         if self._has_adversary:
             self._deliver_filtered(
-                rows, tx_ids, hit_trial, hit_listener, hit_sender, rx_bounds
+                rows,
+                tx_ids,
+                hit_trial,
+                hit_listener,
+                hit_sender,
+                rx_bounds,
+                feedback_ok,
             )
         else:
             # Fast delivery (no failure injection anywhere in the
@@ -280,54 +390,120 @@ class VectorRuntime:
             woken = hit_cells[~self._awake[hit_cells]]
             if woken.size:
                 self._awake[woken] = True
-            feedback = (
-                hit_cells[self._busy[hit_cells]]
-                if self.kernel.needs_reception_feedback
-                else None
-            )
-            for t in rows:
-                lo, hi = rx_bounds[t], rx_bounds[t + 1]
-                slot = self.slots[t]
-                self.slots[t] = slot + 1
-                channel = self.channels[t]
-                # finalize_slot's bookkeeping without the dict traffic.
-                channel._slot_count += 1
-                channel.total_transmissions += int(tx_ids[t].size)
-                channel.total_receptions += int(hi - lo)
-                if lo == hi:
-                    continue
-                current = self._current[t]
-                events = self.traces[t].events
-                delivered = self._delivered[t]
-                record = self.record_physical
-                for listener, sender in zip(
-                    hit_listener[lo:hi].tolist(), hit_sender[lo:hi].tolist()
-                ):
-                    payload = current[sender]
-                    if record:
-                        events.append(
-                            make((slot, "receive", listener, (sender, payload)))
-                        )
-                    key = (listener, payload.mid)
-                    if payload.origin != listener and key not in delivered:
-                        delivered.add(key)
-                        events.append(make((slot, "rcv", listener, payload.mid)))
-            if woken.size:
                 wk_trial = woken // n
                 wk_node = woken - wk_trial * n
                 for t, node in zip(wk_trial.tolist(), wk_node.tolist()):
-                    # The wake belongs to the slot just resolved.
-                    self.traces[t].record(self.slots[t] - 1, "wake", node)
+                    self.traces[t].record(self.slots[t], "wake", node)
+                if self.adapter is not None:
+                    self.adapter.on_wake(woken)
+            feedback = (
+                hit_cells[feedback_ok[hit_cells]]
+                if feedback_ok is not None
+                else None
+            )
+            adapter = self.adapter
+            if self._seen is not None:
+                # Columnar dedup: one boolean gather finds the decodes
+                # that are first deliveries; duplicate decodes cost no
+                # Python (see the _seen comment in __init__).
+                for t in rows:
+                    lo, hi = rx_bounds[t], rx_bounds[t + 1]
+                    channel = self.channels[t]
+                    channel._slot_count += 1
+                    channel.total_transmissions += int(tx_ids[t].size)
+                    channel.total_receptions += int(hi - lo)
+                fresh = ~self._seen[hit_cells, hit_sender]
+                fr_cells = hit_cells[fresh]
+                if fr_cells.size:
+                    fr_sender = hit_sender[fresh]
+                    self._seen[fr_cells, fr_sender] = True
+                    fr_trial = fr_cells // n
+                    fr_node = fr_cells - fr_trial * n
+                    fr_sender_cells = fr_trial * n + fr_sender
+                    mids = self._tx_mid[fr_sender_cells]
+                    slots = self.slots
+                    traces = self.traces
+                    for t, listener, mid in zip(
+                        fr_trial.tolist(), fr_node.tolist(), mids.tolist()
+                    ):
+                        traces[t].events.append(
+                            make((slots[t], "rcv", listener, mid))
+                        )
+                    if adapter is not None:
+                        adapter.on_rcv(fr_cells, fr_sender_cells)
+            else:
+                rcv_cells: list[int] = []
+                rcv_senders: list[int] = []
+                for t in rows:
+                    lo, hi = rx_bounds[t], rx_bounds[t + 1]
+                    slot = self.slots[t]
+                    channel = self.channels[t]
+                    # finalize_slot's bookkeeping, no dict traffic.
+                    channel._slot_count += 1
+                    channel.total_transmissions += int(tx_ids[t].size)
+                    channel.total_receptions += int(hi - lo)
+                    if lo == hi:
+                        continue
+                    current = self._current[t]
+                    events = self.traces[t].events
+                    delivered = self._delivered[t]
+                    record = self.record_physical
+                    base = t * n
+                    for listener, sender in zip(
+                        hit_listener[lo:hi].tolist(),
+                        hit_sender[lo:hi].tolist(),
+                    ):
+                        payload = current[sender]
+                        if record:
+                            events.append(
+                                make(
+                                    (slot, "receive", listener,
+                                     (sender, payload))
+                                )
+                            )
+                        key = (listener, payload.mid)
+                        if payload.origin != listener and key not in delivered:
+                            delivered.add(key)
+                            events.append(
+                                make((slot, "rcv", listener, payload.mid))
+                            )
+                            if adapter is not None:
+                                rcv_cells.append(base + listener)
+                                rcv_senders.append(base + sender)
+                if adapter is not None and rcv_cells:
+                    adapter.on_rcv(
+                        np.asarray(rcv_cells, dtype=np.intp),
+                        np.asarray(rcv_senders, dtype=np.intp),
+                    )
             if feedback is not None and feedback.size:
                 self.kernel.notify(feedback)
 
-        # Acked broadcasts detach only now (see the ack comment above).
-        if ack_trial is not None:
-            for t, node in zip(ack_trial.tolist(), ack_node.tolist()):
+        # Acked broadcasts detach only now (see the ack comment above);
+        # staged rebroadcasts swap in afterwards — a cell may ack and
+        # rebroadcast within one slot.  Detach only the message that
+        # was acked: a reception during this very slot may already have
+        # started the cell's next broadcast (direct write).
+        for t, node, message in acked:
+            if self._current[t][node] is message:
                 self._current[t][node] = None
+        if self._staged_current:
+            for t, node, message in self._staged_current:
+                self._attach_message(t, node, message)
+            self._staged_current.clear()
+        if self.adapter is not None:
+            self.adapter.flush()
+        for t in rows:
+            self.slots[t] += 1
 
     def _deliver_filtered(
-        self, rows, tx_ids, hit_trial, hit_listener, hit_sender, rx_bounds
+        self,
+        rows,
+        tx_ids,
+        hit_trial,
+        hit_listener,
+        hit_sender,
+        rx_bounds,
+        feedback_ok,
     ) -> None:
         """Delivery through ``Channel.finalize_slot`` for batches with
         failure injection: the adversary filters the same receptions
@@ -335,8 +511,8 @@ class VectorRuntime:
         stream identically), and wakeup / rcv / rc feedback see only the
         surviving receptions."""
         n = self._n
+        adapter = self.adapter
         feedback_cells: list[int] = []
-        needs_feedback = self.kernel.needs_reception_feedback
         for t in rows:
             lo, hi = rx_bounds[t], rx_bounds[t + 1]
             raw = dict(
@@ -348,15 +524,28 @@ class VectorRuntime:
             }
             outcome = self.channels[t].finalize_slot(sent, tx_ids[t], raw)
             slot = self.slots[t]
-            self.slots[t] = slot + 1
             trace = self.traces[t]
             delivered = self._delivered[t]
             base = t * n
+            # Conditional wakeups first (surviving receptions, delivery
+            # order), then the rcv processing — per-kind streams match
+            # the object runtime's per-listener interleave.
+            woken = [
+                base + listener
+                for listener in outcome.receptions
+                if not self._awake[base + listener]
+            ]
+            if woken:
+                woken_arr = np.asarray(woken, dtype=np.intp)
+                self._awake[woken_arr] = True
+                for cell in woken:
+                    trace.record(slot, "wake", cell - base)
+                if adapter is not None:
+                    adapter.on_wake(woken_arr)
+            rcv_cells: list[int] = []
+            rcv_senders: list[int] = []
             for listener, (sender, payload) in outcome.receptions.items():
                 cell = base + listener
-                if not self._awake[cell]:
-                    self._awake[cell] = True
-                    trace.record(slot, "wake", listener)
                 if self.record_physical:
                     trace.events.append(
                         TraceEvent(slot, "receive", listener, (sender, payload))
@@ -365,8 +554,16 @@ class VectorRuntime:
                 if payload.origin != listener and key not in delivered:
                     delivered.add(key)
                     trace.record(slot, "rcv", listener, payload.mid)
-                if needs_feedback and self._busy[cell]:
+                    if adapter is not None:
+                        rcv_cells.append(cell)
+                        rcv_senders.append(base + sender)
+                if feedback_ok is not None and feedback_ok[cell]:
                     feedback_cells.append(cell)
+            if adapter is not None and rcv_cells:
+                adapter.on_rcv(
+                    np.asarray(rcv_cells, dtype=np.intp),
+                    np.asarray(rcv_senders, dtype=np.intp),
+                )
         if feedback_cells:
             self.kernel.notify(np.asarray(feedback_cells, dtype=np.intp))
 

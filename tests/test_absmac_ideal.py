@@ -1,7 +1,6 @@
 """Tests for the ideal absMAC layer (repro.absmac.ideal)."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.absmac.ideal import IdealMacConfig, IdealMacLayer, IdealMacNetwork

@@ -1,7 +1,5 @@
 """Tests for repro.analysis (bounds, metrics, harness)."""
 
-import math
-
 import pytest
 
 from repro.analysis.bounds import (

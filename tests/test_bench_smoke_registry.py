@@ -1,0 +1,112 @@
+"""The bench-smoke registry and bench-compare gate are enforced by
+``make test``, not only by running the scripts.
+
+``scripts/bench_smoke.py`` promises an *exhaustive* registry: every
+``benchmarks/bench_*.py`` has a smoke entry and every entry has a
+script.  Running the smoke gate catches drift, but only when someone
+runs it — this suite pins the rule into the tier-1 suite so a new
+benchmark without a smoke entry fails ``make test`` immediately.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_script(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def bench_scripts_on_disk() -> list[str]:
+    return sorted(p.stem for p in (REPO / "benchmarks").glob("bench_*.py"))
+
+
+def test_smoke_registry_matches_bench_scripts_on_disk():
+    smoke = _load_script("bench_smoke")
+    scripts = bench_scripts_on_disk()
+    assert scripts, "benchmark directory must not be empty"
+    missing = [name for name in scripts if name not in smoke.SMOKE]
+    stale = [name for name in smoke.SMOKE if name not in scripts]
+    assert not missing, (
+        f"benchmarks without a smoke entry: {missing} — add them to "
+        "scripts/bench_smoke.py's SMOKE registry"
+    )
+    assert not stale, (
+        f"smoke entries without a script: {stale} — drop them from "
+        "scripts/bench_smoke.py's SMOKE registry"
+    )
+    assert all(callable(entry) for entry in smoke.SMOKE.values())
+
+
+def test_committed_bench_records_exist_for_compare_gate():
+    """The CI bench-regression gate needs its committed baselines."""
+    for name in ("BENCH_vectorized.json", "BENCH_protocols.json"):
+        report = json.loads((REPO / name).read_text(encoding="utf-8"))
+        assert report["rows"], name
+        for row in report["rows"]:
+            assert "speedup" in row, name
+
+
+class TestBenchCompare:
+    def test_row_key_prefers_workload(self):
+        compare = _load_script("bench_compare")
+        assert compare.row_key({"workload": "smb"}) == "smb"
+        assert compare.row_key({"record_physical": False}) == "counters-only"
+        assert compare.row_key({"record_physical": True}) == "physical"
+
+    def test_counters_only_rows_filters_physical(self):
+        compare = _load_script("bench_compare")
+        report = {
+            "rows": [
+                {"record_physical": False, "speedup": 3.0},
+                {"record_physical": True, "speedup": 2.0},
+                {"workload": "smb", "speedup": 2.5},
+            ]
+        }
+        rows = compare.counters_only_rows(report)
+        assert set(rows) == {"counters-only", "smb"}
+
+    def test_compare_flags_regression(self, tmp_path, monkeypatch):
+        compare = _load_script("bench_compare")
+        candidate = {"rows": [{"workload": "smb", "speedup": 1.0}]}
+        baseline = {"rows": [{"workload": "smb", "speedup": 2.0}]}
+        monkeypatch.setattr(compare, "REPO", tmp_path)
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+        monkeypatch.setattr(
+            compare, "committed_json", lambda ref, rel: baseline
+        )
+        _lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+        assert failures and "regressed" in failures[0]
+
+    def test_compare_skips_missing_baseline(self, tmp_path, monkeypatch):
+        compare = _load_script("bench_compare")
+        candidate = {"rows": [{"workload": "smb", "speedup": 1.0}]}
+        monkeypatch.setattr(compare, "REPO", tmp_path)
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+        monkeypatch.setattr(
+            compare, "committed_json", lambda ref, rel: None
+        )
+        lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+        assert not failures
+        assert any("skipped" in line for line in lines)
+
+    def test_compare_within_tolerance_passes(self, tmp_path, monkeypatch):
+        compare = _load_script("bench_compare")
+        candidate = {"rows": [{"workload": "smb", "speedup": 1.9}]}
+        baseline = {"rows": [{"workload": "smb", "speedup": 2.0}]}
+        monkeypatch.setattr(compare, "REPO", tmp_path)
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+        monkeypatch.setattr(
+            compare, "committed_json", lambda ref, rel: baseline
+        )
+        _lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+        assert not failures

@@ -8,7 +8,6 @@ G_{1-ε}.  The feature is the ``neighbor_oracle`` hook on every MAC.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis.harness import (
     attach_exact_local_broadcast,

@@ -7,9 +7,7 @@ code paths).
 
 import pathlib
 import runpy
-import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 

@@ -6,8 +6,6 @@ behaviour when acks ride on a lossy channel, and protocol-level
 robustness of BSMB.
 """
 
-import pytest
-
 from repro.analysis.harness import (
     build_ack_stack,
     build_approg_stack,

@@ -1,7 +1,5 @@
 """Unit tests for repro.geometry.points."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the experiment harness (repro.analysis.harness builders)."""
 
-import numpy as np
 import pytest
 
 from repro.absmac.layer import MacClient

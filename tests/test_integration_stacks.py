@@ -6,8 +6,6 @@ tests run BSMB, BMMB and consensus end-to-end over
 :class:`~repro.core.combined.CombinedMacLayer` on multihop deployments.
 """
 
-import pytest
-
 from repro.analysis.harness import build_combined_stack, build_decay_stack
 from repro.core.approx_progress import ApproxProgressConfig
 from repro.geometry.deployment import line_deployment, uniform_disk
@@ -136,7 +134,6 @@ class TestCrossMacAgreement:
     the SINR MAC — only the timing differs."""
 
     def test_bsmb_same_delivery_set(self):
-        import networkx as nx
 
         from repro.absmac.ideal import (
             IdealMacConfig,

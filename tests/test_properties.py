@@ -5,11 +5,8 @@ SINR monotonicity, graph nesting, MIS independence, reception uniqueness,
 trace well-formedness, and the schedule bijection of Algorithm 9.1.
 """
 
-import math
-
 import networkx as nx
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.approx_progress import ApproxProgressConfig, EpochSchedule
@@ -19,7 +16,6 @@ from repro.core.mis import (
     next_state,
     COMPETITOR,
     DOMINATOR,
-    DOMINATED,
 )
 from repro.geometry.points import pairwise_distances
 from repro.sinr.params import SINRParameters

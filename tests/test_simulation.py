@@ -7,7 +7,7 @@ from repro.geometry.points import PointSet
 from repro.simulation.node import ProtocolNode
 from repro.simulation.rng import spawn_node_rngs
 from repro.simulation.runtime import Runtime, RuntimeConfig
-from repro.simulation.trace import EventTrace, TraceEvent
+from repro.simulation.trace import EventTrace
 from repro.sinr.channel import Channel
 from repro.sinr.params import SINRParameters
 

@@ -1,7 +1,5 @@
 """Unit tests for repro.sinr.params."""
 
-import math
-
 import pytest
 
 from repro.sinr.params import SINRParameters
