@@ -3,7 +3,8 @@
 
 Compares freshly recorded benchmark JSONs (``BENCH_vectorized.json``,
 ``BENCH_protocols.json`` — written by
-``benchmarks/bench_vectorized_stack.py``) against the versions
+``benchmarks/bench_vectorized_stack.py`` — and ``BENCH_fading.json``
+from ``benchmarks/bench_fading_robustness.py``) against the versions
 committed at a git ref (default ``HEAD``).  The gate is the
 *counters-only speedup*: for every counters-only row present in both
 baseline and candidate, the candidate's speedup must not fall more than
@@ -110,7 +111,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "files",
         nargs="*",
-        default=["BENCH_vectorized.json", "BENCH_protocols.json"],
+        default=[
+            "BENCH_vectorized.json",
+            "BENCH_protocols.json",
+            "BENCH_fading.json",
+        ],
         help="benchmark JSONs (repo-relative) to compare",
     )
     parser.add_argument(

@@ -29,7 +29,7 @@ recompute in the worker than to pickle across the fork for every task).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import networkx as nx
 import numpy as np
@@ -120,7 +120,15 @@ class ArtifactCache:
 
         Keyed by the exact coordinate bytes + params, so any mutation of
         the deployment produces a fresh entry rather than a stale hit.
+        A stochastic ``channel_model`` is stripped from the key (and the
+        stored params): every artifact here — distances, base gains,
+        graphs, metrics — is defined by the deterministic constants
+        alone, so a fading sweep over one deployment shares one entry
+        (per-trial multipliers live on the per-trial
+        :class:`~repro.sinr.channel.Channel`, never in this cache).
         """
+        if params.channel_model is not None:
+            params = replace(params, channel_model=None)
         key = (points.coords.tobytes(), params)
         cached = self._artifacts.get(key)
         if cached is not None:

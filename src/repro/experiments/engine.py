@@ -237,6 +237,12 @@ def _run_lockstep(
         [st.stack.runtime.channel.gains for st in states]
     )
 
+    # One group shares one SINRParameters (the batch key), so either
+    # every trial's channel carries an active stochastic model or none
+    # does; each stochastic trial folds its own multipliers/fading into
+    # its ragged block of the batched kernel's link_powers.
+    stochastic = states[0].stack.runtime.channel.stochastic
+
     results: dict[int, TrialResult] = {}
     empty_tx: dict[int, Any] = {}
     while True:
@@ -262,8 +268,21 @@ def _run_lockstep(
             tx_ids[st.row] = st.stack.runtime.channel.validated_transmitters(
                 tx
             )
+        link_powers = None
+        if stochastic:
+            blocks = [
+                st.stack.runtime.channel.slot_link_powers(tx_ids[st.row])
+                for st in states
+                if tx_ids[st.row].size
+            ]
+            if blocks:
+                link_powers = np.concatenate(blocks)
         raws = successful_receptions_batch(
-            params, dist_stack, tx_ids, gains=gain_stack
+            params,
+            dist_stack,
+            tx_ids,
+            gains=gain_stack,
+            link_powers=link_powers,
         )
         for st in live:
             outcome = st.stack.runtime.channel.finalize_slot(

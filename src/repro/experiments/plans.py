@@ -130,7 +130,18 @@ class TrialPlan:
     seed:
         Master seed for all node randomness — the *only* source of
         nondeterminism, so equal plans yield equal results in any
-        execution mode.
+        execution mode.  This includes the stochastic channel (below):
+        fading draws derive from the same master seed through a
+        dedicated channel stream.
+    params:
+        The physical constants (:class:`SINRParameters`).  Plans batch
+        by ``(node count, params)``, so attaching a stochastic
+        :class:`~repro.sinr.params.ChannelModel` — Rayleigh fading,
+        log-normal shadowing, heterogeneous transmit power — groups
+        fading trials into their own lockstep batches automatically
+        (and keeps them off deterministic ones); columnar-eligible
+        stacks ride the fast path with the model active, bit-identical
+        to the object runtime.
     broadcasters:
         Which nodes inject broadcasts (None = all), for workloads that
         read it.

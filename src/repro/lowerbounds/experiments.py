@@ -37,6 +37,11 @@ def optimal_schedule_progress(network: ProgressLowerBoundNetwork) -> dict:
     concurrent cross links).  Returns the per-U-node progress slots and
     their maximum, which equals Δ — the lower bound — and verifies that
     scheduling two pairs at once yields zero receptions.
+
+    The concurrency probe needs two V-nodes; on a degenerate Δ < 2
+    network it is skipped, flagged by ``concurrency_probed=False`` with
+    ``concurrent_receptions=None`` (it used to index nodes 0 and 1
+    unconditionally, a ``KeyError`` waiting for the first Δ=1 input).
     """
     channel = network.channel()
     registry = MessageRegistry()
@@ -51,18 +56,24 @@ def optimal_schedule_progress(network: ProgressLowerBoundNetwork) -> dict:
             if listener in network.u_nodes and listener not in progress_slot:
                 if network.graph.has_edge(payload.origin, listener):
                     progress_slot[listener] = slot + 1  # 1-based latency
-    # Sanity: concurrent cross transmissions deliver nothing to U.
-    pair = channel.resolve_slot(
-        {0: messages[0], 1: messages[1]}
-    )
-    concurrent_u_receptions = [
-        u for u in pair.receptions if u in network.u_nodes
-    ]
+    # Sanity: concurrent cross transmissions deliver nothing to U —
+    # probed with the first two V-nodes (not hard-coded ids).
+    if len(network.v_nodes) >= 2:
+        first, second = network.v_nodes[:2]
+        pair = channel.resolve_slot(
+            {first: messages[first], second: messages[second]}
+        )
+        concurrent = sum(1 for u in pair.receptions if u in network.u_nodes)
+        probed = True
+    else:
+        concurrent = None
+        probed = False
     return {
         "per_node_progress": progress_slot,
         "max_progress": max(progress_slot.values()) if progress_slot else None,
         "served_all": len(progress_slot) == network.delta,
-        "concurrent_receptions": len(concurrent_u_receptions),
+        "concurrent_receptions": concurrent,
+        "concurrency_probed": probed,
     }
 
 

@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["spawn_node_rngs", "spawn_trial_seeds", "NodeUniformBuffer"]
+__all__ = [
+    "spawn_node_rngs",
+    "spawn_channel_rng",
+    "spawn_trial_seeds",
+    "NodeUniformBuffer",
+    "LinkUniformBuffer",
+]
 
 
 def spawn_node_rngs(n: int, seed: int | None = 0) -> list[np.random.Generator]:
@@ -19,6 +25,28 @@ def spawn_node_rngs(n: int, seed: int | None = 0) -> list[np.random.Generator]:
         raise ValueError("n must be >= 0")
     seq = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+def spawn_channel_rng(n: int, seed: int | None = 0) -> np.random.Generator:
+    """The trial's *channel* stream: child ``n`` of the master sequence.
+
+    ``SeedSequence.spawn`` keys children purely by index, so spawning
+    ``n + 1`` children of a fresh ``SeedSequence(seed)`` yields exactly
+    the ``n`` node streams of :func:`spawn_node_rngs` plus one more,
+    statistically independent of all of them.  The extra stream feeds
+    the stochastic channel model
+    (:class:`~repro.sinr.params.ChannelModel`): fading and shadowing
+    draws never touch a node's private generator, so enabling the model
+    perturbs *only* the physics — every node still sees the exact
+    protocol-randomness stream it would see on a deterministic channel,
+    and disabling the model costs zero draws.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    # Identical to SeedSequence(seed).spawn(n + 1)[n] — spawn() keys
+    # child i as spawn_key=(i,) — without materializing the n node
+    # children this caller does not want.
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(n,)))
 
 
 def spawn_trial_seeds(n: int, seed: int | None = 0) -> list[int]:
@@ -98,3 +126,60 @@ class NodeUniformBuffer:
         out = self._buf[idx, self._cursor[idx]]
         self._cursor[idx] += 1
         return out
+
+
+class LinkUniformBuffer:
+    """Bulk pre-draw of per-link uniforms from one channel generator.
+
+    The per-link companion of :class:`NodeUniformBuffer`: Rayleigh
+    fading needs ``k·n`` fresh uniforms per slot (one per (transmitter,
+    listener) pair), and drawing them as thousands of tiny
+    ``Generator.random(k·n)`` calls per trial wastes time on generator
+    re-entry for the small-``k`` slots that dominate the long
+    probability sweeps.  This buffer refills ``chunk`` values at a time
+    and serves arbitrary-size takes from the buffered tail.
+
+    The served stream is *chunk-independent*: ``Generator.random``
+    consumes exactly one 64-bit PCG64 output per float64, so any
+    partition of the stream into refills yields the same values in the
+    same order.  Both runtimes draw a trial's fading through the same
+    :class:`~repro.sinr.channel.Channel` (object: per-slot resolution;
+    columnar: per-trial blocks of the batched kernel), which is what
+    keeps fading trials decode-for-decode identical across executors.
+    """
+
+    def __init__(self, rng: np.random.Generator, chunk: int = 1 << 14) -> None:
+        if chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        self._rng = rng
+        self.chunk = int(chunk)
+        self._buf = np.empty(0, dtype=np.float64)
+        self._cursor = 0
+
+    def take(self, count: int) -> np.ndarray:
+        """The next ``count`` uniforms of the channel stream, in order.
+
+        May return a view into the current buffer; refills always
+        allocate a *fresh* buffer (never overwrite in place), so
+        previously returned arrays stay valid indefinitely.
+        """
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        avail = self._buf.size - self._cursor
+        if count <= avail:
+            out = self._buf[self._cursor : self._cursor + count]
+            self._cursor += count
+            return out
+        parts = [self._buf[self._cursor :]] if avail else []
+        remaining = count - avail
+        # One direct draw covers an oversized tail (stream-identical to
+        # any chunking of it); the buffer then refills for future takes.
+        if remaining >= self.chunk:
+            parts.append(self._rng.random(remaining))
+            self._buf = np.empty(0, dtype=np.float64)
+            self._cursor = 0
+        else:
+            self._buf = self._rng.random(self.chunk)
+            parts.append(self._buf[:remaining])
+            self._cursor = remaining
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]

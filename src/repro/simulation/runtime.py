@@ -70,6 +70,10 @@ class Runtime:
         rngs = spawn_node_rngs(len(nodes), self.config.seed)
         for node, rng in zip(self.nodes, rngs):
             node.bind(NodeAPI(node.node_id, rng, self))
+        # Arm the stochastic channel model (no-op when inactive) with
+        # the same master seed: the channel stream is child n of the
+        # seed sequence, independent of every node stream above.
+        channel.bind_trial_seed(self.config.seed)
 
     @property
     def n(self) -> int:

@@ -6,10 +6,11 @@ including the strong connectivity graphs G_{1-ε} and G_{1-2ε} that the
 absMAC is implemented and analyzed over.
 """
 
-from repro.sinr.params import SINRParameters
+from repro.sinr.params import ChannelModel, SINRParameters
 from repro.sinr.physics import (
     received_power,
     interference_at,
+    rayleigh_gains,
     sinr_matrix,
     sinr_of_link,
     successful_receptions,
@@ -30,7 +31,9 @@ from repro.sinr.graphs import (
 )
 
 __all__ = [
+    "ChannelModel",
     "SINRParameters",
+    "rayleigh_gains",
     "received_power",
     "interference_at",
     "sinr_matrix",

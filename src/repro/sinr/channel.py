@@ -21,7 +21,11 @@ import numpy as np
 from repro.geometry.points import PointSet, pairwise_distances
 from repro.sinr.params import SINRParameters
 from repro.sinr.physics import (
+    draw_power_multipliers,
+    draw_shadowing,
+    effective_gain_matrix,
     gain_matrix,
+    rayleigh_gains,
     sinr_of_link,
     successful_receptions,
 )
@@ -146,6 +150,18 @@ class Channel:
     The experiment engine passes both matrices in from its shared
     artifact cache so they are computed once per deployment rather than
     once per trial.
+
+    When ``params.channel_model`` is active (fading / shadowing /
+    heterogeneous power, see :class:`~repro.sinr.params.ChannelModel`),
+    the channel additionally owns the trial's stochastic state: a
+    dedicated channel RNG stream (:func:`spawn_channel_rng` of the
+    trial's master seed — node streams are untouched), the per-trial
+    effective gain matrix with the static multipliers folded in, and a
+    per-link fading buffer.  Runtimes arm it via
+    :meth:`bind_trial_seed`; slot resolution then flows through
+    :meth:`slot_link_powers` on every executor, which is what keeps
+    stochastic trials decode-for-decode identical across the object,
+    lockstep-batched and columnar paths.
     """
 
     def __init__(
@@ -172,6 +188,70 @@ class Channel:
         self._slot_count = 0
         self.total_transmissions = 0
         self.total_receptions = 0
+        model = params.channel_model
+        self.model = model if model is not None and model.is_active else None
+        self.effective_gains: np.ndarray | None = None
+        self._fading = None  # LinkUniformBuffer once armed (Rayleigh)
+
+    @property
+    def stochastic(self) -> bool:
+        """Does an active channel model govern this deployment?"""
+        return self.model is not None
+
+    def bind_trial_seed(self, seed: int | None) -> None:
+        """Arm the stochastic channel state with the trial's master seed.
+
+        A no-op when the channel model is inactive (no RNG is spawned,
+        no draw happens — the deterministic path stays byte-identical).
+        Otherwise spawns the dedicated channel stream and performs the
+        trial's *static* draws in a fixed order — per-node power
+        multipliers first, then the shadowing field — folding them into
+        ``effective_gains``; Rayleigh fading (per-slot draws) is served
+        lazily from the remaining stream through a
+        :class:`~repro.simulation.rng.LinkUniformBuffer`.  Rebinding
+        (e.g. reusing one channel across runtimes) restarts the stream
+        deterministically.
+        """
+        if self.model is None:
+            return
+        # Deferred import: repro.simulation.runtime imports this module,
+        # so a top-level import of the (pure-numpy) rng module would
+        # close an import cycle through repro.simulation.__init__.
+        from repro.simulation.rng import LinkUniformBuffer, spawn_channel_rng
+
+        rng = spawn_channel_rng(self.n, seed)
+        multipliers = draw_power_multipliers(self.model, rng, self.n)
+        shadowing = draw_shadowing(self.model, rng, self.n)
+        self.effective_gains = effective_gain_matrix(
+            self.gains, multipliers, shadowing
+        )
+        self._fading = LinkUniformBuffer(rng) if self.model.rayleigh else None
+
+    def slot_link_powers(self, tx_ids: np.ndarray) -> np.ndarray | None:
+        """This slot's ``(k, n)`` received-power rows, or None.
+
+        None means the deterministic fast path (shared gain cache)
+        applies.  Otherwise returns the effective per-link powers of the
+        given transmitters with this slot's fresh Rayleigh draws folded
+        in — consuming exactly ``k·n`` channel-stream uniforms, so the
+        stream position depends only on the trial's transmission
+        history (which all executors reproduce identically).
+        """
+        if self.model is None:
+            return None
+        if self.effective_gains is None and self._fading is None:
+            raise RuntimeError(
+                "stochastic channel model is not armed; call "
+                "bind_trial_seed(seed) before resolving slots"
+            )
+        base = self.effective_gains if self.effective_gains is not None else self.gains
+        powers = base[tx_ids, :]
+        if self._fading is not None:
+            uniforms = self._fading.take(tx_ids.size * self.n)
+            powers = powers * rayleigh_gains(
+                uniforms.reshape(tx_ids.size, self.n)
+            )
+        return powers
 
     @property
     def n(self) -> int:
@@ -199,7 +279,11 @@ class Channel:
         """
         tx_ids = self.validated_transmitters(transmissions)
         raw = successful_receptions(
-            self.params, self.distances, tx_ids, gains=self.gains
+            self.params,
+            self.distances,
+            tx_ids,
+            gains=self.gains,
+            link_powers=self.slot_link_powers(tx_ids),
         )
         return self.finalize_slot(transmissions, tx_ids, raw)
 
@@ -239,7 +323,9 @@ class Channel:
         """SINR of a specific link under a hypothetical transmitter set.
 
         Convenience probe used by tests and the lower-bound experiments;
-        does not advance the slot counter.
+        does not advance the slot counter.  Always evaluates the
+        deterministic geometry (no fading draw is consumed), so probing
+        never perturbs a stochastic trial's channel stream.
         """
         tx = np.asarray(sorted(set(transmitters) | {sender}), dtype=np.intp)
         return sinr_of_link(self.params, self.distances, tx, sender, listener)

@@ -11,14 +11,79 @@ From these the *transmission range* ``R = (P / (β·N))^(1/α)`` follows: the
 maximum distance at which a lone transmitter is decodable.  ``R_a = a·R``
 for ``a ∈ (0, 1]`` gives the *a-strong* link radius; the paper works with
 the strong connectivity graphs induced by ``R_{1-ε}`` and ``R_{1-2ε}``.
+
+The paper's channel is *deterministic*: received power is exactly
+``P / d^α``.  :class:`ChannelModel` describes the stochastic extensions
+this reproduction adds on top — per-link Rayleigh fading, per-link
+log-normal shadowing, and heterogeneous per-node transmit powers — to
+stress-test the local-broadcast guarantees under channels the paper's
+analysis does not cover.  The model is *configuration only*: the draws
+themselves live in :mod:`repro.sinr.physics` /
+:mod:`repro.sinr.channel` and consume dedicated per-trial RNG streams
+(see ``Channel.bind_trial_seed``), so a disabled model leaves every
+deterministic run byte-identical.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-__all__ = ["SINRParameters"]
+__all__ = ["ChannelModel", "SINRParameters"]
+
+
+@dataclass(frozen=True)
+class ChannelModel:
+    """Stochastic channel configuration (disabled by default).
+
+    Attributes
+    ----------
+    rayleigh:
+        When True, every (sender, listener) link of every slot gets an
+        independent Rayleigh fast-fading power multiplier (|h|² ~
+        Exp(1), unit mean) drawn fresh each slot.
+    shadowing_sigma_db:
+        Standard deviation (in dB) of per-link log-normal shadowing.
+        Drawn once per trial and symmetrized (shadowing is a property
+        of the obstacle field between two positions, so the multiplier
+        is reciprocal); 0 disables.
+    power_spread:
+        Heterogeneous transmit power: each node's power is ``P·m`` with
+        ``m`` drawn uniformly from ``[1, power_spread]`` once per trial.
+        1 keeps the paper's uniform-power assumption.
+    """
+
+    rayleigh: bool = False
+    shadowing_sigma_db: float = 0.0
+    power_spread: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be >= 0")
+        if self.power_spread < 1.0:
+            raise ValueError("power_spread must be >= 1")
+
+    @property
+    def is_active(self) -> bool:
+        """Does this model change anything at all?"""
+        return (
+            self.rayleigh
+            or self.shadowing_sigma_db > 0.0
+            or self.power_spread > 1.0
+        )
+
+    def describe(self) -> str:
+        """Compact summary for experiment reports."""
+        if not self.is_active:
+            return "deterministic"
+        parts = []
+        if self.rayleigh:
+            parts.append("rayleigh")
+        if self.shadowing_sigma_db > 0:
+            parts.append(f"shadow={self.shadowing_sigma_db:g}dB")
+        if self.power_spread > 1.0:
+            parts.append(f"spread={self.power_spread:g}")
+        return "+".join(parts)
 
 
 @dataclass(frozen=True)
@@ -28,6 +93,13 @@ class SINRParameters:
     The default ``epsilon`` is the user-chosen strong-connectivity slack
     of §4.2; it must satisfy ``0 < 2*epsilon < 1`` so that both G_{1-ε}
     and G_{1-2ε} are meaningful.
+
+    ``channel_model`` optionally attaches a stochastic
+    :class:`ChannelModel` (fading / shadowing / heterogeneous power).
+    The derived ranges and graphs below stay defined by the
+    deterministic constants — G_{1-ε} is the *measurement* graph the
+    guarantees are stated over, while the stochastic multipliers
+    perturb only the per-slot reception physics.
     """
 
     power: float = 1.0
@@ -35,6 +107,7 @@ class SINRParameters:
     beta: float = 1.5
     noise: float = 1.0e-4
     epsilon: float = 0.1
+    channel_model: ChannelModel | None = None
 
     def __post_init__(self) -> None:
         if self.power <= 0:
@@ -79,13 +152,7 @@ class SINRParameters:
         if target_range <= 0:
             raise ValueError("target_range must be positive")
         new_power = self.beta * self.noise * target_range**self.alpha
-        return SINRParameters(
-            power=new_power,
-            alpha=self.alpha,
-            beta=self.beta,
-            noise=self.noise,
-            epsilon=self.epsilon,
-        )
+        return replace(self, power=new_power)
 
     def with_strong_range(self, target_strong_range: float) -> "SINRParameters":
         """Rescale so that R_{1-ε} equals ``target_strong_range``."""
@@ -103,10 +170,13 @@ class SINRParameters:
 
     def describe(self) -> str:
         """One-line human-readable summary for experiment reports."""
+        model = ""
+        if self.channel_model is not None and self.channel_model.is_active:
+            model = f", model={self.channel_model.describe()}"
         return (
             f"SINR(P={self.power:g}, alpha={self.alpha:g}, beta={self.beta:g}, "
             f"N={self.noise:g}, eps={self.epsilon:g}, R={self.transmission_range:.3g}, "
-            f"R1-eps={self.strong_range:.3g})"
+            f"R1-eps={self.strong_range:.3g}{model})"
         )
 
     @staticmethod

@@ -33,7 +33,7 @@ import os
 
 import numpy as np
 
-from repro.sinr.params import SINRParameters
+from repro.sinr.params import ChannelModel, SINRParameters
 
 __all__ = [
     "received_power",
@@ -47,6 +47,10 @@ __all__ = [
     "sinr_of_link",
     "successful_receptions",
     "successful_receptions_batch",
+    "rayleigh_gains",
+    "draw_power_multipliers",
+    "draw_shadowing",
+    "effective_gain_matrix",
 ]
 
 # Distances below this are clamped to avoid division blow-ups; the paper
@@ -99,6 +103,80 @@ def gain_matrix(params: SINRParameters, distances: np.ndarray) -> np.ndarray:
     a ``(trials, n, n)`` stack, giving a ``(trials, n, n)`` gain tensor.
     """
     return received_power(params, distances)
+
+
+# -- stochastic channel draws (ChannelModel) --------------------------------
+#
+# The three transforms below turn raw RNG output into the multipliers of
+# :class:`~repro.sinr.params.ChannelModel`.  They are deliberately pure
+# elementwise numpy so that the object runtime, the object lockstep
+# executor and the columnar VectorRuntime — which all feed them the same
+# per-trial streams in the same order — produce bit-identical powers.
+
+
+def rayleigh_gains(uniforms: np.ndarray) -> np.ndarray:
+    """Rayleigh fast-fading power multipliers from uniform draws.
+
+    A Rayleigh-faded amplitude has |h|² ~ Exp(1) (unit mean, so fading
+    neither amplifies nor attenuates on average); the inverse-CDF map
+    ``-log(1 - u)`` sends u ∈ [0, 1) to (0, ∞) without ever producing
+    inf/NaN (``log1p`` keeps u → 1⁻ finite at float64 resolution).
+    """
+    return -np.log1p(-np.asarray(uniforms, dtype=np.float64))
+
+
+def draw_power_multipliers(
+    model: ChannelModel, rng: np.random.Generator, n: int
+) -> np.ndarray | None:
+    """Per-node transmit-power multipliers, uniform in [1, spread].
+
+    Returns None when the model keeps uniform power, so callers can
+    skip the row scaling (and the draw) entirely.
+    """
+    if model.power_spread <= 1.0:
+        return None
+    return 1.0 + rng.random(n) * (model.power_spread - 1.0)
+
+
+def draw_shadowing(
+    model: ChannelModel, rng: np.random.Generator, n: int
+) -> np.ndarray | None:
+    """Symmetric per-link log-normal shadowing multipliers, or None.
+
+    Draws an ``(n, n)`` standard-normal field, keeps the strict upper
+    triangle and mirrors it (shadowing is reciprocal: the obstacle
+    field between two positions attenuates both directions equally),
+    then maps dB to linear: ``10^(σ·Z/10)``.  The diagonal multiplier
+    is exactly 1; it is never read (half-duplex) but stays finite.
+    """
+    if model.shadowing_sigma_db <= 0.0:
+        return None
+    z = rng.standard_normal((n, n))
+    sym = np.triu(z, 1)
+    sym = sym + sym.T
+    return 10.0 ** (model.shadowing_sigma_db * sym / 10.0)
+
+
+def effective_gain_matrix(
+    gains: np.ndarray,
+    power_multipliers: np.ndarray | None,
+    shadowing: np.ndarray | None,
+) -> np.ndarray | None:
+    """Fold the static (per-trial) multipliers into the base gain matrix.
+
+    Row ``v`` of the result is ``gains[v, :] · m_v · S[v, :]`` — the
+    received power of sender ``v`` at every listener before fast
+    fading.  Returns None when both multipliers are absent (the slot
+    kernels then use the shared deterministic cache untouched).
+    """
+    if power_multipliers is None and shadowing is None:
+        return None
+    eff = np.array(gains, dtype=np.float64)  # copy: cache arrays are frozen
+    if power_multipliers is not None:
+        eff *= power_multipliers[:, None]
+    if shadowing is not None:
+        eff *= shadowing
+    return eff
 
 
 # Ceiling on the bytes a batched (trials, n, n) tensor may allocate
@@ -252,6 +330,7 @@ def sinr_matrix(
     transmitters: np.ndarray,
     tx_powers: np.ndarray | None = None,
     gains: np.ndarray | None = None,
+    link_powers: np.ndarray | None = None,
 ) -> np.ndarray:
     """SINR of every (transmitter, node) pair in one shot.
 
@@ -268,11 +347,21 @@ def sinr_matrix(
     hold exactly the values the direct computation would produce).  It is
     ignored when ``tx_powers`` is given, since per-sender powers cannot
     reuse the uniform-power cache.
+
+    ``link_powers`` overrides the received-power evaluation entirely: a
+    ``(len(transmitters), n)`` array whose row ``k`` is the power of
+    transmitter ``transmitters[k]`` received at every node — the
+    stochastic-channel hook (:class:`~repro.sinr.params.ChannelModel`),
+    where fading/shadowing/heterogeneous-power multipliers are already
+    folded in by the caller (``Channel.slot_link_powers``).  Mutually
+    exclusive with ``tx_powers``.
     """
     tx = np.asarray(transmitters, dtype=np.intp)
     n = distances.shape[0]
     if tx.size == 0:
         return np.zeros((0, n))
+    if link_powers is not None and tx_powers is not None:
+        raise ValueError("link_powers and tx_powers are mutually exclusive")
     if tx_powers is not None:
         tx_powers = np.asarray(tx_powers, dtype=np.float64)
         if tx_powers.shape != tx.shape:
@@ -283,7 +372,14 @@ def sinr_matrix(
     else:
         per_sender = None
     # (k, u): power of transmitter k received at u.
-    if per_sender is None and gains is not None:
+    if link_powers is not None:
+        powers = np.asarray(link_powers, dtype=np.float64)
+        if powers.shape != (tx.size, n):
+            raise ValueError(
+                f"link_powers must have shape {(tx.size, n)}; "
+                f"got {powers.shape!r}"
+            )
+    elif per_sender is None and gains is not None:
         powers = gains[tx, :]
     else:
         powers = received_power(params, distances[tx, :], power=per_sender)
@@ -305,6 +401,7 @@ def successful_receptions(
     listeners: np.ndarray | None = None,
     tx_powers: np.ndarray | None = None,
     gains: np.ndarray | None = None,
+    link_powers: np.ndarray | None = None,
 ) -> dict[int, int]:
     """Resolve one slot: which listener decodes which transmitter.
 
@@ -315,15 +412,20 @@ def successful_receptions(
     ``tx_powers`` optionally assigns per-transmitter powers (Theorem 6.1
     experiments); the default is the uniform model power.  ``gains``
     optionally supplies the :func:`gain_matrix` cache (bit-identical
-    results, see :func:`sinr_matrix`).
+    results, see :func:`sinr_matrix`).  ``link_powers`` optionally
+    supplies the full ``(k, n)`` received-power matrix — the stochastic
+    channel hook, see :func:`sinr_matrix`.
 
     Distances feeding the SINR are clamped from below to ``_MIN_DISTANCE``
     (see :func:`received_power`), so coincident points decode as
     astronomically strong links rather than NaNs.
 
     Because β > 1 guarantees uniqueness, ties are impossible and the
-    result is well-defined.  To resolve one slot of many independent
-    trials at once, use :func:`successful_receptions_batch`.
+    result is well-defined (this holds for *any* positive received
+    powers, so the stochastic multipliers never break it: two decodes
+    at one listener would each need more than half the total power).
+    To resolve one slot of many independent trials at once, use
+    :func:`successful_receptions_batch`.
     """
     tx = np.asarray(transmitters, dtype=np.intp)
     n = distances.shape[0]
@@ -336,7 +438,14 @@ def successful_receptions(
         listener_mask[np.asarray(listeners, dtype=np.intp)] = True
     listener_mask[tx] = False  # half-duplex
 
-    sinr = sinr_matrix(params, distances, tx, tx_powers=tx_powers, gains=gains)
+    sinr = sinr_matrix(
+        params,
+        distances,
+        tx,
+        tx_powers=tx_powers,
+        gains=gains,
+        link_powers=link_powers,
+    )
     ok = sinr >= params.beta  # (k, n)
     ok[:, ~listener_mask] = False
 
@@ -392,6 +501,7 @@ def successful_receptions_batch(
     listeners=None,
     gains: np.ndarray | None = None,
     flat: bool = False,
+    link_powers: np.ndarray | None = None,
 ):
     """Resolve one slot of ``trials`` independent runs in one reduction.
 
@@ -419,6 +529,16 @@ def successful_receptions_batch(
     the flat ``(Σ k_b, n)`` layout.  Uniform power only — the per-sender
     ``tx_powers`` hook of the sequential kernel is a single-trial
     feature (Theorem 6.1 experiments).
+
+    ``link_powers`` optionally replaces the gain gather with explicit
+    received powers: a flat ``(Σ k_b, n)`` array whose row ``r`` is the
+    power of row ``r``'s (trial, transmitter) pair at every node, laid
+    out in the same ragged trial-block order as ``transmitters``.  This
+    is the batched stochastic-channel hook
+    (:class:`~repro.sinr.params.ChannelModel`): each trial's channel
+    folds its own fading/shadowing/power multipliers into its block
+    (``Channel.slot_link_powers``), so the batch stays bit-identical to
+    per-trial resolution.
     """
     dist = np.asarray(distances, dtype=np.float64)
     if dist.ndim != 3 or dist.shape[1] != dist.shape[2]:
@@ -437,7 +557,7 @@ def successful_receptions_batch(
         if flat:
             return empty, empty.copy(), empty.copy()
         return [{} for _ in range(trials)]
-    if gains is None:
+    if gains is None and link_powers is None:
         gains = gain_matrix(params, dist)
 
     # Flat ragged layout: row r holds one (trial, transmitter) pair.
@@ -449,11 +569,19 @@ def successful_receptions_batch(
     # gather for the whole batch.  A zero-stride gain stack (every
     # trial sharing one deployment, the common sweep) gathers through
     # its base matrix: same values, one less index dimension.
-    gains = np.asarray(gains)
-    if gains.ndim == 3 and gains.strides[0] == 0:
-        powers = gains[0][tx_flat, :]
+    if link_powers is not None:
+        powers = np.asarray(link_powers, dtype=np.float64)
+        if powers.shape != (tx_flat.size, n):
+            raise ValueError(
+                f"link_powers must have shape {(tx_flat.size, n)}; "
+                f"got {powers.shape!r}"
+            )
     else:
-        powers = gains[trial_of_row, tx_flat, :]
+        gains = np.asarray(gains)
+        if gains.ndim == 3 and gains.strides[0] == 0:
+            powers = gains[0][tx_flat, :]
+        else:
+            powers = gains[trial_of_row, tx_flat, :]
     # Total received power per (trial, node), bit-identical to the
     # sequential kernel's per-trial reduction.  The SINR evaluation
     # reuses the interference buffer in place — identical operations

@@ -128,6 +128,14 @@ class VectorRuntime:
             [c.distances for c in self.channels]
         )
         self._gain_stack = batch_tensor([c.gains for c in self.channels])
+        # Stochastic channel model (shared params ⇒ all trials or none):
+        # arm each trial's channel with its own master seed, exactly as
+        # the object Runtime does, so fading/shadowing/power draws come
+        # from the same per-trial channel streams on both executors.
+        self._stochastic = self.channels[0].stochastic
+        if self._stochastic:
+            for channel, seed in zip(self.channels, seeds):
+                channel.bind_trial_seed(seed)
 
         rngs = [
             rng
@@ -360,13 +368,27 @@ class VectorRuntime:
                 finally:
                     self._in_phase1 = False
 
-        # One flat SINR reduction for the whole batch.
+        # One flat SINR reduction for the whole batch.  Under an active
+        # channel model each trial contributes its own effective-power
+        # block (static multipliers + this slot's fading draws from the
+        # trial's private channel stream), concatenated in trial order
+        # to match the kernel's ragged row layout.
+        link_powers = None
+        if self._stochastic:
+            blocks = [
+                self.channels[t].slot_link_powers(tx_ids[t])
+                for t in range(trials)
+                if tx_ids[t].size
+            ]
+            if blocks:
+                link_powers = np.concatenate(blocks)
         hit_trial, hit_listener, hit_sender = successful_receptions_batch(
             self.params,
             self._dist_stack,
             tx_ids,
             gains=self._gain_stack,
             flat=True,
+            link_powers=link_powers,
         )
 
         rx_bounds = np.searchsorted(hit_trial, np.arange(trials + 1))

@@ -49,11 +49,29 @@ def test_smoke_registry_matches_bench_scripts_on_disk():
 
 def test_committed_bench_records_exist_for_compare_gate():
     """The CI bench-regression gate needs its committed baselines."""
-    for name in ("BENCH_vectorized.json", "BENCH_protocols.json"):
+    for name in (
+        "BENCH_vectorized.json",
+        "BENCH_protocols.json",
+        "BENCH_fading.json",
+    ):
         report = json.loads((REPO / name).read_text(encoding="utf-8"))
         assert report["rows"], name
         for row in report["rows"]:
             assert "speedup" in row, name
+
+
+def test_fading_record_is_in_the_compare_defaults():
+    """BENCH_fading.json must ride the regression gate by default, with
+    its speedup row in the counters-only shape the gate keys on."""
+    compare_source = (REPO / "scripts" / "bench_compare.py").read_text(
+        encoding="utf-8"
+    )
+    assert '"BENCH_fading.json",' in compare_source
+    compare = _load_script("bench_compare")
+    report = json.loads((REPO / "BENCH_fading.json").read_text("utf-8"))
+    rows = compare.counters_only_rows(report)
+    assert "fading-decay" in rows
+    assert rows["fading-decay"]["bit_identical"]
 
 
 class TestBenchCompare:

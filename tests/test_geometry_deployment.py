@@ -102,6 +102,58 @@ class TestClusters:
         assert (np.sort(xs)[:5] < 10).all()
         assert (np.sort(xs)[5:] > 40).all()
 
+    def test_min_separation_across_overlapping_clusters(self):
+        """Regression: cluster_spacing < 2*cluster_radius overlaps the
+        cluster disks, and cross-cluster pairs used to escape the
+        rejection-sampling constraint entirely — the accumulated point
+        set now threads through every cluster's sampler."""
+        for seed in range(8):
+            ps = cluster_deployment(
+                4,
+                6,
+                cluster_radius=5.0,
+                cluster_spacing=3.0,  # heavy overlap
+                min_separation=1.0,
+                seed=seed,
+            )
+            assert len(ps) == 24
+            assert verify_min_separation(ps, 1.0), f"seed {seed}"
+
+    def test_overlapping_too_dense_raises(self):
+        """When the overlapped region cannot hold the requested nodes,
+        the generator must refuse instead of violating the invariant."""
+        with pytest.raises(DeploymentError, match="too dense"):
+            cluster_deployment(
+                6,
+                40,
+                cluster_radius=3.0,
+                cluster_spacing=0.5,
+                min_separation=1.0,
+                seed=0,
+            )
+
+    def test_spacious_clusters_unchanged_by_fix(self):
+        """Threading the accumulated points must not disturb seeded
+        layouts whose clusters never interact (no candidate near a
+        foreign cluster is ever drawn, so no decision changes)."""
+        ps = cluster_deployment(
+            3, 8, cluster_radius=3.0, cluster_spacing=30.0, seed=3
+        )
+        solo_rng = np.random.default_rng(3)
+        # Re-generate cluster 0 alone from the same stream prefix: the
+        # fix must leave the first cluster's points byte-identical.
+        from repro.geometry.deployment import _rejection_sample
+
+        def draw(r):
+            rad = 3.0 * math.sqrt(r.random())
+            theta = 2.0 * math.pi * r.random()
+            return np.array(
+                [rad * math.cos(theta), rad * math.sin(theta)]
+            )
+
+        first = _rejection_sample(8, draw, 1.0, solo_rng)
+        assert np.array_equal(ps.coords[:8], first)
+
 
 class TestAnnulus:
     def test_radial_band(self):
@@ -154,6 +206,20 @@ class TestTwoBalls:
         dense_x = ps.coords[3:, 0]
         assert sparse_x.max() < 10
         assert dense_x.min() > 90
+
+    def test_min_separation_across_overlapping_balls(self):
+        """Regression: B2's sampler must see B1's points when the balls
+        overlap (center_distance < 2*ball_radius)."""
+        for seed in range(8):
+            ps = two_balls(
+                n_sparse=4,
+                n_dense=10,
+                ball_radius=6.0,
+                center_distance=4.0,  # heavy overlap
+                min_separation=1.0,
+                seed=seed,
+            )
+            assert verify_min_separation(ps, 1.0), f"seed {seed}"
 
 
 class TestVerifyMinSeparation:

@@ -46,6 +46,28 @@ class TestProgressLowerBoundNetwork:
         assert result["served_all"]
         assert result["max_progress"] == delta
         assert result["concurrent_receptions"] == 0
+        assert result["concurrency_probed"]
+
+    def test_concurrency_probe_uses_v_nodes_not_hardcoded_ids(self):
+        """Regression: the probe indexed ``messages[0]``/``messages[1]``
+        directly; it must key off ``v_nodes`` and skip (flagged) when
+        fewer than two exist.  A duck-typed Δ=1 network exercises the
+        degenerate path the real constructor forbids."""
+        real = ProgressLowerBoundNetwork(delta=3)
+
+        class _DegenerateNetwork:
+            delta = 1
+            v_nodes = [0]
+            u_nodes = [3]  # deliberately not node 1
+            graph = real.graph
+
+            @staticmethod
+            def channel():
+                return real.channel()
+
+        result = optimal_schedule_progress(_DegenerateNetwork())
+        assert result["concurrency_probed"] is False
+        assert result["concurrent_receptions"] is None
 
     def test_single_concurrent_pair_blocks_everything(self):
         network = ProgressLowerBoundNetwork(delta=5)

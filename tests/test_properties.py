@@ -339,3 +339,125 @@ class TestAckEngineProperties:
                 break
             engine.step()
         assert engine.halted
+
+
+class TestDeploymentSeparationInvariant:
+    """The module contract of repro.geometry.deployment: every random
+    generator returns a PointSet whose minimum pairwise distance is at
+    least ``min_separation`` — across groups too (overlapping clusters
+    and overlapping balls used to violate it) — or refuses loudly with
+    ``DeploymentError``.  Either outcome upholds the invariant; a
+    silently-violating layout is the bug."""
+
+    @staticmethod
+    def _check(build, min_separation):
+        from repro.geometry.deployment import DeploymentError
+        from repro.geometry.deployment import verify_min_separation
+
+        try:
+            points = build()
+        except DeploymentError:
+            return  # refusing is a valid outcome of a too-dense request
+        assert verify_min_separation(points, min_separation)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n=st.integers(min_value=2, max_value=25),
+        radius=st.floats(min_value=3.0, max_value=25.0),
+        sep=st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_disk(self, seed, n, radius, sep):
+        from repro.geometry.deployment import uniform_disk
+
+        self._check(
+            lambda: uniform_disk(n, radius, min_separation=sep, seed=seed),
+            sep,
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n=st.integers(min_value=2, max_value=25),
+        side=st.floats(min_value=3.0, max_value=25.0),
+        sep=st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_uniform_square(self, seed, n, side, sep):
+        from repro.geometry.deployment import uniform_square
+
+        self._check(
+            lambda: uniform_square(n, side, min_separation=sep, seed=seed),
+            sep,
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n=st.integers(min_value=2, max_value=25),
+        inner=st.floats(min_value=0.0, max_value=10.0),
+        width=st.floats(min_value=2.0, max_value=15.0),
+        sep=st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_annulus(self, seed, n, inner, width, sep):
+        from repro.geometry.deployment import annulus_deployment
+
+        self._check(
+            lambda: annulus_deployment(
+                n, inner, inner + width, min_separation=sep, seed=seed
+            ),
+            sep,
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        clusters=st.integers(min_value=2, max_value=4),
+        per_cluster=st.integers(min_value=1, max_value=8),
+        radius=st.floats(min_value=1.0, max_value=6.0),
+        # Spacing down to a fraction of the radius: heavily overlapping
+        # clusters, the exact regime of the fixed cross-cluster bug.
+        spacing_factor=st.floats(min_value=0.25, max_value=4.0),
+        sep=st.floats(min_value=0.5, max_value=1.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_clusters_including_overlap(
+        self, seed, clusters, per_cluster, radius, spacing_factor, sep
+    ):
+        from repro.geometry.deployment import cluster_deployment
+
+        self._check(
+            lambda: cluster_deployment(
+                clusters,
+                per_cluster,
+                cluster_radius=radius,
+                cluster_spacing=spacing_factor * radius,
+                min_separation=sep,
+                seed=seed,
+            ),
+            sep,
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        n_sparse=st.integers(min_value=1, max_value=4),
+        n_dense=st.integers(min_value=1, max_value=12),
+        radius=st.floats(min_value=2.0, max_value=8.0),
+        distance_factor=st.floats(min_value=0.25, max_value=4.0),
+        sep=st.floats(min_value=0.5, max_value=1.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_balls_including_overlap(
+        self, seed, n_sparse, n_dense, radius, distance_factor, sep
+    ):
+        from repro.geometry.deployment import two_balls
+
+        self._check(
+            lambda: two_balls(
+                n_sparse,
+                n_dense,
+                ball_radius=radius,
+                center_distance=distance_factor * radius,
+                min_separation=sep,
+                seed=seed,
+            ),
+            sep,
+        )
