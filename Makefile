@@ -20,15 +20,16 @@ bench-smoke:
 	$(PY) scripts/bench_smoke.py
 
 # Regenerate the committed perf records (BENCH_vectorized.json,
-# BENCH_protocols.json, BENCH_fading.json) by running the recorded
-# benchmarks at their full configuration.  REPRO_BENCH_STRICT=0 relaxes
-# the absolute speedup bars (bit-identity stays asserted): in the
-# regression gate the *relative* 20% comparison of bench-compare is the
-# arbiter.
+# BENCH_protocols.json, BENCH_fading.json, BENCH_mobility.json) by
+# running the recorded benchmarks at their full configuration.
+# REPRO_BENCH_STRICT=0 relaxes the absolute speedup bars (bit-identity
+# stays asserted): in the regression gate the *relative* 20% comparison
+# of bench-compare is the arbiter.
 bench-record:
 	PYTHONPATH=src REPRO_BENCH_STRICT=0 $(PY) -m pytest \
 		benchmarks/bench_vectorized_stack.py \
-		benchmarks/bench_fading_robustness.py -q --benchmark-only
+		benchmarks/bench_fading_robustness.py \
+		benchmarks/bench_mobility_churn.py -q --benchmark-only
 
 # Compare the fresh records against the committed baselines: the
 # counters-only speedup may not regress more than 20%.

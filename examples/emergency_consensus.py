@@ -19,10 +19,16 @@ from repro.analysis.harness import build_combined_stack, format_table
 from repro.core.approx_progress import ApproxProgressConfig
 from repro.protocols.consensus import ConsensusClient, run_consensus
 
+# Scenario size and jamming grid, module-level so the example smoke
+# test (tests/test_examples.py) can shrink them.
+N_RESPONDERS = 14
+FIELD_RADIUS = 11.0
+DROPS = (0.0, 0.15, 0.3)
+
 
 def run_vote(drop_probability: float, seed: int = 2) -> dict:
     params = SINRParameters()
-    points = uniform_disk(14, radius=11.0, seed=21)
+    points = uniform_disk(N_RESPONDERS, radius=FIELD_RADIUS, seed=21)
     n = len(points)
     # 9 of 14 responders vote "evacuate" (1); the rest vote "stay" (0).
     votes = [1 if i % 3 != 2 else 0 for i in range(n)]
@@ -57,8 +63,10 @@ def run_vote(drop_probability: float, seed: int = 2) -> dict:
 
 
 def main() -> None:
-    rows = [run_vote(0.0), run_vote(0.15), run_vote(0.3)]
-    print("emergency consensus: 14 responders vote on evacuation\n")
+    rows = [run_vote(drop) for drop in DROPS]
+    print(
+        f"emergency consensus: {N_RESPONDERS} responders vote on evacuation\n"
+    )
     print(
         format_table(
             ["jamming", "agreed", "decision", "valid", "completion (slots)"],

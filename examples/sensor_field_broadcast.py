@@ -24,13 +24,24 @@ from repro.core.approx_progress import ApproxProgressConfig
 from repro.core.decay import DecayConfig
 from repro.protocols.bmmb import BmmbClient, run_multi_message_broadcast
 
+# Field size and traffic, module-level so the example smoke test
+# (tests/test_examples.py) can shrink them.  Reading keys must stay
+# valid node ids (< N_CLUSTERS * NODES_PER_CLUSTER).
+N_CLUSTERS = 4
+NODES_PER_CLUSTER = 6
+READINGS = {
+    0: ["temp=21.4C@site0"],
+    7: ["vibration=0.3g@site1"],
+    14: ["humidity=44%@site2"],
+}
+
 
 def build_field(seed: int = 3):
-    """Four dense instrument clusters strung along a valley."""
+    """Dense instrument clusters strung along a valley."""
     params = SINRParameters()
     points = cluster_deployment(
-        n_clusters=4,
-        nodes_per_cluster=6,
+        n_clusters=N_CLUSTERS,
+        nodes_per_cluster=NODES_PER_CLUSTER,
         cluster_radius=2.0,
         cluster_spacing=params.approx_range * 0.8,
         min_separation=1.0,
@@ -66,16 +77,11 @@ def run_stack(kind: str) -> dict:
             ),
             seed=1,
         )
-    # Three sensors in different clusters report readings.
-    readings = {
-        0: ["temp=21.4C@site0"],
-        7: ["vibration=0.3g@site1"],
-        14: ["humidity=44%@site2"],
-    }
+    # Sensors in different clusters report readings.
     completion = run_multi_message_broadcast(
-        stack.runtime, stack.macs, stack.clients, arrivals=readings
+        stack.runtime, stack.macs, stack.clients, arrivals=READINGS
     )
-    all_tokens = [t for tokens in readings.values() for t in tokens]
+    all_tokens = [t for tokens in READINGS.values() for t in tokens]
     delivered = sum(1 for c in stack.clients if c.has_all(all_tokens))
     return {
         "stack": kind,
@@ -88,7 +94,10 @@ def run_stack(kind: str) -> dict:
 
 def main() -> None:
     rows = [run_stack("sinr-absmac"), run_stack("decay-mac")]
-    print("sensor field: 4 clusters x 6 sensors, 3 concurrent readings\n")
+    print(
+        f"sensor field: {N_CLUSTERS} clusters x {NODES_PER_CLUSTER} "
+        f"sensors, {len(READINGS)} concurrent readings\n"
+    )
     print(
         format_table(
             ["MAC stack", "n", "Δ", "completion (slots)", "delivered"],

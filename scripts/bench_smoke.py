@@ -89,6 +89,32 @@ def smoke_fading_robustness(m):
     return report
 
 
+def smoke_mobility_churn(m):
+    _shrink(
+        m,
+        SPEEDS=(2.0,),
+        CHURN_RATES=(4e-4,),
+        ACK_N=10,
+        ACK_RADIUS=8.0,
+        ACK_SEEDS=1,
+        PROTOCOL_SEEDS=1,
+        SMB_N=10,
+        SMB_RADIUS=7.0,
+        MMB_N=10,
+        MMB_RADIUS=7.0,
+        CONS_N=10,
+        CONS_RADIUS=7.0,
+        CONS_WAVES=4,
+        SPEEDUP_N=60,
+        SPEEDUP_RADIUS=40.0,
+        SPEEDUP_SEEDS=2,
+        SPEEDUP_SLOTS=120,
+    )
+    report = m.run_benchmark(rounds=1)
+    assert all(r["bit_identical"] for r in report["rows"])
+    return report
+
+
 def smoke_fig1(m):
     _shrink(m, DELTAS=(2, 4), POWER_DELTAS=(5,))
     m.run_sweep()
@@ -168,6 +194,7 @@ SMOKE = {
     "bench_engine_batching": smoke_engine_batching,
     "bench_fading_robustness": smoke_fading_robustness,
     "bench_fig1_progress_lower_bound": smoke_fig1,
+    "bench_mobility_churn": smoke_mobility_churn,
     "bench_table1_overview": smoke_table1_overview,
     "bench_table1_fack": smoke_table1_fack,
     "bench_table1_fapprog": smoke_table1_fapprog,

@@ -8,7 +8,11 @@ Fails (exit 1) when:
 * a ``benchmarks/bench_*.py`` script is not mentioned in
   ``docs/benchmarks.md`` (every benchmark must be catalogued);
 * ``docs/benchmarks.md`` mentions a ``bench_*.py`` name that no longer
-  exists (stale catalogue entries).
+  exists (stale catalogue entries);
+* a package under ``src/repro/`` is not mentioned (as ``repro.<name>``)
+  in ``docs/architecture.md`` — every package, ``repro.topology``
+  included, must appear in the architecture walk-through, so adding a
+  subsystem without documenting it fails the gate.
 
 Run via ``make docs-check``.
 """
@@ -57,6 +61,23 @@ def main() -> int:
             "under benchmarks/"
         )
 
+    architecture_path = REPO / "docs" / "architecture.md"
+    architecture = (
+        architecture_path.read_text(encoding="utf-8")
+        if architecture_path.is_file()
+        else ""
+    )
+    packages = sorted(
+        p.parent.name
+        for p in (REPO / "src" / "repro").glob("*/__init__.py")
+    )
+    for name in packages:
+        if f"repro.{name}" not in architecture:
+            problems.append(
+                f"package src/repro/{name}/ is not documented in "
+                "docs/architecture.md (no `repro." + name + "` mention)"
+            )
+
     if problems:
         print("docs-check: FAILED")
         for problem in problems:
@@ -64,6 +85,7 @@ def main() -> int:
         return 1
     print(
         f"docs-check: OK ({len(scripts)} benchmark scripts catalogued, "
+        f"{len(packages)} packages documented, "
         f"{len(REQUIRED_DOCS)} documentation files present)"
     )
     return 0

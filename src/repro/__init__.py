@@ -24,6 +24,8 @@ Package map (see DESIGN.md for the full inventory):
 
 * :mod:`repro.geometry` — deployments and growth-bounded metrics,
 * :mod:`repro.sinr` — the physical model and its induced graphs,
+* :mod:`repro.topology` — dynamic topology (mobility & churn) advancing
+  at epoch boundaries, identical on every executor,
 * :mod:`repro.simulation` — the slotted distributed-protocol runtime,
 * :mod:`repro.core` — the paper's algorithms (B.1, 9.1, 11.1, Decay)
   and the absMAC spec checker,

@@ -46,6 +46,7 @@ from repro.geometry.points import PointSet
 from repro.simulation.runtime import Runtime, RuntimeConfig
 from repro.sinr.channel import Channel, JammingAdversary
 from repro.sinr.params import SINRParameters
+from repro.topology import TopologyProvider
 
 __all__ = [
     "StackBundle",
@@ -123,6 +124,7 @@ def _assemble(
     max_slots: int,
     adversary: JammingAdversary | None,
     record_physical: bool,
+    topology: TopologyProvider | None = None,
 ) -> StackBundle:
     artifacts = deployment_artifacts(points, params)
     registry = MessageRegistry()
@@ -137,6 +139,7 @@ def _assemble(
         adversary=adversary,
         distances=artifacts.distances,
         gains=artifacts.gains,
+        topology=topology,
     )
     runtime = Runtime(
         channel,
@@ -172,6 +175,7 @@ def build_combined_stack(
     ack_config: AckConfig | None = None,
     approg_config: ApproxProgressConfig | None = None,
     record_physical: bool = True,
+    topology: TopologyProvider | None = None,
 ) -> StackBundle:
     """The paper's full absMAC (Algorithm 11.1) over a deployment.
 
@@ -193,7 +197,7 @@ def build_combined_stack(
 
     return _assemble(
         points, params, factory, client_factory, seed, max_slots,
-        adversary, record_physical,
+        adversary, record_physical, topology,
     )
 
 
@@ -207,6 +211,7 @@ def build_ack_stack(
     adversary: JammingAdversary | None = None,
     ack_config: AckConfig | None = None,
     record_physical: bool = True,
+    topology: TopologyProvider | None = None,
 ) -> StackBundle:
     """Algorithm B.1 alone (the Theorem 5.1 object of study)."""
     metrics = deployment_artifacts(points, params).metrics
@@ -219,7 +224,7 @@ def build_ack_stack(
 
     return _assemble(
         points, params, factory, client_factory, seed, max_slots,
-        adversary, record_physical,
+        adversary, record_physical, topology,
     )
 
 
@@ -233,6 +238,7 @@ def build_approg_stack(
     adversary: JammingAdversary | None = None,
     approg_config: ApproxProgressConfig | None = None,
     record_physical: bool = True,
+    topology: TopologyProvider | None = None,
 ) -> StackBundle:
     """Algorithm 9.1 alone (the Theorem 9.1 object of study)."""
     metrics = deployment_artifacts(points, params).metrics
@@ -248,7 +254,7 @@ def build_approg_stack(
 
     return _assemble(
         points, params, factory, client_factory, seed, max_slots,
-        adversary, record_physical,
+        adversary, record_physical, topology,
     )
 
 
@@ -262,6 +268,7 @@ def build_decay_stack(
     adversary: JammingAdversary | None = None,
     decay_config: DecayConfig | None = None,
     record_physical: bool = True,
+    topology: TopologyProvider | None = None,
 ) -> StackBundle:
     """The Decay MAC baseline over the same deployment."""
     if decay_config is None:
@@ -272,7 +279,7 @@ def build_decay_stack(
 
     return _assemble(
         points, params, factory, client_factory, seed, max_slots,
-        adversary, record_physical,
+        adversary, record_physical, topology,
     )
 
 

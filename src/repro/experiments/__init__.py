@@ -30,9 +30,11 @@ from repro.experiments.cache import (
     ArtifactCache,
     DeploymentArtifacts,
     deployment_artifacts,
+    geometry_artifacts,
     resolve_deployment,
 )
 from repro.experiments.plans import (
+    AdversarySpec,
     DeploymentSpec,
     TrialPlan,
     TrialResult,
@@ -44,7 +46,9 @@ __all__ = [
     "DeploymentArtifacts",
     "GLOBAL_CACHE",
     "deployment_artifacts",
+    "geometry_artifacts",
     "resolve_deployment",
+    "AdversarySpec",
     "DeploymentSpec",
     "TrialPlan",
     "TrialResult",

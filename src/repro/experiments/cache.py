@@ -49,6 +49,7 @@ __all__ = [
     "ArtifactCache",
     "GLOBAL_CACHE",
     "deployment_artifacts",
+    "geometry_artifacts",
     "resolve_deployment",
 ]
 
@@ -91,6 +92,9 @@ class ArtifactCache:
         self._artifacts: OrderedDict[tuple, DeploymentArtifacts] = (
             OrderedDict()
         )
+        self._geometry: OrderedDict[
+            tuple, tuple[np.ndarray, np.ndarray]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -156,12 +160,56 @@ class ArtifactCache:
             self._artifacts.popitem(last=False)
         return built
 
+    # -- per-epoch geometry ----------------------------------------------
+
+    def geometry(
+        self, points: PointSet, params: SINRParameters
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Distances and gains alone — the epoch-refresh artifact.
+
+        Dynamic-topology runs (:mod:`repro.topology`) re-derive the
+        distance and gain matrices at every mobility epoch; the graphs
+        and metrics of the full :meth:`artifacts` entry stay defined by
+        the *initial* deployment (the measurement contract), so epochs
+        need only this cheap pair.  Keyed exactly like :meth:`artifacts`
+        — coordinate bytes + deterministic params — which gives two
+        kinds of sharing for free: epochs whose coordinates equal the
+        initial deployment (static segments, zero-speed pauses) are
+        served from the full-artifact entry itself, and trials sharing
+        one provider trajectory (the default: providers carry their own
+        seed) share each epoch's matrices across the whole sweep, so
+        the batched executors' tensor stacks collapse to zero-stride
+        views again.
+        """
+        if params.channel_model is not None:
+            params = replace(params, channel_model=None)
+        key = (points.coords.tobytes(), params)
+        full = self._artifacts.get(key)
+        if full is not None:
+            self.hits += 1
+            return full.distances, full.gains
+        cached = self._geometry.get(key)
+        if cached is not None:
+            self._geometry.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        distances = pairwise_distances(points.coords)
+        gains = gain_matrix(params, distances)
+        distances.setflags(write=False)
+        gains.setflags(write=False)
+        self._geometry[key] = (distances, gains)
+        while len(self._geometry) > self.maxsize:
+            self._geometry.popitem(last=False)
+        return distances, gains
+
     # -- maintenance -----------------------------------------------------
 
     def clear(self) -> None:
         """Drop every entry and reset the hit/miss counters."""
         self._points.clear()
         self._artifacts.clear()
+        self._geometry.clear()
         self.hits = 0
         self.misses = 0
 
@@ -172,6 +220,7 @@ class ArtifactCache:
             "misses": self.misses,
             "points_entries": len(self._points),
             "artifact_entries": len(self._artifacts),
+            "geometry_entries": len(self._geometry),
         }
 
 
@@ -185,6 +234,15 @@ def deployment_artifacts(
 ) -> DeploymentArtifacts:
     """Memoized artifacts from the given (or global) cache."""
     return (cache or GLOBAL_CACHE).artifacts(points, params)
+
+
+def geometry_artifacts(
+    points: PointSet,
+    params: SINRParameters,
+    cache: ArtifactCache | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized (distances, gains) for one epoch's coordinates."""
+    return (cache or GLOBAL_CACHE).geometry(points, params)
 
 
 def resolve_deployment(

@@ -48,7 +48,11 @@ from repro.analysis.harness import (
     build_decay_stack,
 )
 from repro.core.spec import broadcast_intervals
-from repro.experiments.cache import ArtifactCache, resolve_deployment
+from repro.experiments.cache import (
+    ArtifactCache,
+    deployment_artifacts,
+    resolve_deployment,
+)
 from repro.experiments.plans import TrialPlan, TrialResult
 from repro.experiments.workloads import Workload, get_workload
 from repro.sinr.physics import batch_tensor, successful_receptions_batch
@@ -63,11 +67,17 @@ def build_stack(
     """Materialize a plan's deployment + MAC stack (harness builders)."""
     points = resolve_deployment(plan.deployment, cache)
     workload = get_workload(plan.workload)
+    adversary = None
+    if plan.adversary is not None:
+        graph = deployment_artifacts(points, plan.params, cache).graph
+        adversary = plan.adversary.build(graph, plan.seed)
     common = dict(
         client_factory=workload.client_factory(plan),
         seed=plan.seed,
         max_slots=plan.max_slots,
         record_physical=plan.record_physical,
+        adversary=adversary,
+        topology=plan.topology,
     )
     if plan.stack == "combined":
         return build_combined_stack(
@@ -242,6 +252,12 @@ def _run_lockstep(
     # does; each stochastic trial folds its own multipliers/fading into
     # its ragged block of the batched kernel's link_powers.
     stochastic = states[0].stack.runtime.channel.stochastic
+    # Dynamic topology (mobility/churn) may differ per trial: each
+    # channel advances its own provider at the top of its slot, and the
+    # batch restacks its tensors whenever any trial's geometry moved.
+    dynamic = any(
+        st.stack.runtime.channel.dynamic_topology for st in states
+    )
 
     results: dict[int, TrialResult] = {}
     empty_tx: dict[int, Any] = {}
@@ -261,12 +277,26 @@ def _run_lockstep(
         # counters all run in their own channel's finalize.
         transmissions = [empty_tx] * len(states)
         tx_ids = [np.empty(0, dtype=np.intp)] * len(states)
+        geometry_moved = False
         for st in live:
             st.stack.runtime._check_budget()
+            if dynamic:
+                # Epoch contract: topology changes land before this
+                # slot's transmit decisions, exactly as in Runtime.step.
+                geometry_moved |= st.stack.runtime.channel.advance_topology(
+                    st.stack.runtime.slot
+                )
             tx = st.stack.runtime.collect_transmissions()
             transmissions[st.row] = tx
             tx_ids[st.row] = st.stack.runtime.channel.validated_transmitters(
                 tx
+            )
+        if geometry_moved:
+            dist_stack = batch_tensor(
+                [st.stack.runtime.channel.distances for st in states]
+            )
+            gain_stack = batch_tensor(
+                [st.stack.runtime.channel.gains for st in states]
             )
         link_powers = None
         if stochastic:

@@ -35,9 +35,17 @@ from repro.core.ack_protocol import AckConfig
 from repro.core.approx_progress import ApproxProgressConfig
 from repro.core.decay import DecayConfig
 from repro.geometry.points import PointSet
+from repro.sinr.channel import GrayZoneAdversary, JammingAdversary
 from repro.sinr.params import SINRParameters
+from repro.topology import TopologyProvider
 
-__all__ = ["DeploymentSpec", "TrialPlan", "TrialResult", "seeded_plans"]
+__all__ = [
+    "AdversarySpec",
+    "DeploymentSpec",
+    "TrialPlan",
+    "TrialResult",
+    "seeded_plans",
+]
 
 _EXPLICIT = "__explicit__"
 
@@ -112,6 +120,72 @@ class DeploymentSpec:
         return generator(**opts)
 
 
+_ADVERSARY_KINDS = ("jamming", "gray_zone")
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """A reproducible, hashable recipe for a failure injector.
+
+    Adversaries used to be constructed imperatively and handed to the
+    harness builders; a spec makes them *plan-level* configuration, so
+    failure-injection sweeps batch, pickle to pool workers, and ride
+    the columnar fast path (whose adversary delivery goes through the
+    same :meth:`~repro.sinr.channel.Channel.finalize_slot`) with
+    dataclass-equal results.
+
+    Attributes
+    ----------
+    kind:
+        ``"jamming"`` (:class:`~repro.sinr.channel.JammingAdversary`:
+        i.i.d. erasures + jammed slots) or ``"gray_zone"``
+        (:class:`~repro.sinr.channel.GrayZoneAdversary`: dual-graph
+        unreliability outside G_{1-ε}, built on the deployment's cached
+        strong graph).
+    drop_probability / jam_slots:
+        Jamming parameters (ignored for gray_zone).
+    gray_drop:
+        Gray-zone erasure probability (ignored for jamming).
+    seed:
+        Adversary stream seed; each trial's injector draws from
+        ``SeedSequence([seed, trial seed])``, so per-trial streams are
+        independent yet a pure function of the plan.
+    """
+
+    kind: str = "jamming"
+    drop_probability: float = 0.0
+    jam_slots: tuple[int, ...] = ()
+    gray_drop: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ADVERSARY_KINDS:
+            raise ValueError(
+                f"unknown adversary kind {self.kind!r}; "
+                f"expected one of {_ADVERSARY_KINDS}"
+            )
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if not 0.0 <= self.gray_drop <= 1.0:
+            raise ValueError("gray_drop must be in [0, 1]")
+
+    def build(
+        self, graph, trial_seed: int
+    ) -> JammingAdversary | GrayZoneAdversary:
+        """Fresh per-trial injector (``graph`` is the deployment's
+        G_{1-ε}, only read by the gray-zone kind)."""
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, int(trial_seed)])
+        )
+        if self.kind == "jamming":
+            return JammingAdversary(
+                drop_probability=self.drop_probability,
+                jam_slots=set(self.jam_slots),
+                rng=rng,
+            )
+        return GrayZoneAdversary(graph, gray_drop=self.gray_drop, rng=rng)
+
+
 @dataclass(frozen=True)
 class TrialPlan:
     """One trial, fully described.
@@ -158,6 +232,19 @@ class TrialPlan:
         :meth:`pack_options`): ``source``/``payload`` for smb,
         ``arrivals`` for mmb, ``waves`` for consensus,
         ``slots``/``epochs`` for fixed_slots.
+    topology:
+        Optional dynamic-topology provider (:mod:`repro.topology`):
+        mobility and/or churn advancing at epoch boundaries, identical
+        on all three executors.  None (or any provider whose
+        ``is_dynamic`` is False) is the frozen-geometry default,
+        byte-identical to pre-topology runs.  The artifact cache keys
+        ignore it — graphs/metrics stay defined by the initial
+        deployment, and per-epoch geometry has its own keyed memo — so
+        a topology sweep shares the static artifacts with every other
+        plan over the same deployment.
+    adversary:
+        Optional failure-injection recipe (:class:`AdversarySpec`);
+        None is the reliable channel.
     ack_config / approg_config / decay_config:
         Explicit protocol configs; None derives the paper-formula
         defaults from the deployment's measured Λ (exactly like the
@@ -176,6 +263,8 @@ class TrialPlan:
     extra_slots: int = 0
     record_physical: bool = True
     options: tuple[tuple[str, Any], ...] = ()
+    topology: TopologyProvider | None = None
+    adversary: AdversarySpec | None = None
     ack_config: AckConfig | None = None
     approg_config: ApproxProgressConfig | None = None
     decay_config: DecayConfig | None = None
@@ -190,6 +279,18 @@ class TrialPlan:
             raise ValueError("max_slots must be >= 1")
         if self.extra_slots < 0:
             raise ValueError("extra_slots must be >= 0")
+        if self.topology is not None and not isinstance(
+            self.topology, TopologyProvider
+        ):
+            raise TypeError(
+                f"topology must be a TopologyProvider; got {self.topology!r}"
+            )
+        if self.adversary is not None and not isinstance(
+            self.adversary, AdversarySpec
+        ):
+            raise TypeError(
+                f"adversary must be an AdversarySpec; got {self.adversary!r}"
+            )
 
     @staticmethod
     def pack_options(**kwargs: Any) -> tuple[tuple[str, Any], ...]:

@@ -99,8 +99,13 @@ class Runtime:
         with :meth:`deliver_outcome`.
         """
         transmissions: dict[int, Any] = {}
+        alive = self.channel.alive
         for node in self.nodes:
             if not node.awake:
+                continue
+            # Churn: a crashed node's automaton is frozen — no on_slot
+            # call, no RNG draw, no transmission — until it recovers.
+            if alive is not None and not alive[node.node_id]:
                 continue
             payload = node.on_slot(self.slot)
             if payload is not None:
@@ -130,7 +135,14 @@ class Runtime:
         return outcome.receptions
 
     def step(self) -> dict[int, tuple[int, Any]]:
-        """Advance one slot; return the slot's receptions."""
+        """Advance one slot; return the slot's receptions.
+
+        Dynamic topology (mobility/churn) advances first — the epoch
+        contract of :meth:`~repro.sinr.channel.Channel.advance_topology`
+        puts every scheduled change before the slot's transmit
+        decisions, on every executor.
+        """
+        self.channel.advance_topology(self.slot)
         transmissions = self.collect_transmissions()
         outcome = self.channel.resolve_slot(transmissions)
         return self.deliver_outcome(outcome)

@@ -29,6 +29,7 @@ from repro.sinr.physics import (
     sinr_of_link,
     successful_receptions,
 )
+from repro.topology import TopologyProvider
 
 __all__ = ["Channel", "JammingAdversary", "GrayZoneAdversary", "SlotOutcome"]
 
@@ -171,6 +172,7 @@ class Channel:
         adversary: JammingAdversary | None = None,
         distances: np.ndarray | None = None,
         gains: np.ndarray | None = None,
+        topology: TopologyProvider | None = None,
     ) -> None:
         self.points = points
         self.params = params
@@ -192,11 +194,29 @@ class Channel:
         self.model = model if model is not None and model.is_active else None
         self.effective_gains: np.ndarray | None = None
         self._fading = None  # LinkUniformBuffer once armed (Rayleigh)
+        self._multipliers = None  # static per-trial channel-model draws,
+        self._shadowing = None  # kept for per-epoch gain re-folding
+        # Dynamic topology (mobility/churn): a non-dynamic provider is
+        # exactly topology=None — no state is ever bound, no slot pays
+        # anything, and runs stay byte-identical to the static seed.
+        self.topology = (
+            topology if topology is not None and topology.is_dynamic else None
+        )
+        self._topo_state = None
+        self._initial_points = self.points
+        self._initial_distances = self.distances
+        self._initial_gains = self.gains
+        self.alive: np.ndarray | None = None
 
     @property
     def stochastic(self) -> bool:
         """Does an active channel model govern this deployment?"""
         return self.model is not None
+
+    @property
+    def dynamic_topology(self) -> bool:
+        """Does a dynamic topology provider govern this deployment?"""
+        return self.topology is not None
 
     def bind_trial_seed(self, seed: int | None) -> None:
         """Arm the stochastic channel state with the trial's master seed.
@@ -211,7 +231,20 @@ class Channel:
         :class:`~repro.simulation.rng.LinkUniformBuffer`.  Rebinding
         (e.g. reusing one channel across runtimes) restarts the stream
         deterministically.
+
+        Also (re)arms the dynamic topology state
+        (:mod:`repro.topology`): geometry rewinds to the initial
+        deployment and the provider binds fresh per-trial state.
+        Mobility draws come from the provider's own seed — never from
+        ``seed`` — so a provider perturbs geometry only (see the
+        RNG-stream allocation notes in :mod:`repro.topology.providers`).
         """
+        if self.topology is not None:
+            self.points = self._initial_points
+            self.distances = self._initial_distances
+            self.gains = self._initial_gains
+            self._topo_state = self.topology.bind(self._initial_points, seed)
+            self.alive = self._topo_state.initial_alive()
         if self.model is None:
             return
         # Deferred import: repro.simulation.runtime imports this module,
@@ -220,12 +253,59 @@ class Channel:
         from repro.simulation.rng import LinkUniformBuffer, spawn_channel_rng
 
         rng = spawn_channel_rng(self.n, seed)
-        multipliers = draw_power_multipliers(self.model, rng, self.n)
-        shadowing = draw_shadowing(self.model, rng, self.n)
+        self._multipliers = draw_power_multipliers(self.model, rng, self.n)
+        self._shadowing = draw_shadowing(self.model, rng, self.n)
         self.effective_gains = effective_gain_matrix(
-            self.gains, multipliers, shadowing
+            self.gains, self._multipliers, self._shadowing
         )
         self._fading = LinkUniformBuffer(rng) if self.model.rayleigh else None
+
+    def advance_topology(self, slot: int) -> bool:
+        """Apply the topology changes scheduled at the top of ``slot``.
+
+        The epoch contract: every executor calls this once per trial
+        per slot, in increasing slot order, *before* collecting the
+        slot's transmissions — so a node crashed at slot ``s`` is
+        silent in ``s``, and positions moved at an epoch boundary shape
+        that very slot's SINR.  Returns True when the *geometry*
+        changed (gains were re-derived), which tells the batched
+        executors to restack their ``(trials, n, n)`` tensors;
+        membership-only changes return False (the ``alive`` mask is
+        read fresh each slot by every consumer).
+
+        Geometry refresh flows through the shared artifact cache
+        (:meth:`repro.experiments.cache.ArtifactCache.geometry`), and
+        the channel model's static per-trial multipliers are re-folded
+        onto the new gains without consuming any channel-stream draws —
+        shadowing stays attached to node *identities* across epochs,
+        the quasi-static reading of PR 4's once-per-trial draw.
+        """
+        state = self._topo_state
+        if state is None:
+            return False
+        update = state.advance(slot)
+        if update is None:
+            return False
+        if update.alive is not None:
+            # Normalize an all-alive mask back to None so the fast
+            # no-churn paths (object reception dicts, columnar masking)
+            # resume once the last outage has drained.
+            self.alive = update.alive if not update.alive.all() else None
+        if update.points is None:
+            return False
+        # Deferred import (cycle: experiments.cache -> plans -> this
+        # module's sibling params via the experiments package).
+        from repro.experiments.cache import geometry_artifacts
+
+        self.points = update.points
+        self.distances, self.gains = geometry_artifacts(
+            update.points, self.params
+        )
+        if self.model is not None:
+            self.effective_gains = effective_gain_matrix(
+                self.gains, self._multipliers, self._shadowing
+            )
+        return True
 
     def slot_link_powers(self, tx_ids: np.ndarray) -> np.ndarray | None:
         """This slot's ``(k, n)`` received-power rows, or None.
@@ -307,6 +387,17 @@ class Channel:
             listener: (sender, transmissions[sender])
             for listener, sender in raw.items()
         }
+        if self.alive is not None:
+            # Churn: a crashed node's radio is off — its decodes vanish
+            # before the adversary (or any counter) ever sees them.
+            # Crashed nodes never appear as senders (the runtimes skip
+            # them in phase 1), so only the listener side needs masking.
+            alive = self.alive
+            receptions = {
+                listener: payload
+                for listener, payload in receptions.items()
+                if alive[listener]
+            }
         if self.adversary is not None:
             receptions = self.adversary.filter(self._slot_count, receptions)
         self._slot_count += 1

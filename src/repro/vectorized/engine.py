@@ -129,10 +129,16 @@ def run_vector_group(
         Channel(
             art.points,
             params,
+            adversary=(
+                plan.adversary.build(art.graph, plan.seed)
+                if plan.adversary is not None
+                else None
+            ),
             distances=art.distances,
             gains=art.gains,
+            topology=plan.topology,
         )
-        for art in artifacts
+        for art, (_index, plan) in zip(artifacts, group)
     ]
     record_physical = group[0][1].record_physical
     for _index, plan in group:

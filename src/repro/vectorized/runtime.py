@@ -128,12 +128,15 @@ class VectorRuntime:
             [c.distances for c in self.channels]
         )
         self._gain_stack = batch_tensor([c.gains for c in self.channels])
-        # Stochastic channel model (shared params ⇒ all trials or none):
-        # arm each trial's channel with its own master seed, exactly as
-        # the object Runtime does, so fading/shadowing/power draws come
-        # from the same per-trial channel streams on both executors.
+        # Arm each trial's channel with its own master seed, exactly as
+        # the object Runtime does: the stochastic model (shared params ⇒
+        # all trials or none) gets its per-trial channel streams, and
+        # any dynamic topology provider binds fresh per-trial state.
+        # Both arms are no-ops for plain channels, so static
+        # deterministic batches stay byte-identical.
         self._stochastic = self.channels[0].stochastic
-        if self._stochastic:
+        self._dynamic = any(c.dynamic_topology for c in self.channels)
+        if self._stochastic or self._dynamic:
             for channel, seed in zip(self.channels, seeds):
                 channel.bind_trial_seed(seed)
 
@@ -177,6 +180,21 @@ class VectorRuntime:
         self._seen = None
         if not self.record_physical and trials * n * n <= SEEN_MATRIX_CAP:
             self._seen = np.zeros((trials * n, n), dtype=bool)
+        # Churn liveness over the flat lattice: None while every node of
+        # every trial is up (the overwhelmingly common case — the fast
+        # paths then skip all masking), else a (trials·n,) bool mask.
+        self._alive = self._gather_alive()
+
+    def _gather_alive(self) -> np.ndarray | None:
+        """Flatten the per-channel churn masks (None = all alive)."""
+        if not any(c.alive is not None for c in self.channels):
+            return None
+        n = self._n
+        alive = np.ones(self.trials * n, dtype=bool)
+        for t, channel in enumerate(self.channels):
+            if channel.alive is not None:
+                alive[t * n : (t + 1) * n] = channel.alive
+        return alive
 
     def attach_adapter(self, adapter) -> None:
         """Install a protocol client adapter
@@ -303,9 +321,34 @@ class VectorRuntime:
                     "protocol appears not to terminate"
                 )
 
+        if self._dynamic:
+            # Epoch contract: per-trial topology changes land before
+            # this slot's transmit decisions (as in Runtime.step); any
+            # geometry move restacks the batch tensors, and the churn
+            # mask is re-gathered so crashed cells freeze below.
+            geometry_moved = False
+            for t in rows:
+                geometry_moved |= self.channels[t].advance_topology(
+                    self.slots[t]
+                )
+            if geometry_moved:
+                self._dist_stack = batch_tensor(
+                    [c.distances for c in self.channels]
+                )
+                self._gain_stack = batch_tensor(
+                    [c.gains for c in self.channels]
+                )
+            self._alive = self._gather_alive()
+
         live = np.zeros(trials, dtype=bool)
         live[rows] = True
-        idx = np.flatnonzero(self._busy & np.repeat(live, n))
+        busy_mask = self._busy & np.repeat(live, n)
+        if self._alive is not None:
+            # Crashed cells are frozen: no kernel step, no RNG draw, no
+            # transmission — the columnar twin of the object runtime
+            # skipping their on_slot call.
+            busy_mask &= self._alive
+        idx = np.flatnonzero(busy_mask)
 
         # Phase 1: every broadcasting cell decides transmit/listen in
         # one kernel step (drawing its node's next private uniform).
@@ -390,6 +433,17 @@ class VectorRuntime:
             flat=True,
             link_powers=link_powers,
         )
+        if self._alive is not None and hit_trial.size:
+            # Churn: a crashed listener's radio is off — drop its
+            # decodes before any counter, wakeup or adversary sees them
+            # (Channel.finalize_slot applies the same mask on the
+            # object executors, so the filter here is load-bearing only
+            # for the adversary-free fast delivery below).
+            keep = self._alive[hit_trial * n + hit_listener]
+            if not keep.all():
+                hit_trial = hit_trial[keep]
+                hit_listener = hit_listener[keep]
+                hit_sender = hit_sender[keep]
 
         rx_bounds = np.searchsorted(hit_trial, np.arange(trials + 1))
         if self._has_adversary:

@@ -53,6 +53,7 @@ def test_committed_bench_records_exist_for_compare_gate():
         "BENCH_vectorized.json",
         "BENCH_protocols.json",
         "BENCH_fading.json",
+        "BENCH_mobility.json",
     ):
         report = json.loads((REPO / name).read_text(encoding="utf-8"))
         assert report["rows"], name
@@ -72,6 +73,20 @@ def test_fading_record_is_in_the_compare_defaults():
     rows = compare.counters_only_rows(report)
     assert "fading-decay" in rows
     assert rows["fading-decay"]["bit_identical"]
+
+
+def test_mobility_record_is_in_the_compare_defaults():
+    """BENCH_mobility.json must ride the regression gate by default,
+    with its speedup row in the counters-only shape the gate keys on."""
+    compare_source = (REPO / "scripts" / "bench_compare.py").read_text(
+        encoding="utf-8"
+    )
+    assert '"BENCH_mobility.json",' in compare_source
+    compare = _load_script("bench_compare")
+    report = json.loads((REPO / "BENCH_mobility.json").read_text("utf-8"))
+    rows = compare.counters_only_rows(report)
+    assert "mobility-decay" in rows
+    assert rows["mobility-decay"]["bit_identical"]
 
 
 class TestBenchCompare:
@@ -116,6 +131,37 @@ class TestBenchCompare:
         lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
         assert not failures
         assert any("skipped" in line for line in lines)
+
+    def test_compare_skips_missing_fresh_record_with_warning(
+        self, tmp_path, monkeypatch
+    ):
+        """A committed baseline without a freshly recorded file must
+        warn-and-skip, not fail — otherwise introducing a new
+        BENCH_*.json breaks the gate for every mid-PR state between
+        committing the baseline and re-running bench-record."""
+        compare = _load_script("bench_compare")
+        baseline = {"rows": [{"workload": "smb", "speedup": 2.0}]}
+        monkeypatch.setattr(compare, "REPO", tmp_path)  # no candidate file
+        monkeypatch.setattr(
+            compare, "committed_json", lambda ref, rel: baseline
+        )
+        lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+        assert not failures
+        assert any(
+            "WARNING" in line and "skipped" in line for line in lines
+        )
+
+    def test_main_fails_when_nothing_was_recorded(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Per-file skips must not compound into an empty green gate:
+        if no fresh file exists at all, the record step never ran and
+        main() must fail loudly."""
+        compare = _load_script("bench_compare")
+        monkeypatch.setattr(compare, "REPO", tmp_path)
+        assert compare.main(["BENCH_a.json", "BENCH_b.json"]) == 1
+        out = capsys.readouterr().out
+        assert "no freshly recorded benchmark file" in out
 
     def test_compare_within_tolerance_passes(self, tmp_path, monkeypatch):
         compare = _load_script("bench_compare")

@@ -1,55 +1,134 @@
-"""Smoke tests: the shipped examples run to completion.
+"""Smoke-run every ``examples/*.py`` so examples cannot rot silently.
 
-Only the fast examples are exercised here (the heavier ones are covered
-functionally by the integration tests and benchmarks that share their
-code paths).
+Each example is imported as a module (with ``examples/`` on the path)
+and its ``main()`` executed at a *tiny* configuration — slow scenario
+constants are hoisted to module level in the examples precisely so this
+suite can shrink them, the same pattern ``scripts/bench_smoke.py`` uses
+for the benchmark scripts.  The registry below is exhaustive by
+construction: a new example without an entry fails the suite, and a
+stale entry without a script does too.  ``make test`` runs this file
+like any other tier-1 test.
 """
 
-import pathlib
-import runpy
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
 
 
-EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+def _load(name: str):
+    if str(EXAMPLES) not in sys.path:
+        sys.path.insert(0, str(EXAMPLES))
+    module = importlib.import_module(name)
+    # A fresh module per test: shrunk constants must not leak between
+    # runs (or into a developer's interactive session).
+    return importlib.reload(module)
 
 
-def run_example(name: str, capsys) -> str:
-    """Execute an example as __main__ and return its stdout."""
-    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
-    return capsys.readouterr().out
-
-
-class TestExamples:
-    def test_examples_exist(self):
-        present = {p.name for p in EXAMPLES.glob("*.py")}
-        expected = {
-            "quickstart.py",
-            "sensor_field_broadcast.py",
-            "emergency_consensus.py",
-            "lower_bound_demo.py",
-            "dual_graph_links.py",
-        }
-        assert expected <= present
-
-    def test_lower_bound_demo_runs(self, capsys):
-        out = run_example("lower_bound_demo.py", capsys)
-        assert "worst-case progress = 5 = Δ" in out
-        assert "escape hatch" in out
-
-    def test_dual_graph_links_runs(self, capsys):
-        out = run_example("dual_graph_links.py", capsys)
-        assert "default (paper setting)" in out
-        assert "exact broadcast" in out
-        # The table must show: strong link always delivered, gray-zone
-        # delivery suppressed in the filtered modes.
-        lines = [
-            line
-            for line in out.splitlines()
-            if line.startswith(
-                ("default (", "gray zone jammed", "exact broadcast")
+def _shrink(module, **overrides):
+    for name, value in overrides.items():
+        if not hasattr(module, name):
+            raise AttributeError(
+                f"{module.__name__} has no constant {name!r}; "
+                "update the example smoke registry"
             )
-        ]
-        assert len(lines) == 3
-        for line in lines:
-            assert "True" in line  # strong rcv and ack everywhere
-        assert "False" in lines[1]  # jammed gray zone
-        assert "False" in lines[2]  # Rmk 4.6 filtering
+        setattr(module, name, value)
+
+
+def smoke_quickstart(m, out):
+    assert "acknowledgments" in out()
+    assert "contract: ack ok=True" in out()
+
+
+def smoke_dual_graph_links(m, out):
+    text = out()
+    assert "default (paper setting)" in text
+    assert "exact broadcast" in text
+    # The table must show: strong link always delivered, gray-zone
+    # delivery suppressed in the filtered modes.
+    lines = [
+        line
+        for line in text.splitlines()
+        if line.startswith(
+            ("default (", "gray zone jammed", "exact broadcast")
+        )
+    ]
+    assert len(lines) == 3
+    for line in lines:
+        assert "True" in line  # strong rcv and ack everywhere
+    assert "False" in lines[1]  # jammed gray zone
+    assert "False" in lines[2]  # Rmk 4.6 filtering
+
+
+def smoke_lower_bound_demo(m, out):
+    assert "worst-case progress = 5 = Δ" in out()
+    assert "escape hatch" in out()
+
+
+def smoke_emergency_consensus(m, out):
+    _shrink(m, N_RESPONDERS=8, FIELD_RADIUS=8.0, DROPS=(0.0, 0.3))
+    assert "consensus" in out()
+
+
+def smoke_sensor_field_broadcast(m, out):
+    _shrink(
+        m,
+        N_CLUSTERS=2,
+        NODES_PER_CLUSTER=4,
+        READINGS={0: ["temp=21.4C@site0"], 5: ["vibration=0.3g@site1"]},
+    )
+    assert "sensor field" in out()
+
+
+SMOKE = {
+    "dual_graph_links": smoke_dual_graph_links,
+    "emergency_consensus": smoke_emergency_consensus,
+    "lower_bound_demo": smoke_lower_bound_demo,
+    "quickstart": smoke_quickstart,
+    "sensor_field_broadcast": smoke_sensor_field_broadcast,
+}
+
+
+def examples_on_disk() -> list[str]:
+    return sorted(p.stem for p in EXAMPLES.glob("*.py"))
+
+
+def test_registry_matches_examples_on_disk():
+    scripts = examples_on_disk()
+    assert scripts, "examples directory must not be empty"
+    missing = [name for name in scripts if name not in SMOKE]
+    stale = [name for name in SMOKE if name not in scripts]
+    assert not missing, (
+        f"examples without a smoke entry: {missing} — add them to "
+        "tests/test_examples.py's SMOKE registry"
+    )
+    assert not stale, (
+        f"smoke entries without a script: {stale} — drop them from "
+        "tests/test_examples.py's SMOKE registry"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE))
+def test_example_runs(name, capsys):
+    if name not in examples_on_disk():
+        pytest.skip(f"{name} not on disk (registry drift is caught above)")
+    module = _load(name)
+
+    ran: dict[str, str] = {}
+
+    def out() -> str:
+        """main()'s stdout (run lazily so shrinks apply first)."""
+        if "out" not in ran:
+            module.main()
+            ran["out"] = capsys.readouterr().out
+            assert ran["out"].strip(), f"example {name} printed nothing"
+        return ran["out"]
+
+    SMOKE[name](module, out)
+    out()  # entries that only shrink still execute the example

@@ -130,6 +130,7 @@ class TestArtifactCache:
             "misses": 0,
             "points_entries": 0,
             "artifact_entries": 0,
+            "geometry_entries": 0,
         }
 
 
