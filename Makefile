@@ -3,12 +3,17 @@
 
 PY ?= python
 
-.PHONY: test bench bench-smoke bench-record bench-compare bench-regression \
-	docs-check lint verify
+.PHONY: test test-fast bench bench-smoke bench-record bench-compare \
+	bench-regression docs-check lint verify
 
 # Tier-1 verification: the full test suite.
 test:
 	PYTHONPATH=src $(PY) -m pytest -x -q
+
+# Inner-loop subset: skip the @slow large equivalence matrices.  CI and
+# bare `make test` still run everything.
+test-fast:
+	PYTHONPATH=src $(PY) -m pytest -x -q -m "not slow"
 
 # Paper-artifact benchmarks (prints measured-vs-predicted tables).
 bench:
@@ -20,16 +25,17 @@ bench-smoke:
 	$(PY) scripts/bench_smoke.py
 
 # Regenerate the committed perf records (BENCH_vectorized.json,
-# BENCH_protocols.json, BENCH_fading.json, BENCH_mobility.json) by
-# running the recorded benchmarks at their full configuration.
-# REPRO_BENCH_STRICT=0 relaxes the absolute speedup bars (bit-identity
-# stays asserted): in the regression gate the *relative* 20% comparison
-# of bench-compare is the arbiter.
+# BENCH_protocols.json, BENCH_fading.json, BENCH_mobility.json,
+# BENCH_sparse.json) by running the recorded benchmarks at their full
+# configuration.  REPRO_BENCH_STRICT=0 relaxes the absolute speedup
+# bars (bit-identity stays asserted): in the regression gate the
+# *relative* 20% comparison of bench-compare is the arbiter.
 bench-record:
 	PYTHONPATH=src REPRO_BENCH_STRICT=0 $(PY) -m pytest \
 		benchmarks/bench_vectorized_stack.py \
 		benchmarks/bench_fading_robustness.py \
-		benchmarks/bench_mobility_churn.py -q --benchmark-only
+		benchmarks/bench_mobility_churn.py \
+		benchmarks/bench_sparse_sinr.py -q --benchmark-only
 
 # Compare the fresh records against the committed baselines: the
 # counters-only speedup may not regress more than 20%.

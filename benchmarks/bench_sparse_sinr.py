@@ -1,0 +1,262 @@
+"""The O(n²) physics wall vs. the sparse spatial-grid SINR resolver.
+
+Every dense slot resolution rides two ``(n, n)`` matrices — pairwise
+distances and uniform-power gains — whose construction alone is O(n²)
+time *and* memory (1.6 GB of temporaries at n = 10 000).  The paper's
+algorithms only ever decode within the transmission range, so the
+physics is local; :class:`~repro.sinr.sparse.SparseResolver` exploits
+that with a spatial grid hash (the PR-4 idea pushed down to the physics
+layer) and never materializes a dense matrix.
+
+This benchmark times the wall end-to-end at the physics layer, per
+network size: build the geometry artifacts (dense matrices vs. sparse
+grid) and resolve a fixed seeded transmission schedule through them.
+
+* **sparse-exact-n{N}** rows pit the exact sparse mode (bit-identical
+  decode contract) against the dense kernel.  ``bit_identical`` — slot
+  decode dicts equal *including insertion order* — is asserted
+  unconditionally; under ``REPRO_BENCH_STRICT=1`` the rows at
+  n ≥ ``GATE_N`` must clear ``MIN_EXACT_SPEEDUP``.
+* **sparse-farfield-n{N}** rows measure the approximate mode (beyond-
+  radius interference aggregated per cell under the ε relative-error
+  bound) and record its ``decode_divergence`` — the fraction of dense
+  decodes that differ.  ε-band divergence is legal by contract; the
+  property suite (``tests/test_sparse_physics_properties.py``) pins the
+  actual error bound, the benchmark records how often it matters.
+
+All rows are counters-only (``record_physical: false``) and carry a
+``speedup``, so they ride the CI ``bench-compare`` 20% regression gate
+exactly like the executor benchmarks.  Timings use
+``time.process_time`` (single-core CPU seconds, best of ``rounds``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.harness import format_table
+from repro.geometry.deployment import uniform_disk
+from repro.geometry.points import pairwise_distances
+from repro.sinr.params import SINRParameters, SparseResolution
+from repro.sinr.physics import gain_matrix, successful_receptions
+from repro.sinr.sparse import SparseResolver
+
+# -- the size sweep ----------------------------------------------------------
+
+NS = (1000, 2500, 5000, 10000)
+TARGET_DEGREE = 16  # expected in-range neighbours per node (density knob)
+DEPLOY_SEED = 33
+
+# -- the transmission schedule -----------------------------------------------
+
+BROADCASTERS = 256  # active-subset size (low contention: the sparse regime)
+TX_PROB = 0.25
+SLOTS = 40
+SCHEDULE_SEED = 7
+
+# -- farfield approximation --------------------------------------------------
+
+EPSILON = 0.05
+
+# -- gates -------------------------------------------------------------------
+
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+GATE_N = 5000
+MIN_EXACT_SPEEDUP = 5.0
+
+_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = _ROOT / "BENCH_sparse.json"
+
+
+def _deployment(n: int):
+    """Constant-density disk: radius scales with √n.
+
+    The disk radius is chosen so the expected number of in-range
+    neighbours stays at ``TARGET_DEGREE`` regardless of n — the regime
+    where the physics is genuinely local and a dense O(n²) resolution
+    is pure waste.
+    """
+    params = SINRParameters()
+    radius = params.transmission_range * math.sqrt(n / TARGET_DEGREE)
+    return uniform_disk(n, radius=radius, seed=DEPLOY_SEED), params
+
+
+def _schedule(n: int) -> list[np.ndarray]:
+    """Seeded per-slot transmitter sets from a fixed active subset."""
+    rng = np.random.default_rng(SCHEDULE_SEED + n)
+    pool = np.sort(
+        rng.choice(n, size=min(BROADCASTERS, n), replace=False)
+    ).astype(np.intp)
+    slots = []
+    for _ in range(SLOTS):
+        tx = pool[rng.random(pool.size) < TX_PROB]
+        if tx.size == 0:  # a silent slot measures nothing
+            tx = pool[:1]
+        slots.append(tx)
+    return slots
+
+
+def _time_dense(points, params, schedule, rounds):
+    """Artifact build + slot loop through the dense kernel."""
+    best, decodes = None, None
+    for _ in range(rounds):
+        start = time.process_time()
+        distances = pairwise_distances(points.coords)
+        gains = gain_matrix(params, distances)
+        decodes = [
+            list(
+                successful_receptions(
+                    params, distances, tx, gains=gains
+                ).items()
+            )
+            for tx in schedule
+        ]
+        elapsed = time.process_time() - start
+        best = elapsed if best is None else min(best, elapsed)
+        del distances, gains  # free the O(n²) arrays between rounds
+    return decodes, best
+
+
+def _time_sparse(points, params, schedule, rounds):
+    """Grid build + slot loop through the sparse resolver."""
+    best, decodes = None, None
+    for _ in range(rounds):
+        start = time.process_time()
+        resolver = SparseResolver(points, params)
+        decodes = [list(resolver.resolve(tx).items()) for tx in schedule]
+        elapsed = time.process_time() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return decodes, best
+
+
+def _divergence(dense, other) -> float:
+    """Fraction of dense decodes not reproduced exactly (by slot)."""
+    total = sum(len(slot) for slot in dense)
+    if total == 0:
+        return 0.0
+    differing = sum(
+        len(set(d) ^ set(o)) for d, o in zip(dense, other)
+    )
+    return differing / (2 * total)
+
+
+def run_benchmark(rounds: int = ROUNDS) -> dict:
+    rows = []
+    for n in NS:
+        points, params = _deployment(n)
+        schedule = _schedule(n)
+        tx_mean = float(np.mean([tx.size for tx in schedule]))
+        dense_decodes, dense_time = _time_dense(
+            points, params, schedule, rounds
+        )
+        common = {
+            "n": n,
+            "slots": SLOTS,
+            "tx_per_slot_mean": round(tx_mean, 1),
+            "record_physical": False,
+            "dense_seconds": round(dense_time, 3),
+        }
+        exact_params = SINRParameters(sparse=SparseResolution(mode="exact"))
+        exact_decodes, exact_time = _time_sparse(
+            points, exact_params, schedule, rounds
+        )
+        rows.append(
+            {
+                "workload": f"sparse-exact-n{n}",
+                "mode": "exact",
+                **common,
+                "sparse_seconds": round(exact_time, 3),
+                "speedup": round(dense_time / exact_time, 2),
+                "bit_identical": exact_decodes == dense_decodes,
+                "decode_divergence": _divergence(
+                    dense_decodes, exact_decodes
+                ),
+            }
+        )
+        far_params = SINRParameters(
+            sparse=SparseResolution(mode="farfield", epsilon=EPSILON)
+        )
+        far_decodes, far_time = _time_sparse(
+            points, far_params, schedule, rounds
+        )
+        rows.append(
+            {
+                "workload": f"sparse-farfield-n{n}",
+                "mode": "farfield",
+                "epsilon": EPSILON,
+                **common,
+                "sparse_seconds": round(far_time, 3),
+                "speedup": round(dense_time / far_time, 2),
+                "bit_identical": far_decodes == dense_decodes,
+                "decode_divergence": round(
+                    _divergence(dense_decodes, far_decodes), 6
+                ),
+            }
+        )
+    return {
+        "benchmark": "sparse-sinr",
+        "config": {
+            "ns": list(NS),
+            "target_degree": TARGET_DEGREE,
+            "broadcasters": BROADCASTERS,
+            "tx_prob": TX_PROB,
+            "slots": SLOTS,
+            "epsilon": EPSILON,
+            "timer": "process_time (single-core CPU s, best of rounds)",
+            "rounds": rounds,
+        },
+        "rows": rows,
+    }
+
+
+@pytest.mark.benchmark(group="sparse-sinr")
+def test_sparse_sinr_wall(benchmark, emit):
+    report = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    rows = report["rows"]
+    emit(
+        "",
+        "=== Sparse grid vs. the dense O(n²) physics wall ===",
+        format_table(
+            ["workload", "dense s", "sparse s", "speedup", "divergence"],
+            [
+                [
+                    r["workload"],
+                    f"{r['dense_seconds']:.3f}",
+                    f"{r['sparse_seconds']:.3f}",
+                    f"{r['speedup']:.2f}x",
+                    f"{r['decode_divergence']:.2%}",
+                ]
+                for r in rows
+            ],
+        ),
+        f"recorded to {OUTPUT.name}",
+    )
+
+    # The exact mode's defining contract, unconditionally: decode dicts
+    # equal including insertion order, at every size.
+    for row in rows:
+        if row["mode"] == "exact":
+            assert row["bit_identical"], row["workload"]
+            assert row["decode_divergence"] == 0.0
+        else:
+            # ε-band flips only: the farfield mode may diverge, but a
+            # blowup means the approximation contract is broken.
+            assert row["decode_divergence"] < 0.05, row["workload"]
+    if STRICT:
+        for row in rows:
+            if row["mode"] == "exact" and row["n"] >= GATE_N:
+                assert row["speedup"] >= MIN_EXACT_SPEEDUP, (
+                    f"{row['workload']}: sparse resolver no longer beats "
+                    f"the dense wall: {row['speedup']:.2f}x < "
+                    f"{MIN_EXACT_SPEEDUP}x"
+                )

@@ -4,8 +4,9 @@
 Compares freshly recorded benchmark JSONs (``BENCH_vectorized.json``,
 ``BENCH_protocols.json`` — written by
 ``benchmarks/bench_vectorized_stack.py`` — ``BENCH_fading.json`` from
-``benchmarks/bench_fading_robustness.py`` and ``BENCH_mobility.json``
-from ``benchmarks/bench_mobility_churn.py``) against the versions
+``benchmarks/bench_fading_robustness.py``, ``BENCH_mobility.json``
+from ``benchmarks/bench_mobility_churn.py`` and ``BENCH_sparse.json``
+from ``benchmarks/bench_sparse_sinr.py``) against the versions
 committed at a git ref (default ``HEAD``).  The gate is the
 *counters-only speedup*: for every counters-only row present in both
 baseline and candidate, the candidate's speedup must not fall more than
@@ -66,6 +67,29 @@ def counters_only_rows(report: dict) -> dict[str, dict]:
     }
 
 
+def row_speedup(row: dict) -> float | None:
+    """The row's gating ratio, or None when it cannot gate.
+
+    A row without a ``speedup`` key, or with a non-finite/non-positive
+    value, has no usable vector/object ratio.  Callers decide the
+    severity: a *baseline* that cannot gate is skipped with a warning
+    (old schema generations, experimental rows), while a *candidate*
+    that lost its speedup is a broken recorder and must fail loudly —
+    silently skipping it would let a perf regression ride a schema bug
+    through the gate.
+    """
+    value = row.get("speedup")
+    if value is None:
+        return None
+    try:
+        speedup = float(value)
+    except (TypeError, ValueError):
+        return None
+    if not (speedup > 0.0) or speedup != speedup or speedup == float("inf"):
+        return None
+    return speedup
+
+
 def compare(
     relpath: str, ref: str, tolerance: float
 ) -> tuple[list[str], list[str]]:
@@ -98,8 +122,21 @@ def compare(
                 "from the fresh record"
             )
             continue
-        base_speedup = float(base_row["speedup"])
-        cand_speedup = float(cand_row["speedup"])
+        base_speedup = row_speedup(base_row)
+        cand_speedup = row_speedup(cand_row)
+        if base_speedup is None:
+            lines.append(
+                f"{relpath}[{key}]: baseline row has no usable speedup "
+                "— skipped"
+            )
+            continue
+        if cand_speedup is None:
+            failures.append(
+                f"{relpath}[{key}]: fresh row lost its speedup "
+                f"(recorded {cand_row.get('speedup')!r}) — broken "
+                "recorder"
+            )
+            continue
         floor = base_speedup * (1.0 - tolerance)
         verdict = "ok" if cand_speedup >= floor else "REGRESSED"
         lines.append(
@@ -124,6 +161,7 @@ def main(argv: list[str] | None = None) -> int:
             "BENCH_protocols.json",
             "BENCH_fading.json",
             "BENCH_mobility.json",
+            "BENCH_sparse.json",
         ],
         help="benchmark JSONs (repo-relative) to compare",
     )

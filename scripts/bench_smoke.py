@@ -121,6 +121,17 @@ def smoke_fig1(m):
     return m.run_power_sweep()
 
 
+def smoke_sparse_sinr(m):
+    _shrink(m, NS=(48, 96), BROADCASTERS=16, SLOTS=6)
+    report = m.run_benchmark(rounds=1)
+    # The exact mode's bit-identity contract holds at any size; the
+    # speedup bars belong to the full bench run (tiny n favours dense).
+    assert all(
+        r["bit_identical"] for r in report["rows"] if r["mode"] == "exact"
+    )
+    return report
+
+
 def smoke_table1_overview(m):
     return m.build_tables()
 
@@ -195,6 +206,7 @@ SMOKE = {
     "bench_fading_robustness": smoke_fading_robustness,
     "bench_fig1_progress_lower_bound": smoke_fig1,
     "bench_mobility_churn": smoke_mobility_churn,
+    "bench_sparse_sinr": smoke_sparse_sinr,
     "bench_table1_overview": smoke_table1_overview,
     "bench_table1_fack": smoke_table1_fack,
     "bench_table1_fapprog": smoke_table1_fapprog,

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""check-coverage: soft coverage floors over the pytest-cov report.
+
+CI's 3.12 verify leg runs the tier-1 suite under ``pytest-cov``
+(``--cov=repro --cov-report=xml``), uploads ``coverage.xml`` as a
+workflow artifact, and then runs this script.  The floors are
+deliberately *soft*: low enough that ordinary refactoring never trips
+them, high enough that wholesale-untested subsystems (a new package
+with no tests, a test file accidentally deselected) fail loudly.
+
+Two floors:
+
+* ``OVERALL_FLOOR`` — line coverage across the whole ``repro`` package.
+* ``SINR_FLOOR`` — line coverage of ``repro/sinr`` specifically: the
+  physics layer carries bit-identity contracts whose tests are the
+  whole safety net for the sparse/dense split, so it gets a higher bar.
+
+When ``coverage.xml`` is absent the script warns and exits 0 — local
+dev boxes without pytest-cov installed (the offline container) and
+bench-only CI jobs must not fail on a missing report.
+"""
+
+from __future__ import annotations
+
+import sys
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+REPORT = REPO / "coverage.xml"
+
+OVERALL_FLOOR = 0.80
+SINR_FLOOR = 0.85
+
+
+def file_rates(root: ET.Element) -> dict[str, tuple[int, int]]:
+    """``filename -> (covered, total)`` statement counts per file."""
+    rates: dict[str, tuple[int, int]] = {}
+    for cls in root.iter("class"):
+        filename = cls.get("filename", "")
+        covered = total = 0
+        for line in cls.iter("line"):
+            total += 1
+            covered += int(line.get("hits", "0")) > 0
+        if total:
+            prev = rates.get(filename, (0, 0))
+            rates[filename] = (prev[0] + covered, prev[1] + total)
+    return rates
+
+
+def aggregate(
+    rates: dict[str, tuple[int, int]], prefix: str | None = None
+) -> float | None:
+    covered = total = 0
+    for filename, (c, t) in rates.items():
+        normalized = filename.replace("\\", "/")
+        if prefix is not None and prefix not in normalized:
+            continue
+        covered += c
+        total += t
+    return covered / total if total else None
+
+
+def main() -> int:
+    if not REPORT.is_file():
+        print(
+            "check-coverage: WARNING — coverage.xml not found (run "
+            "`pytest --cov=repro --cov-report=xml` with pytest-cov "
+            "installed); skipping the coverage floors"
+        )
+        return 0
+    root = ET.parse(REPORT).getroot()
+    rates = file_rates(root)
+    if not rates:
+        print("check-coverage: WARNING — empty coverage report; skipping")
+        return 0
+
+    failures: list[str] = []
+    overall = aggregate(rates)
+    print(f"  overall repro coverage: {overall:.1%} (floor {OVERALL_FLOOR:.0%})")
+    if overall < OVERALL_FLOOR:
+        failures.append(
+            f"overall coverage {overall:.1%} below floor {OVERALL_FLOOR:.0%}"
+        )
+    sinr = aggregate(rates, prefix="repro/sinr/")
+    if sinr is None:
+        failures.append("no repro/sinr files in the coverage report")
+    else:
+        print(f"  repro.sinr coverage: {sinr:.1%} (floor {SINR_FLOOR:.0%})")
+        if sinr < SINR_FLOOR:
+            failures.append(
+                f"repro.sinr coverage {sinr:.1%} below floor "
+                f"{SINR_FLOOR:.0%}"
+            )
+
+    if failures:
+        print(f"check-coverage: FAILED ({len(failures)} problem(s))")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("check-coverage: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

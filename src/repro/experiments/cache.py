@@ -43,6 +43,7 @@ from repro.sinr.graphs import (
 )
 from repro.sinr.params import SINRParameters
 from repro.sinr.physics import gain_matrix
+from repro.sinr.sparse import SparseResolver
 
 __all__ = [
     "DeploymentArtifacts",
@@ -50,8 +51,23 @@ __all__ = [
     "GLOBAL_CACHE",
     "deployment_artifacts",
     "geometry_artifacts",
+    "sparse_resolver",
     "resolve_deployment",
 ]
+
+
+def _dense_params(params: SINRParameters) -> SINRParameters:
+    """Strip the per-trial/per-resolver configuration from a cache key.
+
+    Every dense artifact — distances, base gains, graphs, metrics — is
+    defined by the deterministic constants alone: a fading sweep or a
+    sparse-resolution sweep over one deployment shares one entry
+    (per-trial multipliers live on the per-trial Channel; the sparse
+    grids have their own keyed memo below).
+    """
+    if params.channel_model is None and params.sparse is None:
+        return params
+    return replace(params, channel_model=None, sparse=None)
 
 
 @dataclass(frozen=True)
@@ -95,6 +111,7 @@ class ArtifactCache:
         self._geometry: OrderedDict[
             tuple, tuple[np.ndarray, np.ndarray]
         ] = OrderedDict()
+        self._sparse: OrderedDict[tuple, SparseResolver] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -124,15 +141,16 @@ class ArtifactCache:
 
         Keyed by the exact coordinate bytes + params, so any mutation of
         the deployment produces a fresh entry rather than a stale hit.
-        A stochastic ``channel_model`` is stripped from the key (and the
-        stored params): every artifact here — distances, base gains,
-        graphs, metrics — is defined by the deterministic constants
-        alone, so a fading sweep over one deployment shares one entry
+        A stochastic ``channel_model`` and a ``sparse`` resolution spec
+        are stripped from the key (and the stored params): every
+        artifact here — distances, base gains, graphs, metrics — is
+        defined by the deterministic constants alone, so a fading or
+        sparse-resolution sweep over one deployment shares one entry
         (per-trial multipliers live on the per-trial
-        :class:`~repro.sinr.channel.Channel`, never in this cache).
+        :class:`~repro.sinr.channel.Channel`, sparse grids in the
+        :meth:`sparse_resolver` memo).
         """
-        if params.channel_model is not None:
-            params = replace(params, channel_model=None)
+        params = _dense_params(params)
         key = (points.coords.tobytes(), params)
         cached = self._artifacts.get(key)
         if cached is not None:
@@ -181,8 +199,7 @@ class ArtifactCache:
         the batched executors' tensor stacks collapse to zero-stride
         views again.
         """
-        if params.channel_model is not None:
-            params = replace(params, channel_model=None)
+        params = _dense_params(params)
         key = (points.coords.tobytes(), params)
         full = self._artifacts.get(key)
         if full is not None:
@@ -203,6 +220,43 @@ class ArtifactCache:
             self._geometry.popitem(last=False)
         return distances, gains
 
+    # -- sparse resolvers ------------------------------------------------
+
+    def sparse_resolver(
+        self, points: PointSet, params: SINRParameters
+    ) -> SparseResolver:
+        """Memoized :class:`~repro.sinr.sparse.SparseResolver`.
+
+        Keyed by coordinate bytes + params with the channel model
+        stripped but the ``sparse`` spec *kept* — the grid and its
+        thresholds depend on mode/ε/cell size, so differing specs get
+        their own resolver while a fading sweep over one spec shares
+        it.  Dynamic-topology epochs call this per geometry change;
+        trials sharing a provider trajectory share each epoch's grid
+        exactly like the dense :meth:`geometry` pairs.
+        """
+        if params.sparse is None:
+            raise ValueError(
+                "params.sparse must be set to resolve a sparse grid"
+            )
+        key_params = (
+            params
+            if params.channel_model is None
+            else replace(params, channel_model=None)
+        )
+        key = (points.coords.tobytes(), key_params)
+        cached = self._sparse.get(key)
+        if cached is not None:
+            self._sparse.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        built = SparseResolver(points, params)
+        self._sparse[key] = built
+        while len(self._sparse) > self.maxsize:
+            self._sparse.popitem(last=False)
+        return built
+
     # -- maintenance -----------------------------------------------------
 
     def clear(self) -> None:
@@ -210,6 +264,7 @@ class ArtifactCache:
         self._points.clear()
         self._artifacts.clear()
         self._geometry.clear()
+        self._sparse.clear()
         self.hits = 0
         self.misses = 0
 
@@ -221,6 +276,7 @@ class ArtifactCache:
             "points_entries": len(self._points),
             "artifact_entries": len(self._artifacts),
             "geometry_entries": len(self._geometry),
+            "sparse_entries": len(self._sparse),
         }
 
 
@@ -243,6 +299,15 @@ def geometry_artifacts(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Memoized (distances, gains) for one epoch's coordinates."""
     return (cache or GLOBAL_CACHE).geometry(points, params)
+
+
+def sparse_resolver(
+    points: PointSet,
+    params: SINRParameters,
+    cache: ArtifactCache | None = None,
+) -> SparseResolver:
+    """Memoized sparse-grid resolver for one (deployment, params)."""
+    return (cache or GLOBAL_CACHE).sparse_resolver(points, params)
 
 
 def resolve_deployment(

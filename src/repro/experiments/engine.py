@@ -237,15 +237,23 @@ def _run_lockstep(
             )
         )
     params = group[0][1].params
-    # One (trials, n, n) tensor each: a zero-stride view for the
-    # common shared-deployment sweep, a byte-budget-guarded stack for
-    # genuinely distinct deployments (see physics.batch_tensor).
-    dist_stack = batch_tensor(
-        [st.stack.runtime.channel.distances for st in states]
-    )
-    gain_stack = batch_tensor(
-        [st.stack.runtime.channel.gains for st in states]
-    )
+    # Sparse resolution (params.sparse; shared across the group via the
+    # batch key) replaces the batched tensor reduction with per-trial
+    # grid resolution — no (trials, n, n) stack is ever built, which is
+    # the point: the O(n²) matrices are what sparse mode avoids.
+    sparse = params.sparse is not None
+    if sparse:
+        dist_stack = gain_stack = None
+    else:
+        # One (trials, n, n) tensor each: a zero-stride view for the
+        # common shared-deployment sweep, a byte-budget-guarded stack
+        # for genuinely distinct deployments (see physics.batch_tensor).
+        dist_stack = batch_tensor(
+            [st.stack.runtime.channel.distances for st in states]
+        )
+        gain_stack = batch_tensor(
+            [st.stack.runtime.channel.gains for st in states]
+        )
 
     # One group shares one SINRParameters (the batch key), so either
     # every trial's channel carries an active stochastic model or none
@@ -291,29 +299,40 @@ def _run_lockstep(
             tx_ids[st.row] = st.stack.runtime.channel.validated_transmitters(
                 tx
             )
-        if geometry_moved:
+        if geometry_moved and not sparse:
             dist_stack = batch_tensor(
                 [st.stack.runtime.channel.distances for st in states]
             )
             gain_stack = batch_tensor(
                 [st.stack.runtime.channel.gains for st in states]
             )
-        link_powers = None
-        if stochastic:
-            blocks = [
-                st.stack.runtime.channel.slot_link_powers(tx_ids[st.row])
+        if sparse:
+            # Per-trial grid resolution in row order: each channel's
+            # resolve_raw consumes its own fading stream exactly like
+            # the dense block loop below, and empty rows resolve to {}.
+            raws = [
+                st.stack.runtime.channel.resolve_raw(tx_ids[st.row])
                 for st in states
-                if tx_ids[st.row].size
             ]
-            if blocks:
-                link_powers = np.concatenate(blocks)
-        raws = successful_receptions_batch(
-            params,
-            dist_stack,
-            tx_ids,
-            gains=gain_stack,
-            link_powers=link_powers,
-        )
+        else:
+            link_powers = None
+            if stochastic:
+                blocks = [
+                    st.stack.runtime.channel.slot_link_powers(
+                        tx_ids[st.row]
+                    )
+                    for st in states
+                    if tx_ids[st.row].size
+                ]
+                if blocks:
+                    link_powers = np.concatenate(blocks)
+            raws = successful_receptions_batch(
+                params,
+                dist_stack,
+                tx_ids,
+                gains=gain_stack,
+                link_powers=link_powers,
+            )
         for st in live:
             outcome = st.stack.runtime.channel.finalize_slot(
                 transmissions[st.row], tx_ids[st.row], raws[st.row]

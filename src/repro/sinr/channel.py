@@ -177,15 +177,28 @@ class Channel:
         self.points = points
         self.params = params
         self.adversary = adversary
-        self.distances = (
-            pairwise_distances(points.coords)
-            if distances is None
-            else np.asarray(distances, dtype=np.float64)
-        )
-        self.gains = (
-            gain_matrix(params, self.distances)
-            if gains is None
-            else np.asarray(gains, dtype=np.float64)
+        self.sparse_spec = params.sparse
+        # Under a sparse resolution spec the dense matrices become lazy:
+        # the resolver carries its own grid artifacts, and forcing two
+        # O(n²) arrays would defeat the point of going sparse.  They
+        # still materialize on first access (reference comparisons,
+        # link_sinr probes, the stochastic model's effective gains).
+        if distances is not None:
+            self._distances = np.asarray(distances, dtype=np.float64)
+        elif self.sparse_spec is not None:
+            self._distances = None
+        else:
+            self._distances = pairwise_distances(points.coords)
+        if gains is not None:
+            self._gains = np.asarray(gains, dtype=np.float64)
+        elif self.sparse_spec is not None and self._distances is None:
+            self._gains = None
+        else:
+            self._gains = gain_matrix(params, self._distances)
+        self._resolver = (
+            self._build_resolver(points)
+            if self.sparse_spec is not None
+            else None
         )
         self._slot_count = 0
         self.total_transmissions = 0
@@ -204,9 +217,44 @@ class Channel:
         )
         self._topo_state = None
         self._initial_points = self.points
-        self._initial_distances = self.distances
-        self._initial_gains = self.gains
+        self._initial_distances = self._distances
+        self._initial_gains = self._gains
+        self._initial_resolver = self._resolver
         self.alive: np.ndarray | None = None
+
+    def _build_resolver(self, points: PointSet):
+        # Deferred import (cycle: experiments.cache -> plans -> this
+        # module's sibling params via the experiments package).
+        from repro.experiments.cache import sparse_resolver
+
+        return sparse_resolver(points, self.params)
+
+    @property
+    def distances(self) -> np.ndarray:
+        """Pairwise distances — lazily materialized under sparse mode."""
+        if self._distances is None:
+            self._distances = pairwise_distances(self.points.coords)
+        return self._distances
+
+    @distances.setter
+    def distances(self, value: np.ndarray | None) -> None:
+        self._distances = value
+
+    @property
+    def gains(self) -> np.ndarray:
+        """Uniform-power link gains — lazily materialized under sparse."""
+        if self._gains is None:
+            self._gains = gain_matrix(self.params, self.distances)
+        return self._gains
+
+    @gains.setter
+    def gains(self, value: np.ndarray | None) -> None:
+        self._gains = value
+
+    @property
+    def sparse_active(self) -> bool:
+        """Does a sparse resolution spec govern this deployment?"""
+        return self.sparse_spec is not None
 
     @property
     def stochastic(self) -> bool:
@@ -241,8 +289,9 @@ class Channel:
         """
         if self.topology is not None:
             self.points = self._initial_points
-            self.distances = self._initial_distances
-            self.gains = self._initial_gains
+            self._distances = self._initial_distances
+            self._gains = self._initial_gains
+            self._resolver = self._initial_resolver
             self._topo_state = self.topology.bind(self._initial_points, seed)
             self.alive = self._topo_state.initial_alive()
         if self.model is None:
@@ -293,14 +342,24 @@ class Channel:
             self.alive = update.alive if not update.alive.all() else None
         if update.points is None:
             return False
-        # Deferred import (cycle: experiments.cache -> plans -> this
-        # module's sibling params via the experiments package).
-        from repro.experiments.cache import geometry_artifacts
-
         self.points = update.points
-        self.distances, self.gains = geometry_artifacts(
-            update.points, self.params
-        )
+        if self.sparse_spec is not None:
+            # Epoch contract for the sparse layer: the grid is rebuilt
+            # (through the cache, so a shared trajectory shares each
+            # epoch's resolver) and the lazy dense matrices are dropped
+            # — they re-derive from the new coordinates only if some
+            # consumer actually touches them.
+            self._resolver = self._build_resolver(update.points)
+            self._distances = None
+            self._gains = None
+        else:
+            # Deferred import (cycle: experiments.cache -> plans -> this
+            # module's sibling params via the experiments package).
+            from repro.experiments.cache import geometry_artifacts
+
+            self.distances, self.gains = geometry_artifacts(
+                update.points, self.params
+            )
         if self.model is not None:
             self.effective_gains = effective_gain_matrix(
                 self.gains, self._multipliers, self._shadowing
@@ -358,14 +417,52 @@ class Channel:
         adversarial filtering.
         """
         tx_ids = self.validated_transmitters(transmissions)
+        return self.finalize_slot(
+            transmissions, tx_ids, self.resolve_raw(tx_ids)
+        )
+
+    def resolve_raw(self, tx_ids: np.ndarray) -> dict[int, int]:
+        """The physics-layer ``listener -> sender`` map for one slot.
+
+        Routes through the sparse resolver when
+        ``params.sparse`` is set, the dense kernel otherwise; both
+        produce dicts with identical insertion order (the dense
+        ``np.nonzero`` row-major order), which downstream trace
+        recording and adversary filtering rely on.  Consumes this
+        slot's fading draws when the channel model is active.
+        """
+        link_powers = self.slot_link_powers(tx_ids)
+        if self._resolver is not None:
+            return self._resolver.resolve(tx_ids, link_powers=link_powers)
+        return successful_receptions(
+            self.params,
+            self.distances,
+            tx_ids,
+            gains=self.gains,
+            link_powers=link_powers,
+        )
+
+    def resolve_raw_flat(
+        self, tx_ids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One slot's decodes as ``(listeners, senders)`` index arrays,
+        in the dense kernels' (transmitter row, listener) order — the
+        per-trial sparse entry point of the columnar runtime."""
+        link_powers = self.slot_link_powers(tx_ids)
+        if self._resolver is not None:
+            return self._resolver.resolve_flat(
+                tx_ids, link_powers=link_powers
+            )
         raw = successful_receptions(
             self.params,
             self.distances,
             tx_ids,
             gains=self.gains,
-            link_powers=self.slot_link_powers(tx_ids),
+            link_powers=link_powers,
         )
-        return self.finalize_slot(transmissions, tx_ids, raw)
+        listeners = np.fromiter(raw.keys(), dtype=np.intp, count=len(raw))
+        senders = np.fromiter(raw.values(), dtype=np.intp, count=len(raw))
+        return listeners, senders
 
     def finalize_slot(
         self,

@@ -29,7 +29,56 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-__all__ = ["ChannelModel", "SINRParameters"]
+__all__ = ["ChannelModel", "SparseResolution", "SINRParameters"]
+
+
+@dataclass(frozen=True)
+class SparseResolution:
+    """Spatial-grid SINR resolution configuration (disabled by default).
+
+    Selects the grid-partitioned resolver of :mod:`repro.sinr.sparse`
+    instead of the dense ``(k, n)`` reduction.  Two modes:
+
+    ``"exact"``
+        Grid-pruned candidate discovery, dense arithmetic on the
+        survivors — decode-for-decode *and bit-for-bit* identical to the
+        dense kernels (the non-candidate listeners are provably
+        undecodable, see the module docstring of
+        :mod:`repro.sinr.sparse`).
+    ``"farfield"``
+        Beyond-radius interference contributions are replaced by
+        per-cell aggregates evaluated at cell centers.  Every candidate
+        link's SINR then carries a relative error of at most ``epsilon``
+        (the per-term bound is chosen so the end-to-end SINR error
+        telescopes to exactly ε); decode decisions can differ from the
+        dense reference only for links whose true SINR lies within the
+        ε-band of the β threshold.
+
+    ``cell_size`` overrides the far-field aggregation grid's cell side
+    (``None`` derives a default from the transmission range).  It has
+    no effect in exact mode, but stays part of the cache key either
+    way so resolvers are never shared across differing grids.
+    """
+
+    mode: str = "exact"
+    epsilon: float = 0.05
+    cell_size: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("exact", "farfield"):
+            raise ValueError(
+                f"sparse mode must be 'exact' or 'farfield'; got {self.mode!r}"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("sparse epsilon must be in (0, 1)")
+        if self.cell_size is not None and self.cell_size <= 0:
+            raise ValueError("sparse cell_size must be positive")
+
+    def describe(self) -> str:
+        """Compact summary for experiment reports."""
+        if self.mode == "exact":
+            return "sparse-exact"
+        return f"sparse-farfield(eps={self.epsilon:g})"
 
 
 @dataclass(frozen=True)
@@ -100,6 +149,13 @@ class SINRParameters:
     deterministic constants — G_{1-ε} is the *measurement* graph the
     guarantees are stated over, while the stochastic multipliers
     perturb only the per-slot reception physics.
+
+    ``sparse`` optionally selects the spatial-grid resolver of
+    :mod:`repro.sinr.sparse` (:class:`SparseResolution`).  Like the
+    channel model it changes *how* slots resolve, never what the
+    deployment-derived graphs and metrics mean, so the artifact cache
+    strips it from its keys; unlike the channel model, its farfield
+    mode may change reception outcomes (within the ε contract).
     """
 
     power: float = 1.0
@@ -108,6 +164,7 @@ class SINRParameters:
     noise: float = 1.0e-4
     epsilon: float = 0.1
     channel_model: ChannelModel | None = None
+    sparse: SparseResolution | None = None
 
     def __post_init__(self) -> None:
         if self.power <= 0:
@@ -173,6 +230,8 @@ class SINRParameters:
         model = ""
         if self.channel_model is not None and self.channel_model.is_active:
             model = f", model={self.channel_model.describe()}"
+        if self.sparse is not None:
+            model += f", {self.sparse.describe()}"
         return (
             f"SINR(P={self.power:g}, alpha={self.alpha:g}, beta={self.beta:g}, "
             f"N={self.noise:g}, eps={self.epsilon:g}, R={self.transmission_range:.3g}, "

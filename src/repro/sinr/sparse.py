@@ -1,0 +1,479 @@
+"""Spatial-grid-partitioned SINR resolution (the sparse physics layer).
+
+The dense kernels of :mod:`repro.sinr.physics` resolve a slot by
+reducing a ``(k, n)`` received-power block over *every* node, which
+walls sweeps at the ``O(n²)`` gain/distance matrices.  This module
+breaks that wall with the grid-hash idea the deployment generators
+already use for min-separation checks
+(:class:`repro.geometry.deployment._SeparationGrid`), lifted to the
+physics layer: nodes hash into square cells, and a slot touches only
+the cells the slot's transmitters can reach.
+
+Two modes, selected by :class:`~repro.sinr.params.SparseResolution`:
+
+``exact``
+    *Candidate pruning only.*  A listener can decode transmitter ``v``
+    only if ``d(v, u) <= R`` — a lone transmitter at distance ``> R``
+    already fails ``signal >= β·N``, and interference/extra senders
+    only lower the SINR.  The candidate listeners of a slot are
+    therefore the union of the transmitters' precomputed within-range
+    neighborhoods; for exactly those listeners the resolver evaluates
+    the *same* formulas in the *same* operand order as the dense
+    kernels (distances via the ``einsum`` difference form of
+    :func:`~repro.geometry.points.pairwise_distances`, interference as
+    a sequential ``sum(axis=0)`` over all ``k`` transmitter rows).
+    Results are **bit-identical** to the dense path.
+
+    The float-level exclusion argument for non-candidates: the dense
+    kernel's interference total is a sequential sum of non-negative
+    addends, so the computed ``total - powers`` and ``+ noise`` terms
+    are each ``>= 0`` / ``>= noise`` *exactly* (rounding a true value
+    that is >= a representable bound never lands below that bound).
+    Hence the computed SINR is at most ``p/N`` up to one division
+    rounding, and a listener beyond the candidate radius — which
+    carries a relative safety margin of 1e-9 over R, about 4·10³ ulps
+    — has ``p`` short of ``β·N`` by far more than the few ulps float
+    evaluation can recover.  The same bound drives the stochastic
+    candidate cut on realized per-link powers.
+
+``farfield``
+    *Approximate interference under a per-link relative-error bound.*
+    Interference from cells farther than a derived threshold ``T`` is
+    replaced by ``count · P/d(center)^α`` per cell; cells nearer than
+    ``T`` are resolved term by term (exactly), as is the signal (from
+    the precomputed neighbor-edge gains).  With cell side ``s`` a
+    member is at most ``δ = s·√2/2`` from its cell center, so each
+    far-term's relative error is at most ``(1 + δ/T)^α − 1`` (the
+    underestimate side is smaller, by convexity of ``(1+x)^α``).
+    Choosing ``T = δ / ((1+ε_I)^{1/α} − 1)`` with ``ε_I = ε/(1+ε)``
+    caps the interference error at ``ε_I·I`` and hence the SINR error
+    at ``ε_I/(1−ε_I) = ε`` exactly — the contract
+    :class:`~repro.sinr.params.SparseResolution.epsilon` promises.
+    ``T`` is additionally clamped to at least the candidate radius
+    plus ``δ``, so the intended sender of any candidate link always
+    lands in a near (exactly-resolved) cell and its own term can be
+    subtracted from the listener's total without approximation error.
+
+    Because approximate SINRs may cross the β threshold in either
+    direction within the ε-band, two senders can (only there) both
+    clear β at one listener; the resolver then keeps the strongest
+    (ties broken toward the lowest sender id) instead of raising the
+    β>1-uniqueness error.  Decode sets equal the dense reference
+    whenever no true SINR lies within ε of β — the property the test
+    harness pins.
+
+    Under an *active* channel model the realized per-link powers are
+    already materialized densely per slot (fading draws are per-link),
+    so aggregation has nothing left to save; farfield mode then falls
+    back to the exact realized-power path and the ε bound holds
+    degenerately with zero error.
+
+Resolvers are immutable once built (arrays frozen read-only) and cache
+per (coordinates, params) in :class:`repro.experiments.cache
+.ArtifactCache`; dynamic-topology epochs rebuild them through the same
+cache (``Channel.advance_topology``), so trials sharing a trajectory
+share each epoch's grid.
+
+Decode output ordering matches the dense kernels exactly — pairs sorted
+by (transmitter row, listener id), the row-major ``np.nonzero`` order —
+so reception dicts iterate identically and the flat arrays concatenate
+into the batched kernel's layout.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.points import PointSet
+from repro.sinr.params import SINRParameters
+from repro.sinr.physics import _check_unique_listeners, received_power
+
+__all__ = ["SparseResolver", "CANDIDATE_MARGIN"]
+
+# Relative safety margin on the candidate radius / realized-power cut:
+# wide enough (≈4·10³ ulps) that float evaluation can never promote an
+# excluded listener past β, narrow enough that the 3×3-cell neighborhood
+# walk stays exact.
+CANDIDATE_MARGIN = 1e-9
+
+_EMPTY = np.empty(0, dtype=np.intp)
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + counts[i])``."""
+    counts = np.asarray(counts, dtype=np.intp)
+    total = int(counts.sum())
+    if total == 0:
+        return _EMPTY
+    ends = np.cumsum(counts)
+    shift = np.repeat(
+        np.asarray(starts, dtype=np.intp) - np.concatenate(([0], ends[:-1])),
+        counts,
+    )
+    return np.arange(total, dtype=np.intp) + shift
+
+
+def _block_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(len(a), len(b))`` distances, bit-identical to the entries of
+    :func:`~repro.geometry.points.pairwise_distances` (same difference
+    form, same einsum contraction, same sqrt)."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def _pair_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-row distances between aligned ``(m, 2)`` coordinate arrays.
+
+    The two-term ``x² + y²`` contraction is order-insensitive in float
+    arithmetic (addition of two terms is commutative), so entries are
+    bit-identical to the matrix form above.
+    """
+    diff = a - b
+    return np.sqrt(np.einsum("ij,ij->i", diff, diff))
+
+
+class SparseResolver:
+    """Grid-partitioned slot resolver for one frozen deployment.
+
+    Construction cost is ``O(n + edges)`` where *edges* counts the
+    within-candidate-radius pairs — the sparse analogue of the dense
+    gain matrix, computed once per (deployment, params) and shared via
+    the artifact cache.  Per-slot cost is then proportional to the
+    slot's *reachable* population instead of ``n``.
+    """
+
+    def __init__(self, points: PointSet, params: SINRParameters) -> None:
+        spec = params.sparse
+        if spec is None:
+            raise ValueError(
+                "params.sparse must be set to build a SparseResolver"
+            )
+        self.params = params
+        self.spec = spec
+        self.coords = np.ascontiguousarray(points.coords, dtype=np.float64)
+        self.coords.setflags(write=False)
+        self.n = int(self.coords.shape[0])
+        self.candidate_radius = params.transmission_range * (
+            1.0 + CANDIDATE_MARGIN
+        )
+        self._power_cut = (
+            params.beta * params.noise * (1.0 - CANDIDATE_MARGIN)
+        )
+        self._build_neighbors()
+        self.cell_size: float | None = None
+        self.far_threshold: float | None = None
+        if spec.mode == "farfield":
+            self._build_farfield_grid()
+
+    # -- construction ------------------------------------------------------
+
+    def _build_neighbors(self) -> None:
+        """CSR adjacency of all ordered pairs within the candidate
+        radius, with each edge's link gain precomputed (bit-identical
+        to the dense gain-matrix entry)."""
+        n = self.n
+        radius = self.candidate_radius
+        # A search-cell side 1% over the radius guarantees (with slack
+        # far beyond float division rounding) that any within-radius
+        # pair lands in adjacent cells of the 3×3 neighborhood walk.
+        side = radius * 1.01
+        cells = np.floor(self.coords / side).astype(np.int64)
+        keys, inverse = np.unique(cells, axis=0, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        counts = np.bincount(inverse, minlength=keys.shape[0])
+        starts = np.concatenate(([0], np.cumsum(counts)))
+        lookup = {
+            (int(x), int(y)): c for c, (x, y) in enumerate(keys.tolist())
+        }
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+        for c in range(keys.shape[0]):
+            a = order[starts[c] : starts[c + 1]]
+            cx, cy = int(keys[c, 0]), int(keys[c, 1])
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    d = lookup.get((cx + dx, cy + dy))
+                    if d is None:
+                        continue
+                    b = order[starts[d] : starts[d + 1]]
+                    dist = _block_distances(self.coords[a], self.coords[b])
+                    mask = dist <= radius
+                    if c == d:
+                        np.fill_diagonal(mask, False)
+                    ii, jj = np.nonzero(mask)
+                    if ii.size:
+                        src_parts.append(a[ii])
+                        dst_parts.append(b[jj])
+        if src_parts:
+            src = np.concatenate(src_parts)
+            dst = np.concatenate(dst_parts)
+            edge_order = np.lexsort((dst, src))
+            src = src[edge_order]
+            dst = dst[edge_order]
+        else:
+            src = _EMPTY
+            dst = _EMPTY
+        self._nbr = np.ascontiguousarray(dst, dtype=np.intp)
+        self._indptr = np.searchsorted(
+            src, np.arange(n + 1, dtype=np.intp)
+        ).astype(np.intp)
+        gains = received_power(
+            self.params,
+            _pair_distances(self.coords[src], self.coords[dst]),
+        )
+        self._edge_gain = np.ascontiguousarray(gains, dtype=np.float64)
+        for arr in (self._nbr, self._indptr, self._edge_gain):
+            arr.setflags(write=False)
+
+    def _build_farfield_grid(self) -> None:
+        """Aggregation grid for farfield mode: per-node cell ids, cell
+        centers, and the exact/aggregate distance threshold ``T``."""
+        params = self.params
+        side = self.spec.cell_size
+        if side is None:
+            side = params.transmission_range / 2.0
+        self.cell_size = float(side)
+        delta = self.cell_size * math.sqrt(2.0) / 2.0
+        eps_i = self.spec.epsilon / (1.0 + self.spec.epsilon)
+        t = delta / ((1.0 + eps_i) ** (1.0 / params.alpha) - 1.0)
+        # Clamp: the intended sender of any candidate link must sit in
+        # a near cell (so its exact term is in the subtractable total);
+        # the strict `>=` far test plus this margin guarantees it.
+        self.far_threshold = max(
+            t, (self.candidate_radius + delta) * (1.0 + 1e-12)
+        )
+        cells = np.floor(self.coords / self.cell_size).astype(np.int64)
+        keys, inverse = np.unique(cells, axis=0, return_inverse=True)
+        self._node_cell = np.ascontiguousarray(inverse, dtype=np.intp)
+        self._cell_centers = np.ascontiguousarray(
+            (keys.astype(np.float64) + 0.5) * self.cell_size
+        )
+        self._node_cell.setflags(write=False)
+        self._cell_centers.setflags(write=False)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted within-candidate-radius neighbor ids of one node."""
+        return self._nbr[self._indptr[node] : self._indptr[node + 1]]
+
+    def _candidate_listeners(self, tx: np.ndarray) -> np.ndarray:
+        """Sorted union of the transmitters' neighborhoods, minus the
+        transmitters themselves (half-duplex)."""
+        indptr = self._indptr
+        parts = [
+            self._nbr[indptr[v] : indptr[v + 1]] for v in tx.tolist()
+        ]
+        cand = np.unique(np.concatenate(parts)) if parts else _EMPTY
+        if cand.size:
+            cand = cand[~np.isin(cand, tx, assume_unique=True)]
+        return cand
+
+    def _decide(
+        self, tx: np.ndarray, cand: np.ndarray, powers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The dense kernel's SINR decision over a pruned ``(k, m)``
+        block — operand-for-operand the computation of
+        :func:`~repro.sinr.physics.sinr_matrix` restricted to the
+        candidate columns, so surviving decodes carry identical bits."""
+        params = self.params
+        total = powers.sum(axis=0)
+        interference = total[None, :] - powers
+        sinr = powers / (interference + params.noise)
+        ok = sinr >= params.beta
+        k_idx, u_idx = np.nonzero(ok)
+        listeners = cand[u_idx]
+        _check_unique_listeners(listeners)
+        return listeners, tx[k_idx]
+
+    # -- exact mode --------------------------------------------------------
+
+    def _exact_flat(
+        self, tx: np.ndarray, link_powers: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if link_powers is not None:
+            # Stochastic channel: candidates are the nodes whose
+            # *realized* power from some transmitter could clear β·N
+            # (same float-exclusion argument as the geometric cut).
+            cols = np.flatnonzero(
+                (link_powers >= self._power_cut).any(axis=0)
+            )
+            cand = cols[~np.isin(cols, tx, assume_unique=True)]
+            if cand.size == 0:
+                return _EMPTY, _EMPTY
+            # The fancy-indexed gather is F-contiguous; the C-contiguous
+            # copy restores the dense kernel's bit-exact column sums.
+            powers = np.ascontiguousarray(link_powers[:, cand])
+            return self._decide(tx, cand, powers)
+        cand = self._candidate_listeners(tx)
+        if cand.size == 0:
+            return _EMPTY, _EMPTY
+        dist = _block_distances(self.coords[tx], self.coords[cand])
+        powers = received_power(self.params, dist)
+        return self._decide(tx, cand, powers)
+
+    # -- farfield mode -----------------------------------------------------
+
+    def _candidate_links(
+        self, tx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All (transmitter-row, listener) pairs within the candidate
+        radius, with their exact link gains: ``(k_pos, u, gain)``."""
+        indptr = self._indptr
+        counts = indptr[tx + 1] - indptr[tx]
+        k_pos = np.repeat(np.arange(tx.size, dtype=np.intp), counts)
+        edges = _ranges(indptr[tx], counts)
+        u = self._nbr[edges]
+        gain = self._edge_gain[edges]
+        keep = ~np.isin(u, tx)
+        return k_pos[keep], u[keep], gain[keep]
+
+    def _farfield_interference(
+        self, tx: np.ndarray, cand: np.ndarray
+    ) -> np.ndarray:
+        """Approximate total interference at each candidate listener:
+        exact per-term sums for near cells, center-evaluated aggregates
+        for far cells."""
+        params = self.params
+        uc, cell_inv, cell_counts = np.unique(
+            self._node_cell[tx], return_inverse=True, return_counts=True
+        )
+        centers = self._cell_centers[uc]
+        dist_cell = _block_distances(self.coords[cand], centers)
+        far = dist_cell >= self.far_threshold
+        aggregate = received_power(params, dist_cell) * cell_counts[None, :]
+        total = np.where(far, aggregate, 0.0).sum(axis=1)
+        near_u, near_c = np.nonzero(~far)
+        if near_u.size:
+            member_order = np.argsort(cell_inv, kind="stable")
+            starts = np.concatenate(([0], np.cumsum(cell_counts)))
+            member_counts = cell_counts[near_c]
+            rep_u = np.repeat(near_u, member_counts)
+            v_near = tx[member_order[_ranges(starts[near_c], member_counts)]]
+            dist_near = _pair_distances(
+                self.coords[cand[rep_u]], self.coords[v_near]
+            )
+            total = total + np.bincount(
+                rep_u,
+                weights=received_power(params, dist_near),
+                minlength=cand.size,
+            )
+        return total
+
+    def _farfield_links(
+        self, tx: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Approximate SINR of every candidate link: ``(k_pos, u, sinr)``."""
+        params = self.params
+        k_pos, u, gain = self._candidate_links(tx)
+        if u.size == 0:
+            return _EMPTY, _EMPTY, np.empty(0)
+        cand, u_pos = np.unique(u, return_inverse=True)
+        total = self._farfield_interference(tx, cand)
+        # The sender's own near-cell term is in `total` (the threshold
+        # clamp guarantees near membership); subtract it and clamp the
+        # denominator at the noise floor — summation-order noise on a
+        # hugely dominant signal term could otherwise cancel below zero.
+        denom = np.maximum((total[u_pos] - gain) + params.noise, params.noise)
+        return k_pos, u, gain / denom
+
+    def _farfield_flat(
+        self, tx: np.ndarray, link_powers: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if link_powers is not None:
+            # Realized powers are already dense per slot; resolve them
+            # exactly (ε holds with zero error).
+            return self._exact_flat(tx, link_powers)
+        k_pos, u, sinr = self._farfield_links(tx)
+        ok = sinr >= self.params.beta
+        k_pos, u, sinr = k_pos[ok], u[ok], sinr[ok]
+        if u.size:
+            # Within the ε-band two approximate SINRs can both clear β
+            # at one listener; keep the strongest (lowest sender id on
+            # exact ties) — a deterministic rule, not an error.
+            order = np.lexsort((k_pos, -sinr, u))
+            u_sorted = u[order]
+            first = np.ones(u_sorted.size, dtype=bool)
+            first[1:] = u_sorted[1:] != u_sorted[:-1]
+            sel = order[first]
+            sel = sel[np.lexsort((u[sel], k_pos[sel]))]
+            k_pos, u = k_pos[sel], u[sel]
+        return u, tx[k_pos]
+
+    # -- public API --------------------------------------------------------
+
+    def resolve_flat(
+        self,
+        transmitters: np.ndarray,
+        link_powers: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One slot's decodes as ``(listeners, senders)`` index arrays.
+
+        Ordered exactly like the dense kernels' ``np.nonzero`` output:
+        by transmitter row first, listener id second.  ``link_powers``
+        optionally supplies the realized ``(k, n)`` received powers of
+        an active channel model (``Channel.slot_link_powers``).
+        """
+        tx = np.asarray(transmitters, dtype=np.intp)
+        if tx.size == 0:
+            return _EMPTY, _EMPTY
+        if self.spec.mode == "farfield":
+            return self._farfield_flat(tx, link_powers)
+        return self._exact_flat(tx, link_powers)
+
+    def resolve(
+        self,
+        transmitters: np.ndarray,
+        link_powers: np.ndarray | None = None,
+    ) -> dict[int, int]:
+        """One slot's decodes as the ``listener -> sender`` dict of
+        :func:`~repro.sinr.physics.successful_receptions` (same pairs,
+        same insertion order)."""
+        listeners, senders = self.resolve_flat(
+            transmitters, link_powers=link_powers
+        )
+        return dict(zip(listeners.tolist(), senders.tolist()))
+
+    def link_sinr_estimates(
+        self, transmitters: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Deterministic per-candidate-link SINR: ``(senders, listeners,
+        sinr)`` for every within-range (transmitter, listener) pair.
+
+        In farfield mode these are the approximate values the decode
+        decision uses — the quantity the ε contract bounds; in exact
+        mode they are the dense kernel's exact values.  Test harness
+        API (the property suite compares them against
+        :func:`~repro.sinr.physics.sinr_matrix`).
+        """
+        tx = np.asarray(transmitters, dtype=np.intp)
+        if tx.size == 0:
+            return _EMPTY, _EMPTY, np.empty(0)
+        if self.spec.mode == "farfield":
+            k_pos, u, sinr = self._farfield_links(tx)
+            return tx[k_pos], u, sinr
+        cand = self._candidate_listeners(tx)
+        if cand.size == 0:
+            return _EMPTY, _EMPTY, np.empty(0)
+        dist = _block_distances(self.coords[tx], self.coords[cand])
+        powers = received_power(self.params, dist)
+        total = powers.sum(axis=0)
+        sinr = powers / ((total[None, :] - powers) + self.params.noise)
+        k_idx, u_idx = np.nonzero(np.ones_like(sinr, dtype=bool))
+        return tx[k_idx], cand[u_idx], sinr[k_idx, u_idx]
+
+    def describe(self) -> str:
+        """Compact summary for reports and reprs."""
+        edges = int(self._nbr.size)
+        base = (
+            f"SparseResolver(n={self.n}, mode={self.spec.mode}, "
+            f"edges={edges}"
+        )
+        if self.spec.mode == "farfield":
+            base += (
+                f", eps={self.spec.epsilon:g}, cell={self.cell_size:g}, "
+                f"T={self.far_threshold:g}"
+            )
+        return base + ")"

@@ -124,10 +124,21 @@ class VectorRuntime:
         self._has_adversary = any(
             c.adversary is not None for c in self.channels
         )
-        self._dist_stack = batch_tensor(
-            [c.distances for c in self.channels]
-        )
-        self._gain_stack = batch_tensor([c.gains for c in self.channels])
+        # Sparse resolution (params.sparse; shared — params is the
+        # batch key) swaps the batched tensor reduction for per-trial
+        # grid resolution: no (trials, n, n) stack is built, keeping
+        # the columnar path free of the O(n²) matrices too.
+        self._sparse = self.channels[0].sparse_active
+        if self._sparse:
+            self._dist_stack = None
+            self._gain_stack = None
+        else:
+            self._dist_stack = batch_tensor(
+                [c.distances for c in self.channels]
+            )
+            self._gain_stack = batch_tensor(
+                [c.gains for c in self.channels]
+            )
         # Arm each trial's channel with its own master seed, exactly as
         # the object Runtime does: the stochastic model (shared params ⇒
         # all trials or none) gets its per-trial channel streams, and
@@ -331,7 +342,7 @@ class VectorRuntime:
                 geometry_moved |= self.channels[t].advance_topology(
                     self.slots[t]
                 )
-            if geometry_moved:
+            if geometry_moved and not self._sparse:
                 self._dist_stack = batch_tensor(
                     [c.distances for c in self.channels]
                 )
@@ -416,23 +427,53 @@ class VectorRuntime:
         # block (static multipliers + this slot's fading draws from the
         # trial's private channel stream), concatenated in trial order
         # to match the kernel's ragged row layout.
-        link_powers = None
-        if self._stochastic:
-            blocks = [
-                self.channels[t].slot_link_powers(tx_ids[t])
-                for t in range(trials)
-                if tx_ids[t].size
-            ]
-            if blocks:
-                link_powers = np.concatenate(blocks)
-        hit_trial, hit_listener, hit_sender = successful_receptions_batch(
-            self.params,
-            self._dist_stack,
-            tx_ids,
-            gains=self._gain_stack,
-            flat=True,
-            link_powers=link_powers,
-        )
+        if self._sparse:
+            # Per-trial grid resolution in trial order (each channel
+            # consumes its own fading stream exactly as the dense block
+            # concat below would); concatenated flat arrays reproduce
+            # the batched kernel's (trial, transmitter, listener)
+            # ordering, so everything downstream is unchanged.
+            parts_t: list[np.ndarray] = []
+            parts_l: list[np.ndarray] = []
+            parts_s: list[np.ndarray] = []
+            for t in range(trials):
+                if not tx_ids[t].size:
+                    continue
+                listeners, senders = self.channels[t].resolve_raw_flat(
+                    tx_ids[t]
+                )
+                if listeners.size:
+                    parts_t.append(
+                        np.full(listeners.size, t, dtype=np.intp)
+                    )
+                    parts_l.append(listeners)
+                    parts_s.append(senders)
+            if parts_t:
+                hit_trial = np.concatenate(parts_t)
+                hit_listener = np.concatenate(parts_l)
+                hit_sender = np.concatenate(parts_s)
+            else:
+                hit_trial = hit_listener = hit_sender = _EMPTY_IDS
+        else:
+            link_powers = None
+            if self._stochastic:
+                blocks = [
+                    self.channels[t].slot_link_powers(tx_ids[t])
+                    for t in range(trials)
+                    if tx_ids[t].size
+                ]
+                if blocks:
+                    link_powers = np.concatenate(blocks)
+            hit_trial, hit_listener, hit_sender = (
+                successful_receptions_batch(
+                    self.params,
+                    self._dist_stack,
+                    tx_ids,
+                    gains=self._gain_stack,
+                    flat=True,
+                    link_powers=link_powers,
+                )
+            )
         if self._alive is not None and hit_trial.size:
             # Churn: a crashed listener's radio is off — drop its
             # decodes before any counter, wakeup or adversary sees them

@@ -54,6 +54,7 @@ def test_committed_bench_records_exist_for_compare_gate():
         "BENCH_protocols.json",
         "BENCH_fading.json",
         "BENCH_mobility.json",
+        "BENCH_sparse.json",
     ):
         report = json.loads((REPO / name).read_text(encoding="utf-8"))
         assert report["rows"], name
@@ -87,6 +88,22 @@ def test_mobility_record_is_in_the_compare_defaults():
     rows = compare.counters_only_rows(report)
     assert "mobility-decay" in rows
     assert rows["mobility-decay"]["bit_identical"]
+
+
+def test_sparse_record_is_in_the_compare_defaults():
+    """BENCH_sparse.json must ride the regression gate by default; its
+    exact-mode rows carry the bit-identity contract and every row is in
+    the counters-only shape the gate keys on."""
+    compare_source = (REPO / "scripts" / "bench_compare.py").read_text(
+        encoding="utf-8"
+    )
+    assert '"BENCH_sparse.json",' in compare_source
+    compare = _load_script("bench_compare")
+    report = json.loads((REPO / "BENCH_sparse.json").read_text("utf-8"))
+    rows = compare.counters_only_rows(report)
+    exact = [r for r in rows.values() if r["mode"] == "exact"]
+    assert exact and all(r["bit_identical"] for r in exact)
+    assert all(compare.row_speedup(r) is not None for r in rows.values())
 
 
 class TestBenchCompare:
@@ -162,6 +179,54 @@ class TestBenchCompare:
         assert compare.main(["BENCH_a.json", "BENCH_b.json"]) == 1
         out = capsys.readouterr().out
         assert "no freshly recorded benchmark file" in out
+
+    def test_row_speedup_rejects_unusable_values(self):
+        compare = _load_script("bench_compare")
+        assert compare.row_speedup({"speedup": 2.5}) == 2.5
+        assert compare.row_speedup({"speedup": "3.1"}) == 3.1
+        assert compare.row_speedup({}) is None
+        assert compare.row_speedup({"speedup": None}) is None
+        assert compare.row_speedup({"speedup": "fast"}) is None
+        assert compare.row_speedup({"speedup": 0.0}) is None
+        assert compare.row_speedup({"speedup": -1.0}) is None
+        assert compare.row_speedup({"speedup": float("nan")}) is None
+        assert compare.row_speedup({"speedup": float("inf")}) is None
+
+    def test_compare_skips_baseline_row_without_speedup(
+        self, tmp_path, monkeypatch
+    ):
+        """A baseline row that never recorded a speedup (older schema
+        generation) cannot gate anything — it must warn-and-skip, not
+        crash with a KeyError as it used to."""
+        compare = _load_script("bench_compare")
+        candidate = {"rows": [{"workload": "smb", "speedup": 2.0}]}
+        baseline = {"rows": [{"workload": "smb", "object_seconds": 4.0}]}
+        monkeypatch.setattr(compare, "REPO", tmp_path)
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+        monkeypatch.setattr(
+            compare, "committed_json", lambda ref, rel: baseline
+        )
+        lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+        assert not failures
+        assert any("no usable speedup" in line for line in lines)
+
+    def test_compare_fails_candidate_row_without_speedup(
+        self, tmp_path, monkeypatch
+    ):
+        """A fresh row that *lost* its speedup is a broken recorder and
+        must fail the gate loudly — skipping it would let a perf
+        regression hide behind a schema bug."""
+        compare = _load_script("bench_compare")
+        baseline = {"rows": [{"workload": "smb", "speedup": 2.0}]}
+        for bad in ({}, {"speedup": None}, {"speedup": 0.0}):
+            candidate = {"rows": [{"workload": "smb", **bad}]}
+            monkeypatch.setattr(compare, "REPO", tmp_path)
+            (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+            monkeypatch.setattr(
+                compare, "committed_json", lambda ref, rel: baseline
+            )
+            _lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+            assert failures and "lost its speedup" in failures[0], bad
 
     def test_compare_within_tolerance_passes(self, tmp_path, monkeypatch):
         compare = _load_script("bench_compare")

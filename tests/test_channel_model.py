@@ -294,6 +294,7 @@ def fading_plans(stack, trials, model=FULL_MODEL, **kwargs):
     return seeded_plans(base, spawn_trial_seeds(trials, seed=5))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("stack", ["decay", "ack"])
 @pytest.mark.parametrize("trials", [1, 8])
 def test_fading_vectorized_equals_object(stack, trials):
@@ -312,6 +313,7 @@ def test_fading_sequential_matches_batched():
     assert run_trials(plans, mode="sequential") == run_trials(plans)
 
 
+@pytest.mark.slow
 def test_fading_object_lockstep_matches_sequential():
     """Non-columnar stacks (combined Algorithm 11.1) run fading trials
     on the object lockstep executor; its per-trial link-power blocks

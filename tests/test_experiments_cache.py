@@ -131,6 +131,7 @@ class TestArtifactCache:
             "points_entries": 0,
             "artifact_entries": 0,
             "geometry_entries": 0,
+            "sparse_entries": 0,
         }
 
 

@@ -1,0 +1,151 @@
+"""Seeded golden pins: the full trial output, frozen as JSON fixtures.
+
+The equivalence tests assert that executors agree *with each other*;
+nothing so far pinned the absolute output against drift over time (a
+subtly reordered reduction, a changed RNG consumption pattern and every
+executor moves together — still "equivalent", silently different).
+This suite freezes the complete :class:`~repro.experiments.plans.
+TrialResult` dataclasses of one small {decay, ack} × {smb, consensus}
+sweep as committed fixtures under ``tests/golden/``.
+
+Any intentional physics/protocol change will fail these tests — that is
+the point.  After reviewing the diff, regenerate with::
+
+    PYTHONPATH=src python tests/test_golden_results.py --regenerate
+
+and commit the updated fixtures alongside the change that moved them.
+
+The sweep also rides the sparse-resolution contract: running the same
+plans with exact sparse SINR resolution must reproduce the committed
+fixtures bit for bit (the resolver's bit-identity promise, pinned
+against an absolute reference rather than a peer executor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    DeploymentSpec,
+    TrialPlan,
+    run_trials,
+    seeded_plans,
+)
+from repro.simulation.rng import spawn_trial_seeds
+from repro.sinr.params import SINRParameters, SparseResolution
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+SEEDS = 2
+MAX_SLOTS = 300_000
+
+
+def _smb_deployment() -> DeploymentSpec:
+    spacing = SINRParameters().approx_range * 0.8
+    return DeploymentSpec.of(
+        "cluster_deployment",
+        n_clusters=6,
+        nodes_per_cluster=5,
+        cluster_radius=3.0,
+        cluster_spacing=spacing,
+        min_separation=1.0,
+        seed=5,
+    )
+
+
+def _consensus_deployment() -> DeploymentSpec:
+    return DeploymentSpec.of("uniform_disk", n=30, radius=14.0, seed=9)
+
+
+def golden_plans(params: SINRParameters | None = None) -> dict[str, list]:
+    """The pinned sweep: {decay, ack} × {smb, consensus}, 2 seeds."""
+    params = params or SINRParameters()
+    sweep: dict[str, list] = {}
+    for stack in ("decay", "ack"):
+        for workload in ("smb", "consensus"):
+            if workload == "smb":
+                deployment = _smb_deployment()
+                options = TrialPlan.pack_options(source=0)
+            else:
+                deployment = _consensus_deployment()
+                options = TrialPlan.pack_options(waves=6)
+            base = TrialPlan(
+                deployment=deployment,
+                stack=stack,
+                workload=workload,
+                options=options,
+                params=params,
+                max_slots=MAX_SLOTS,
+                record_physical=False,
+                label=f"golden-{stack}-{workload}",
+            )
+            sweep[f"{stack}_{workload}"] = seeded_plans(
+                base, spawn_trial_seeds(SEEDS, seed=13)
+            )
+    return sweep
+
+
+def serialize(results) -> list[dict]:
+    """JSON-normalized full dataclass dump (tuples become lists)."""
+    return json.loads(
+        json.dumps([dataclasses.asdict(r) for r in results])
+    )
+
+
+def _fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.mark.parametrize("name", sorted(golden_plans()))
+def test_results_match_golden_fixture(name):
+    fixture = _fixture_path(name)
+    assert fixture.is_file(), (
+        f"missing golden fixture {fixture}; generate it with "
+        "`PYTHONPATH=src python tests/test_golden_results.py --regenerate`"
+    )
+    expected = json.loads(fixture.read_text(encoding="utf-8"))
+    actual = serialize(run_trials(golden_plans()[name]))
+    assert actual == expected, (
+        f"{name}: trial output drifted from the committed golden pin. "
+        "If the change is intentional, review the diff and regenerate "
+        "the fixtures (see module docstring)."
+    )
+
+
+@pytest.mark.parametrize("name", sorted(golden_plans()))
+def test_sparse_exact_reproduces_golden_fixture(name):
+    """Exact sparse resolution pinned against the absolute reference."""
+    fixture = _fixture_path(name)
+    assert fixture.is_file()
+    expected = json.loads(fixture.read_text(encoding="utf-8"))
+    sparse = SINRParameters(sparse=SparseResolution(mode="exact"))
+    actual = serialize(run_trials(golden_plans(sparse)[name]))
+    assert actual == expected
+
+
+def test_fixtures_have_no_strays():
+    """Every committed fixture corresponds to a pinned sweep entry."""
+    committed = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+    assert committed == set(golden_plans())
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, plans in sorted(golden_plans().items()):
+        payload = serialize(run_trials(plans))
+        path = _fixture_path(name)
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {path} ({len(payload)} trials)")
+
+
+if __name__ == "__main__":
+    if "--regenerate" not in sys.argv:
+        print(__doc__)
+        sys.exit(2)
+    _regenerate()

@@ -1,0 +1,376 @@
+"""Property-based physics harness for the sparse SINR resolver.
+
+:mod:`repro.sinr.sparse` makes two precise promises, and this suite
+pins both with hypothesis-generated deployments and ragged transmitter
+sets rather than hand-picked fixtures:
+
+* **exact mode is bit-identical** to the dense kernel
+  (:func:`~repro.sinr.physics.successful_receptions`): same decode
+  pairs, same dict insertion order, on every deployment, every
+  transmitter set, and every realized-power matrix a stochastic
+  channel model can hand it.
+* **farfield mode is ε-bounded**: every candidate-link SINR estimate is
+  within relative ε of the dense value, and therefore decode flips are
+  confined to links whose exact SINR lies in the ε-band
+  ``(β/(1+ε), β/(1−ε))`` around the threshold — outside the band the
+  decode *sets* are equal, not merely close.
+
+The composition properties then walk the same contracts through the
+stochastic channel layer (fading/shadowing realized powers flow through
+the exact path) and dynamic-topology epochs (the grid is rebuilt on
+``advance_topology`` and the contracts hold against the *moved*
+geometry).
+
+Examples are derandomized: the suite is a deterministic gate, not a
+fuzzer — widen ``max_examples`` locally when hunting.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.deployment import uniform_disk
+from repro.sinr.channel import Channel
+from repro.sinr.params import ChannelModel, SINRParameters, SparseResolution
+from repro.sinr.physics import (
+    gain_matrix,
+    sinr_matrix,
+    successful_receptions,
+)
+from repro.sinr.sparse import SparseResolver
+from repro.topology import WaypointMobility
+
+SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+EPSILONS = (0.01, 0.05, 0.1, 0.3)
+# Slack on the ε comparisons: the bound itself is exact mathematics,
+# the slack only absorbs float evaluation of the comparison.
+REL_SLACK = 1e-9
+
+
+@st.composite
+def deployments(draw, max_n: int = 36):
+    """A constant-ish-density disk deployment with its parameters."""
+    n = draw(st.integers(min_value=4, max_value=max_n))
+    degree = draw(st.sampled_from((3.0, 6.0, 12.0)))
+    seed = draw(st.integers(min_value=0, max_value=2**20))
+    params = SINRParameters()
+    radius = params.transmission_range * math.sqrt(n / degree)
+    return uniform_disk(n, radius=radius, seed=seed), params
+
+
+@st.composite
+def tx_sets(draw, n: int):
+    """A ragged transmitter set: empty, singleton, dense, anything."""
+    ids = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            unique=True,
+            max_size=n,
+        )
+    )
+    return np.array(sorted(ids), dtype=np.intp)
+
+
+def _sparse_params(
+    params: SINRParameters, mode: str = "exact", epsilon: float = 0.05
+) -> SINRParameters:
+    from dataclasses import replace
+
+    return replace(
+        params, sparse=SparseResolution(mode=mode, epsilon=epsilon)
+    )
+
+
+# -- property (a): exact mode is bit-identical -------------------------------
+
+
+@settings(max_examples=40, **SETTINGS)
+@given(deploy=deployments(), data=st.data())
+def test_exact_mode_is_bit_identical_to_dense(deploy, data):
+    points, params = deploy
+    distances = None
+    resolver = SparseResolver(points, _sparse_params(params))
+    for _ in range(3):
+        tx = data.draw(tx_sets(len(points)), label="transmitters")
+        if distances is None:  # build the dense reference lazily, once
+            from repro.geometry.points import pairwise_distances
+
+            distances = pairwise_distances(points.coords)
+            gains = gain_matrix(params, distances)
+        dense = successful_receptions(params, distances, tx, gains=gains)
+        sparse = resolver.resolve(tx)
+        assert sparse == dense
+        # Same *insertion order* too: downstream trace recording and
+        # adversary filtering iterate these dicts.
+        assert list(sparse.items()) == list(dense.items())
+
+
+@settings(max_examples=25, **SETTINGS)
+@given(deploy=deployments(max_n=24), data=st.data())
+def test_exact_mode_is_bit_identical_under_realized_powers(deploy, data):
+    """The stochastic-channel hook: arbitrary positive (k, n) realized
+    powers must flow through the sparse path bit-identically."""
+    points, params = deploy
+    n = len(points)
+    tx = data.draw(tx_sets(n), label="transmitters")
+    seed = data.draw(st.integers(0, 2**20), label="power-seed")
+    rng = np.random.default_rng(seed)
+    # Log-uniform powers across six decades: exercises both the
+    # below-noise candidate cut and strong-interference regimes.
+    link_powers = 10.0 ** rng.uniform(-5.0, 1.0, size=(tx.size, n))
+    from repro.geometry.points import pairwise_distances
+
+    distances = pairwise_distances(points.coords)
+    dense = successful_receptions(
+        params, distances, tx, link_powers=link_powers
+    )
+    resolver = SparseResolver(points, _sparse_params(params))
+    sparse = resolver.resolve(tx, link_powers=link_powers)
+    assert sparse == dense
+    assert list(sparse.items()) == list(dense.items())
+
+
+# -- property (b): farfield SINR estimates honor ε ---------------------------
+
+
+@settings(max_examples=30, **SETTINGS)
+@given(
+    deploy=deployments(),
+    epsilon=st.sampled_from(EPSILONS),
+    data=st.data(),
+)
+def test_farfield_link_sinr_within_epsilon(deploy, epsilon, data):
+    points, params = deploy
+    tx = data.draw(tx_sets(len(points)), label="transmitters")
+    resolver = SparseResolver(
+        points, _sparse_params(params, "farfield", epsilon)
+    )
+    senders, listeners, approx = resolver.link_sinr_estimates(tx)
+    if senders.size == 0:
+        return
+    from repro.geometry.points import pairwise_distances
+
+    distances = pairwise_distances(points.coords)
+    exact = sinr_matrix(params, distances, tx)
+    tx_row = {int(t): k for k, t in enumerate(tx)}
+    rows = np.array([tx_row[int(s)] for s in senders], dtype=np.intp)
+    truth = exact[rows, listeners]
+    assert (truth > 0).all()  # candidates never include transmitters
+    rel_err = np.abs(approx - truth) / truth
+    assert rel_err.max() <= epsilon * (1.0 + REL_SLACK), (
+        f"farfield rel error {rel_err.max():.3e} exceeds ε={epsilon}"
+    )
+
+
+# -- property (c): decode flips are confined to the ε-band -------------------
+
+
+@settings(max_examples=30, **SETTINGS)
+@given(
+    deploy=deployments(),
+    epsilon=st.sampled_from(EPSILONS),
+    data=st.data(),
+)
+def test_farfield_decode_flips_confined_to_epsilon_band(deploy, epsilon, data):
+    points, params = deploy
+    tx = data.draw(tx_sets(len(points)), label="transmitters")
+    from repro.geometry.points import pairwise_distances
+
+    distances = pairwise_distances(points.coords)
+    dense = successful_receptions(params, distances, tx)
+    far = SparseResolver(
+        points, _sparse_params(params, "farfield", epsilon)
+    ).resolve(tx)
+
+    # Which listeners have *any* candidate link whose exact SINR sits
+    # in the band where an ε-perturbation can cross the β threshold?
+    lo = params.beta / (1.0 + epsilon) * (1.0 - REL_SLACK)
+    hi = params.beta / (1.0 - epsilon) * (1.0 + REL_SLACK)
+    exact = sinr_matrix(params, distances, tx)
+    in_band = (exact >= lo) & (exact <= hi)
+    banded_listeners = set(np.nonzero(in_band.any(axis=0))[0].tolist())
+
+    if not banded_listeners:
+        # No link anywhere near the threshold: the decode *sets* must
+        # be exactly equal, approximation or not.
+        assert far == dense
+        return
+    for listener in set(dense) | set(far):
+        if dense.get(listener) != far.get(listener):
+            assert listener in banded_listeners, (
+                f"listener {listener} flipped decode "
+                f"({dense.get(listener)} -> {far.get(listener)}) with no "
+                f"exact SINR inside the ε-band [{lo:.4f}, {hi:.4f}]"
+            )
+
+
+# -- composition: stochastic channel model -----------------------------------
+
+
+@settings(max_examples=12, **SETTINGS)
+@given(
+    deploy=deployments(max_n=20),
+    rayleigh=st.booleans(),
+    sigma=st.sampled_from((0.0, 4.0)),
+    spread=st.sampled_from((1.0, 8.0)),
+    trial_seed=st.integers(min_value=0, max_value=2**20),
+    data=st.data(),
+)
+def test_exact_mode_composes_with_channel_model(
+    deploy, rayleigh, sigma, spread, trial_seed, data
+):
+    """Fading/shadowing realized powers ride the exact sparse path:
+    both channels consume identical channel-stream draws and must stay
+    decode-for-decode (and order-for-order) identical."""
+    points, params = deploy
+    model = ChannelModel(
+        rayleigh=rayleigh, shadowing_sigma_db=sigma, power_spread=spread
+    )
+    from dataclasses import replace
+
+    dense_params = replace(params, channel_model=model)
+    sparse_params = _sparse_params(dense_params)
+    dense_ch = Channel(points, dense_params)
+    sparse_ch = Channel(points, sparse_params)
+    dense_ch.bind_trial_seed(trial_seed)
+    sparse_ch.bind_trial_seed(trial_seed)
+    for _ in range(3):
+        tx = data.draw(tx_sets(len(points)), label="transmitters")
+        dense_raw = dense_ch.resolve_raw(tx)
+        sparse_raw = sparse_ch.resolve_raw(tx)
+        assert sparse_raw == dense_raw
+        assert list(sparse_raw.items()) == list(dense_raw.items())
+
+
+# -- composition: dynamic-topology epochs ------------------------------------
+
+
+@settings(max_examples=10, **SETTINGS)
+@given(
+    deploy=deployments(max_n=20),
+    provider_seed=st.integers(min_value=0, max_value=2**10),
+    data=st.data(),
+)
+def test_exact_mode_composes_with_topology_epochs(
+    deploy, provider_seed, data
+):
+    """`advance_topology` rebuilds the grid: after every epoch the
+    exact sparse decode must still be bit-identical to the dense decode
+    of the *moved* geometry."""
+    points, params = deploy
+    topo = WaypointMobility(epoch_slots=2, speed=3.0, seed=provider_seed)
+    from dataclasses import replace
+
+    dense_ch = Channel(points, params, topology=topo)
+    sparse_ch = Channel(points, _sparse_params(params), topology=topo)
+    dense_ch.bind_trial_seed(0)
+    sparse_ch.bind_trial_seed(0)
+    for slot in range(6):
+        moved_dense = dense_ch.advance_topology(slot)
+        moved_sparse = sparse_ch.advance_topology(slot)
+        assert moved_dense == moved_sparse
+        tx = data.draw(tx_sets(len(points)), label=f"slot-{slot}")
+        dense_raw = dense_ch.resolve_raw(tx)
+        sparse_raw = sparse_ch.resolve_raw(tx)
+        assert sparse_raw == dense_raw
+        assert list(sparse_raw.items()) == list(dense_raw.items())
+    # Both channels genuinely moved at the epoch boundaries.
+    assert not np.array_equal(sparse_ch.points.coords, points.coords)
+
+
+@settings(max_examples=8, **SETTINGS)
+@given(
+    deploy=deployments(max_n=20),
+    epsilon=st.sampled_from((0.05, 0.3)),
+    data=st.data(),
+)
+def test_farfield_epsilon_survives_topology_epochs(deploy, epsilon, data):
+    """The rebuilt farfield grid honors ε against the moved geometry."""
+    points, params = deploy
+    topo = WaypointMobility(epoch_slots=1, speed=4.0, seed=3)
+    ch = Channel(
+        points, _sparse_params(params, "farfield", epsilon), topology=topo
+    )
+    ch.bind_trial_seed(0)
+    for slot in range(3):
+        ch.advance_topology(slot)
+        tx = data.draw(tx_sets(len(points)), label=f"slot-{slot}")
+        senders, listeners, approx = ch._resolver.link_sinr_estimates(tx)
+        if senders.size == 0:
+            continue
+        from repro.geometry.points import pairwise_distances
+
+        exact = sinr_matrix(
+            params, pairwise_distances(ch.points.coords), tx
+        )
+        tx_row = {int(t): k for k, t in enumerate(tx)}
+        rows = np.array([tx_row[int(s)] for s in senders], dtype=np.intp)
+        truth = exact[rows, listeners]
+        rel_err = np.abs(approx - truth) / truth
+        assert rel_err.max() <= epsilon * (1.0 + REL_SLACK)
+
+
+# -- edge cases the strategies may not always hit ----------------------------
+
+
+class TestEdgeCases:
+    @pytest.fixture
+    def deploy(self):
+        params = SINRParameters()
+        radius = params.transmission_range * math.sqrt(16 / 6.0)
+        return uniform_disk(16, radius=radius, seed=2), params
+
+    def test_empty_transmitter_set(self, deploy):
+        points, params = deploy
+        for mode in ("exact", "farfield"):
+            resolver = SparseResolver(points, _sparse_params(params, mode))
+            assert resolver.resolve(np.array([], dtype=np.intp)) == {}
+
+    def test_all_nodes_transmit(self, deploy):
+        points, params = deploy
+        tx = np.arange(len(points), dtype=np.intp)
+        from repro.geometry.points import pairwise_distances
+
+        dense = successful_receptions(
+            params, pairwise_distances(points.coords), tx
+        )
+        exact = SparseResolver(points, _sparse_params(params)).resolve(tx)
+        assert exact == dense == {}  # half-duplex: nobody listens
+
+    def test_isolated_node_decodes_nothing(self):
+        params = SINRParameters()
+        coords = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [1000.0, 1000.0]], dtype=np.float64
+        )
+        from repro.geometry.points import PointSet
+
+        points = PointSet(coords=coords)
+        tx = np.array([0], dtype=np.intp)
+        for mode in ("exact", "farfield"):
+            resolver = SparseResolver(points, _sparse_params(params, mode))
+            result = resolver.resolve(tx)
+            assert 2 not in result  # far outside the candidate radius
+            assert result == {1: 0}
+
+    def test_farfield_requires_valid_epsilon(self):
+        with pytest.raises(ValueError):
+            SparseResolution(mode="farfield", epsilon=0.0)
+        with pytest.raises(ValueError):
+            SparseResolution(mode="farfield", epsilon=1.0)
+        with pytest.raises(ValueError):
+            SparseResolution(mode="bogus")
+
+    def test_resolver_requires_sparse_spec(self, deploy):
+        points, params = deploy
+        with pytest.raises(ValueError):
+            SparseResolver(points, params)

@@ -321,6 +321,7 @@ class TestChannelTopology:
 # -- the acceptance matrix: three executors, dataclass-equal ------------------
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("stack", ["decay", "ack"])
 @pytest.mark.parametrize("trials", [1, 8])
 @pytest.mark.parametrize(

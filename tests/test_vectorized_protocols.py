@@ -89,6 +89,7 @@ def protocol_plan(workload, stack, **kwargs):
 # -- result-level equivalence (the acceptance matrix) -----------------------
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("stack", ["decay", "ack"])
 @pytest.mark.parametrize("trials", [1, 8])
 @pytest.mark.parametrize("source", [0, 7], ids=["sync", "staggered"])
@@ -107,6 +108,7 @@ def test_smb_results_bit_identical(stack, trials, source):
     assert all(result.broadcasts == N for result in vec)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("stack", ["decay", "ack"])
 @pytest.mark.parametrize("trials", [1, 8])
 @pytest.mark.parametrize("k", [1, 4])
@@ -133,6 +135,7 @@ def test_mmb_results_bit_identical(stack, trials, k, spread):
     assert all(result.broadcasts >= N for result in vec)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("stack", ["decay", "ack"])
 @pytest.mark.parametrize("trials", [1, 8])
 @pytest.mark.parametrize("explicit_values", [False, True])
