@@ -3,8 +3,8 @@
 
 PY ?= python
 
-.PHONY: test test-fast bench bench-smoke bench-record bench-compare \
-	bench-regression docs-check lint verify
+.PHONY: test test-fast native bench bench-smoke bench-record \
+	bench-compare bench-regression docs-check lint verify
 
 # Tier-1 verification: the full test suite.
 test:
@@ -14,6 +14,13 @@ test:
 # bare `make test` still run everything.
 test-fast:
 	PYTHONPATH=src $(PY) -m pytest -x -q -m "not slow"
+
+# Build (or refresh) the native slot-loop kernel — a plain ctypes
+# shared library next to its C source (src/repro/native/_advance.so).
+# Fails when no C compiler is available; the package itself degrades
+# gracefully without the build (pure-numpy fallback).
+native:
+	PYTHONPATH=src $(PY) -m repro.native.build --force
 
 # Paper-artifact benchmarks (prints measured-vs-predicted tables).
 bench:
@@ -26,16 +33,18 @@ bench-smoke:
 
 # Regenerate the committed perf records (BENCH_vectorized.json,
 # BENCH_protocols.json, BENCH_fading.json, BENCH_mobility.json,
-# BENCH_sparse.json) by running the recorded benchmarks at their full
-# configuration.  REPRO_BENCH_STRICT=0 relaxes the absolute speedup
-# bars (bit-identity stays asserted): in the regression gate the
-# *relative* 20% comparison of bench-compare is the arbiter.
+# BENCH_sparse.json, BENCH_native.json) by running the recorded
+# benchmarks at their full configuration.  REPRO_BENCH_STRICT=0 relaxes
+# the absolute speedup bars (bit-identity stays asserted): in the
+# regression gate the *relative* 20% comparison of bench-compare is the
+# arbiter.
 bench-record:
 	PYTHONPATH=src REPRO_BENCH_STRICT=0 $(PY) -m pytest \
 		benchmarks/bench_vectorized_stack.py \
 		benchmarks/bench_fading_robustness.py \
 		benchmarks/bench_mobility_churn.py \
-		benchmarks/bench_sparse_sinr.py -q --benchmark-only
+		benchmarks/bench_sparse_sinr.py \
+		benchmarks/bench_native_kernel.py -q --benchmark-only
 
 # Compare the fresh records against the committed baselines: the
 # counters-only speedup may not regress more than 20%.

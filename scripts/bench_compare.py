@@ -22,6 +22,14 @@ in the ref than the record run (mid-PR states, partial ``--files``
 invocations).  Only rows present on *both* sides gate the build — a row
 that vanishes from an otherwise-recorded file still fails.
 
+Rows may carry a ``backend`` field naming what produced the measured
+ratio (``BENCH_native.json`` records ``"native"`` when the compiled
+kernel ran, ``"numpy"`` under the fallback).  When baseline and fresh
+row disagree on the backend, the speedup comparison is apples to
+oranges — a machine without the extension would otherwise hard-fail
+against a native-recorded baseline — so such pairs warn-skip instead
+of gating.
+
 Run via ``make bench-compare`` (after ``make bench-record``); the CI
 ``bench-regression`` job wires both together and uploads the fresh
 JSONs as workflow artifacts.
@@ -122,6 +130,23 @@ def compare(
                 "from the fresh record"
             )
             continue
+        base_backend = base_row.get("backend")
+        cand_backend = cand_row.get("backend")
+        if (
+            base_backend is not None
+            and cand_backend is not None
+            and base_backend != cand_backend
+        ):
+            # Different backends measure different code paths (e.g. a
+            # fresh record on a machine without the native extension vs
+            # a native-recorded baseline): the ratio comparison would
+            # be meaningless, so warn-skip rather than fail.
+            lines.append(
+                f"{relpath}[{key}]: backend mismatch (baseline "
+                f"{base_backend!r}, fresh {cand_backend!r}) — speedup "
+                "gate skipped"
+            )
+            continue
         base_speedup = row_speedup(base_row)
         cand_speedup = row_speedup(cand_row)
         if base_speedup is None:
@@ -162,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
             "BENCH_fading.json",
             "BENCH_mobility.json",
             "BENCH_sparse.json",
+            "BENCH_native.json",
         ],
         help="benchmark JSONs (repo-relative) to compare",
     )

@@ -132,6 +132,15 @@ def smoke_sparse_sinr(m):
     return report
 
 
+def smoke_native_kernel(m):
+    _shrink(m, N=100, SEEDS=2, SLOTS=120, RADIUS=40.0)
+    report = m.run_comparison(rounds=1)
+    # Bit-identity across numpy/native/object holds at any size and on
+    # either backend; the speedup bars belong to the full bench run.
+    assert all(r["bit_identical"] for r in report["rows"])
+    return report
+
+
 def smoke_table1_overview(m):
     return m.build_tables()
 
@@ -206,6 +215,7 @@ SMOKE = {
     "bench_fading_robustness": smoke_fading_robustness,
     "bench_fig1_progress_lower_bound": smoke_fig1,
     "bench_mobility_churn": smoke_mobility_churn,
+    "bench_native_kernel": smoke_native_kernel,
     "bench_sparse_sinr": smoke_sparse_sinr,
     "bench_table1_overview": smoke_table1_overview,
     "bench_table1_fack": smoke_table1_fack,

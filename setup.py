@@ -4,8 +4,33 @@ The execution environment has no network access and no ``wheel`` package,
 so PEP 517 editable installs (which build a wheel) fail.  This shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` and plain
 ``pip install -e .`` (with a modern pip) work from the same metadata.
+
+It also best-effort compiles the native slot-loop kernel
+(``src/repro/native/_advance.c`` — a plain ctypes shared library, not a
+CPython extension): install keeps working on machines without a C
+compiler, where ``repro.native.available()`` reports False and the
+pure-numpy fallback stays active.  ``make native`` rebuilds explicitly.
 """
+
+import runpy
+from pathlib import Path
 
 from setuptools import setup
 
+
+def _build_native_kernel() -> None:
+    """Compile the ctypes kernel if a compiler is around; never fail.
+
+    ``build.py`` is import-safe standalone (stdlib only), so it runs
+    here before the package itself is installed.
+    """
+    script = Path(__file__).parent / "src" / "repro" / "native" / "build.py"
+    try:
+        module = runpy.run_path(str(script))
+        module["build"](quiet=True)
+    except Exception as exc:  # install must not break without a compiler
+        print(f"skipping native kernel build: {exc}")
+
+
+_build_native_kernel()
 setup()

@@ -349,10 +349,15 @@ def _batch_key(plan: TrialPlan, cache: ArtifactCache | None):
 
 
 def _run_chunk(
-    plans: Sequence[TrialPlan], mode: str, vectorize: bool | None
+    plans: Sequence[TrialPlan],
+    mode: str,
+    vectorize: bool | None,
+    native: bool | None,
 ) -> list[TrialResult]:
     """Pool-worker entry point (module-level so it pickles)."""
-    return run_trials(plans, mode=mode, workers=1, vectorize=vectorize)
+    return run_trials(
+        plans, mode=mode, workers=1, vectorize=vectorize, native=native
+    )
 
 
 def run_trials(
@@ -361,6 +366,7 @@ def run_trials(
     workers: int = 1,
     cache: ArtifactCache | None = None,
     vectorize: bool | None = None,
+    native: bool | None = None,
 ) -> list[TrialResult]:
     """Run many plans; results come back in plan order.
 
@@ -380,6 +386,15 @@ def run_trials(
     demands it and raises ``ValueError`` when some plan is ineligible.
     The selection never changes results — both executors are
     decode-for-decode identical.
+
+    ``native`` selects the backend *inside* the columnar executor
+    (:mod:`repro.native`): ``None`` (default) defers to the
+    ``REPRO_NATIVE`` environment variable and auto-selects the compiled
+    slot-loop kernel when it is built, ``False`` pins the pure-numpy
+    reference path, ``True`` demands the compiled kernel and raises
+    when it is not built.  Like ``vectorize``, this never changes
+    results — the native kernel is bit-identical and slot shapes it
+    does not cover transparently run the numpy step.
     """
     plan_list = list(plans)
     if workers < 1:
@@ -417,6 +432,7 @@ def run_trials(
                     chunks,
                     [mode] * len(chunks),
                     [vectorize] * len(chunks),
+                    [native] * len(chunks),
                 )
             )
         return [result for part in parts for result in part]
@@ -442,7 +458,10 @@ def run_trials(
         groups.setdefault(key, []).append((index, plan))
     out: list[TrialResult | None] = [None] * len(plan_list)
     for key, group in groups.items():
-        runner = run_vector_group if "vector" in key else _run_lockstep
-        for index, result in runner(group, cache).items():
+        if "vector" in key:
+            results = run_vector_group(group, cache, native=native)
+        else:
+            results = _run_lockstep(group, cache)
+        for index, result in results.items():
             out[index] = result
     return out  # type: ignore[return-value]

@@ -1,0 +1,297 @@
+/* Fused slot-loop kernel for the columnar runtime (repro.native).
+ *
+ * One call advances the counters-only fast path of
+ * repro.vectorized.runtime.VectorRuntime by up to k slots: transmit
+ * decision from the pre-drawn NodeUniformBuffer uniforms, dense gain
+ * gather, SINR reduce, decode, dedup and kernel state step in one C
+ * loop, with no Python dispatch between slots.
+ *
+ * Bit-identity contract (the whole point — see the "Native kernels"
+ * section of docs/architecture.md):
+ *
+ *  - Uniform consumption: each busy cell of a live trial consumes
+ *    exactly one pre-drawn uniform per slot, read from the same
+ *    (lane, cursor) position NodeUniformBuffer.take() would serve.
+ *    When any stepping lane is exhausted the call returns at the slot
+ *    boundary so the Python shim can refill whole chunks exactly like
+ *    take() does.
+ *  - Decay probability: 2^-(j+1) is produced with ldexp (exact power
+ *    of two, the value numpy's `2.0 ** -(j + 1.0)` yields).
+ *  - Ack arithmetic: the same adds / multiplies / min-max clamps in
+ *    the same order as AckKernel.step / AckKernel.notify.
+ *  - Interference totals accumulate row-by-row in transmitter order —
+ *    the addend order of ndarray.sum(axis=0), which physics.
+ *    _segment_totals documents as the bit-identity anchor — and the
+ *    SINR evaluates as p / ((total - p) + noise), decode iff >= beta.
+ *  - Decode order is transmitter-major then listener-ascending per
+ *    trial (np.nonzero row-major over the (k, n) ok matrix), and the
+ *    per-trial event order within a slot is acks, then wakes, then
+ *    deduped rcvs — the numpy fast path's per-kind subsequences.
+ *
+ * The struct below is mirrored field-for-field by the ctypes binding
+ * in repro/native/__init__.py; every field is 8 bytes wide (LP64), so
+ * the layouts agree without packing pragmas.
+ */
+
+#include <math.h>
+#include <stddef.h>
+#include <string.h>
+
+typedef struct {
+    /* lattice geometry and call bounds */
+    long trials;
+    long n;
+    long k;    /* max slots to attempt this call */
+    long kind; /* 0 = decay, 1 = ack */
+    /* runtime columns over the (trials*n,) lattice */
+    unsigned char *live; /* (trials,) which trials advance */
+    unsigned char *busy;
+    unsigned char *awake;
+    long *tx_mid;
+    unsigned char *seen; /* (trials*n, n) rcv dedup matrix */
+    /* pre-drawn per-node uniforms (NodeUniformBuffer internals) */
+    double *uni_buf; /* (trials*n, chunk) */
+    long *uni_cursor;
+    long chunk;
+    /* dense deterministic physics */
+    const double *gains; /* base gain matrix pointer */
+    long gain_stride;    /* elements between trial blocks (0 = shared) */
+    double noise;
+    double beta;
+    /* kernel columns shared by both protocols */
+    long *slots_run;
+    long *transmissions;
+    /* DecayKernel columns (NULL for ack) */
+    const long *phase_length;
+    const long *ack_budget;
+    /* AckKernel columns (NULL for decay) */
+    double *probability;
+    long *block_remaining;
+    double *tp;
+    long *rc;
+    unsigned char *halted_col;
+    unsigned char *fallback_pending;
+    long *fallbacks;
+    const double *halt_budget;
+    const double *rc_threshold;
+    const long *inner_block_slots;
+    const double *prob_cap;
+    const double *fallback_divisor;
+    const double *floor_probability;
+    /* per-trial accumulators, drained by the shim after each call */
+    long *trial_slots; /* runtime.slots (advanced in place) */
+    long *slot_counts; /* Channel._slot_count increments */
+    long *tx_totals;   /* Channel.total_transmissions increments */
+    long *rx_totals;   /* Channel.total_receptions increments */
+    /* event sink: rows of [trial, slot, code, node, mid] */
+    long *events;
+    long ev_cap; /* rows available */
+    long ev_len; /* rows used (in/out) */
+    /* per-trial scratch, each sized (n,) */
+    long *sc_tx;
+    double *sc_tot;
+    unsigned char *sc_txflag;
+    unsigned char *sc_stepped;
+    unsigned char *sc_decoded;
+    long *sc_rx_listener;
+    long *sc_rx_sender;
+} repro_state;
+
+enum { EV_ACK = 0, EV_WAKE = 1, EV_RCV = 2 };
+
+static void emit(repro_state *st, long t, long slot, long code, long node,
+                 long mid) {
+    long *row = st->events + st->ev_len * 5;
+    row[0] = t;
+    row[1] = slot;
+    row[2] = code;
+    row[3] = node;
+    row[4] = mid;
+    st->ev_len += 1;
+}
+
+/* Returns the number of whole slots advanced (>= 0), stopping early at
+ * a slot boundary when a stepping lane's uniforms are exhausted or the
+ * event sink cannot guarantee a worst-case slot; -2 signals a beta > 1
+ * uniqueness violation (two decodable senders at one listener). */
+long repro_advance_slots(repro_state *st) {
+    const long trials = st->trials;
+    const long n = st->n;
+    const long chunk = st->chunk;
+    long slots_done = 0;
+
+    for (; slots_done < st->k; slots_done++) {
+        /* Worst case one slot can emit: every busy cell acks plus one
+         * wake and one rcv per unique-decode listener. */
+        long live_trials = 0;
+        for (long t = 0; t < trials; t++)
+            live_trials += st->live[t];
+        if (st->ev_cap - st->ev_len < 3 * live_trials * n)
+            break;
+        /* Every cell that will step this slot must have a pre-drawn
+         * uniform left; otherwise return so the shim can refill whole
+         * chunks exactly as NodeUniformBuffer.take() would. */
+        int need_refill = 0;
+        for (long t = 0; t < trials && !need_refill; t++) {
+            if (!st->live[t])
+                continue;
+            const long base = t * n;
+            for (long v = 0; v < n; v++) {
+                if (st->busy[base + v] && st->uni_cursor[base + v] >= chunk) {
+                    need_refill = 1;
+                    break;
+                }
+            }
+        }
+        if (need_refill)
+            break;
+
+        for (long t = 0; t < trials; t++) {
+            if (!st->live[t])
+                continue;
+            const long base = t * n;
+            const long slot = st->trial_slots[t];
+
+            /* Phase 1: kernel step for every busy cell, in ascending
+             * node order (the flatnonzero order of the numpy path). */
+            long ntx = 0;
+            memset(st->sc_txflag, 0, (size_t)n);
+            memset(st->sc_stepped, 0, (size_t)n);
+            for (long v = 0; v < n; v++) {
+                const long cell = base + v;
+                if (!st->busy[cell])
+                    continue;
+                const double u =
+                    st->uni_buf[cell * chunk + st->uni_cursor[cell]];
+                st->uni_cursor[cell] += 1;
+                int transmit = 0;
+                int halt = 0;
+                if (st->kind == 0) {
+                    const long j =
+                        st->slots_run[cell] % st->phase_length[cell];
+                    st->slots_run[cell] += 1;
+                    const double p = ldexp(1.0, (int)(-(j + 1)));
+                    transmit = u < p;
+                    halt = st->slots_run[cell] >= st->ack_budget[cell];
+                } else {
+                    if (st->fallback_pending[cell]) {
+                        st->fallback_pending[cell] = 0;
+                        st->fallbacks[cell] += 1;
+                        double fallen =
+                            st->probability[cell] / st->fallback_divisor[cell];
+                        if (st->floor_probability[cell] > fallen)
+                            fallen = st->floor_probability[cell];
+                        st->rc[cell] = 0;
+                        double doubled = 2.0 * fallen;
+                        st->probability[cell] = doubled < st->prob_cap[cell]
+                                                    ? doubled
+                                                    : st->prob_cap[cell];
+                        st->block_remaining[cell] =
+                            st->inner_block_slots[cell];
+                    }
+                    st->slots_run[cell] += 1;
+                    const double p = st->probability[cell];
+                    transmit = u < p;
+                    st->tp[cell] += p;
+                    halt = st->tp[cell] > st->halt_budget[cell];
+                    if (halt)
+                        st->halted_col[cell] = 1;
+                    st->block_remaining[cell] -= 1;
+                    if (st->block_remaining[cell] <= 0 && !halt) {
+                        double doubled = 2.0 * st->probability[cell];
+                        st->probability[cell] = doubled < st->prob_cap[cell]
+                                                    ? doubled
+                                                    : st->prob_cap[cell];
+                        st->block_remaining[cell] =
+                            st->inner_block_slots[cell];
+                    }
+                }
+                if (transmit) {
+                    st->transmissions[cell] += 1;
+                    st->sc_tx[ntx++] = v;
+                    st->sc_txflag[v] = 1;
+                }
+                if (halt) {
+                    st->busy[cell] = 0;
+                    emit(st, t, slot, EV_ACK, v, st->tx_mid[cell]);
+                } else {
+                    st->sc_stepped[v] = 1;
+                }
+            }
+
+            /* Channel.finalize_slot's counter bookkeeping. */
+            st->slot_counts[t] += 1;
+            st->tx_totals[t] += ntx;
+
+            /* Phase 2: SINR resolution.  Totals accumulate row by row
+             * in transmitter order (ndarray.sum(axis=0) addend order);
+             * the decode scan is transmitter-major then listener-
+             * ascending (np.nonzero row-major). */
+            long nrx = 0;
+            if (ntx > 0) {
+                const double *g = st->gains + st->gain_stride * t;
+                for (long u = 0; u < n; u++)
+                    st->sc_tot[u] = 0.0;
+                for (long i = 0; i < ntx; i++) {
+                    const double *row = g + st->sc_tx[i] * n;
+                    for (long u = 0; u < n; u++)
+                        st->sc_tot[u] += row[u];
+                }
+                memset(st->sc_decoded, 0, (size_t)n);
+                for (long i = 0; i < ntx; i++) {
+                    const long s = st->sc_tx[i];
+                    const double *row = g + s * n;
+                    for (long u = 0; u < n; u++) {
+                        if (st->sc_txflag[u])
+                            continue; /* half-duplex */
+                        const double p = row[u];
+                        const double sinr =
+                            p / ((st->sc_tot[u] - p) + st->noise);
+                        if (sinr >= st->beta) {
+                            if (st->sc_decoded[u])
+                                return -2;
+                            st->sc_decoded[u] = 1;
+                            st->sc_rx_listener[nrx] = u;
+                            st->sc_rx_sender[nrx] = s;
+                            nrx++;
+                        }
+                    }
+                }
+            }
+            st->rx_totals[t] += nrx;
+
+            /* Conditional wakeups (hit order), then deduped rcvs, then
+             * reception feedback for the Ack fallback counters. */
+            for (long i = 0; i < nrx; i++) {
+                const long u = st->sc_rx_listener[i];
+                if (!st->awake[base + u]) {
+                    st->awake[base + u] = 1;
+                    emit(st, t, slot, EV_WAKE, u, -1);
+                }
+            }
+            for (long i = 0; i < nrx; i++) {
+                const long u = st->sc_rx_listener[i];
+                const long s = st->sc_rx_sender[i];
+                unsigned char *cell_seen =
+                    st->seen + (size_t)(base + u) * (size_t)n + (size_t)s;
+                if (!*cell_seen) {
+                    *cell_seen = 1;
+                    emit(st, t, slot, EV_RCV, u, st->tx_mid[base + s]);
+                }
+            }
+            if (st->kind == 1) {
+                for (long i = 0; i < nrx; i++) {
+                    const long u = st->sc_rx_listener[i];
+                    if (st->sc_stepped[u]) {
+                        const long cell = base + u;
+                        st->rc[cell] += 1;
+                        if ((double)st->rc[cell] > st->rc_threshold[cell])
+                            st->fallback_pending[cell] = 1;
+                    }
+                }
+            }
+            st->trial_slots[t] += 1;
+        }
+    }
+    return slots_done;
+}

@@ -1,0 +1,90 @@
+"""Build glue for the native slot-loop kernel.
+
+The extension is deliberately *not* a CPython extension module: it is a
+plain shared library (no ``Python.h``, no numpy headers) loaded through
+:mod:`ctypes`, so building it needs nothing but a C compiler and the
+import path degrades gracefully on machines without one.  ``make
+native`` and the best-effort hook in ``setup.py`` both land here; the
+module is import-safe without numpy or the repro package (``setup.py``
+runs it before any dependency is installed).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.native.build          # build if stale
+    PYTHONPATH=src python -m repro.native.build --force  # always rebuild
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+__all__ = ["SOURCE", "TARGET", "build", "main"]
+
+SOURCE = Path(__file__).resolve().parent / "_advance.c"
+TARGET = SOURCE.with_suffix(".so")
+
+# First available compiler wins; -O3 -fPIC -shared is all the kernel
+# needs (pure C99 + libm, no Python or numpy headers).
+_COMPILERS = ("cc", "gcc", "clang")
+_FLAGS = ("-O3", "-fPIC", "-shared", "-fvisibility=default")
+
+
+def _find_compiler() -> str | None:
+    for name in _COMPILERS:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def build(force: bool = False, quiet: bool = False) -> Path | None:
+    """Compile ``_advance.c`` next to itself; return the .so path.
+
+    Returns None (instead of raising) when no compiler is available —
+    the caller decides whether that is fatal (``make native``) or fine
+    (the best-effort install hook).  A failed *compilation* raises,
+    with the compiler output attached: broken C must never be silent.
+    """
+    if not SOURCE.is_file():
+        raise FileNotFoundError(f"native kernel source missing: {SOURCE}")
+    if (
+        not force
+        and TARGET.is_file()
+        and TARGET.stat().st_mtime >= SOURCE.stat().st_mtime
+    ):
+        if not quiet:
+            print(f"native kernel up to date: {TARGET}")
+        return TARGET
+    compiler = _find_compiler()
+    if compiler is None:
+        if not quiet:
+            print(
+                "no C compiler found (tried "
+                + ", ".join(_COMPILERS)
+                + "); the pure-numpy fallback stays active"
+            )
+        return None
+    cmd = [compiler, *_FLAGS, "-o", str(TARGET), str(SOURCE), "-lm"]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"native kernel build failed ({' '.join(cmd)}):\n"
+            f"{proc.stdout}{proc.stderr}"
+        )
+    if not quiet:
+        print(f"built native kernel: {TARGET}")
+    return TARGET
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    force = "--force" in argv
+    target = build(force=force)
+    return 0 if target is not None else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""Marshalling layer between :class:`VectorRuntime` and the C kernel.
+
+A :class:`NativeStepper` is created lazily by the runtime the first
+time a batch advances through the native backend, and reused for the
+batch's whole life: it pins the gain-stack base pointer, allocates the
+event sink and scratch arrays once, and on every call
+
+1. caps the stride at the tightest per-trial slot budget,
+2. hands the runtime's *live* columnar state (kernel columns, busy /
+   awake / seen / tx_mid, the NodeUniformBuffer storage) to
+   ``repro_advance_slots`` by pointer — the C kernel mutates the very
+   arrays the numpy path reads, so the two backends can interleave
+   slot by slot without any copying or divergence,
+3. drains the C event records into the per-trial
+   :class:`~repro.simulation.trace.EventTrace` objects (acks → wakes →
+   rcvs per slot, the numpy fast path's per-kind subsequences), folds
+   the counter accumulators into each trial's channel, detaches acked
+   messages, and refills exhausted uniform lanes whole-chunk exactly
+   as ``NodeUniformBuffer.take`` would before re-entering C.
+
+The stepper never runs unless the runtime's eligibility probe passed
+(counters-only, adapter-free, adversary-free, dense deterministic
+physics, no churn mask) — every other slot shape falls back to the
+numpy step, transparently, in ``VectorRuntime.advance_slots``.
+"""
+
+from __future__ import annotations
+
+import ctypes
+
+import numpy as np
+
+from repro.native import (
+    ERR_BETA_VIOLATION,
+    EV_ACK,
+    EV_RCV,
+    EV_WAKE,
+    NativeState,
+    load,
+)
+from repro.simulation.trace import TraceEvent
+
+__all__ = ["NativeStepper"]
+
+_EVENT_KINDS = {EV_ACK: "ack", EV_WAKE: "wake", EV_RCV: "rcv"}
+
+
+def _ptr(array: np.ndarray | None):
+    if array is None:
+        return None
+    return array.ctypes.data_as(ctypes.c_void_p)
+
+
+class NativeStepper:
+    """One batch's bridge to ``repro_advance_slots`` (see module doc)."""
+
+    def __init__(self, runtime) -> None:
+        lib = load()
+        if lib is None:
+            raise RuntimeError("native kernel is not built")
+        self._lib = lib
+        self._runtime = runtime
+        n = runtime.n
+        trials = runtime.trials
+        kernel = runtime.kernel
+
+        # The gain stack is immutable for native-eligible batches (no
+        # dynamic topology): pin its base pointer once.  A zero-stride
+        # broadcast view (shared deployment, the common sweep) gathers
+        # through its base matrix, exactly like the numpy kernel.
+        gains = runtime._gain_stack
+        if gains.ndim == 3 and gains.strides[0] == 0:
+            self._gains = np.ascontiguousarray(gains[0])
+            gain_stride = 0
+        else:
+            self._gains = np.ascontiguousarray(gains)
+            gain_stride = n * n
+
+        self._live = np.zeros(trials, dtype=np.uint8)
+        self._trial_slots = np.zeros(trials, dtype=np.int64)
+        self._slot_counts = np.zeros(trials, dtype=np.int64)
+        self._tx_totals = np.zeros(trials, dtype=np.int64)
+        self._rx_totals = np.zeros(trials, dtype=np.int64)
+        # Event sink: the C side checks a worst case of 3·live·n rows
+        # per slot before entering it, so doubling that guarantees at
+        # least one slot of progress per call while letting sparse-event
+        # stretches (the common case) run for thousands of slots.
+        self._ev_cap = max(6 * trials * n, 1 << 14)
+        self._events = np.empty((self._ev_cap, 5), dtype=np.int64)
+
+        state = NativeState()
+        state.trials = trials
+        state.n = n
+        state.kind = kernel.NATIVE_KIND
+        state.live = _ptr(self._live)
+        state.busy = _ptr(runtime._busy)
+        state.awake = _ptr(runtime._awake)
+        state.tx_mid = _ptr(runtime._tx_mid)
+        state.seen = _ptr(runtime._seen)
+        state.uni_buf = _ptr(runtime._uniforms._buf)
+        state.uni_cursor = _ptr(runtime._uniforms._cursor)
+        state.chunk = runtime._uniforms.chunk
+        state.gains = _ptr(self._gains)
+        state.gain_stride = gain_stride
+        state.noise = float(runtime.params.noise)
+        state.beta = float(runtime.params.beta)
+        for name, column in kernel.native_columns().items():
+            setattr(state, name, _ptr(column))
+        state.trial_slots = _ptr(self._trial_slots)
+        state.slot_counts = _ptr(self._slot_counts)
+        state.tx_totals = _ptr(self._tx_totals)
+        state.rx_totals = _ptr(self._rx_totals)
+        state.events = _ptr(self._events)
+        state.ev_cap = self._ev_cap
+        self._scratch = {
+            "sc_tx": np.empty(n, dtype=np.int64),
+            "sc_tot": np.empty(n, dtype=np.float64),
+            "sc_txflag": np.empty(n, dtype=np.uint8),
+            "sc_stepped": np.empty(n, dtype=np.uint8),
+            "sc_decoded": np.empty(n, dtype=np.uint8),
+            "sc_rx_listener": np.empty(n, dtype=np.int64),
+            "sc_rx_sender": np.empty(n, dtype=np.int64),
+        }
+        for name, array in self._scratch.items():
+            setattr(state, name, _ptr(array))
+        self._state = state
+
+    def advance(self, k: int, rows: list[int]) -> int:
+        """Advance ``rows`` by up to ``k`` native slots; return count.
+
+        The stride is capped at the tightest per-trial slot budget so
+        the numpy path's budget ``RuntimeError`` still fires on the
+        exact slot it would have (the caller falls back to ``advance``
+        when 0 comes back).
+        """
+        runtime = self._runtime
+        budget = min(
+            runtime.max_slots[t] - runtime.slots[t] for t in rows
+        )
+        k = min(int(k), int(budget))
+        if k <= 0:
+            return 0
+        state = self._state
+        self._live[:] = 0
+        self._live[rows] = 1
+        self._trial_slots[:] = runtime.slots
+        self._slot_counts[:] = 0
+        self._tx_totals[:] = 0
+        self._rx_totals[:] = 0
+
+        done = 0
+        while done < k:
+            state.k = k - done
+            state.ev_len = 0
+            advanced = int(
+                self._lib.repro_advance_slots(ctypes.byref(state))
+            )
+            if advanced < 0:
+                if advanced == ERR_BETA_VIOLATION:
+                    raise RuntimeError(
+                        "beta > 1 violated: two decodable senders at "
+                        "one listener"
+                    )
+                raise RuntimeError(
+                    f"native kernel failed with code {advanced}"
+                )
+            if state.ev_len:
+                self._drain_events(state.ev_len)
+            done += advanced
+            if done < k and not self._refill_uniforms() and advanced == 0:
+                raise RuntimeError(
+                    "native kernel made no progress"
+                )  # pragma: no cover - defensive
+        self._sync_counters(rows)
+        return done
+
+    def _drain_events(self, count: int) -> None:
+        """Append the C event records to the per-trial traces.
+
+        Ack events also detach the acked broadcast from ``_current``
+        (adapter-free batches never rebroadcast mid-advance, so the
+        message at drain time is the message that acked)."""
+        runtime = self._runtime
+        traces = runtime.traces
+        current = runtime._current
+        make = TraceEvent._make
+        rows = self._events[:count].tolist()
+        for trial, slot, code, node, mid in rows:
+            kind = _EVENT_KINDS[code]
+            data = None if code == EV_WAKE else mid
+            traces[trial].events.append(make((slot, kind, node, data)))
+            if code == EV_ACK:
+                current[trial][node] = None
+
+    def _refill_uniforms(self) -> bool:
+        """Refill exhausted lanes that will step next slot; True if any.
+
+        Whole-chunk refills of exactly the busy live lanes — the same
+        lanes, the same ``Generator.random(chunk)`` calls, and the same
+        per-lane stream positions ``NodeUniformBuffer.take`` would
+        produce on the numpy path next slot."""
+        runtime = self._runtime
+        uniforms = runtime._uniforms
+        live_cells = np.repeat(self._live.astype(bool), runtime.n)
+        lanes = np.flatnonzero(
+            runtime._busy & live_cells & (uniforms._cursor >= uniforms.chunk)
+        )
+        if not lanes.size:
+            return False
+        uniforms.refill(lanes)
+        return True
+
+    def _sync_counters(self, rows: list[int]) -> None:
+        """Fold the per-trial accumulators back into Python state."""
+        runtime = self._runtime
+        slots = self._trial_slots.tolist()
+        slot_counts = self._slot_counts.tolist()
+        tx_totals = self._tx_totals.tolist()
+        rx_totals = self._rx_totals.tolist()
+        for t in rows:
+            runtime.slots[t] = slots[t]
+            channel = runtime.channels[t]
+            channel._slot_count += slot_counts[t]
+            channel.total_transmissions += tx_totals[t]
+            channel.total_receptions += rx_totals[t]

@@ -120,12 +120,24 @@ class NodeUniformBuffer:
         """
         idx = np.asarray(indices, dtype=np.intp)
         exhausted = idx[self._cursor[idx] >= self.chunk]
-        for lane in exhausted.tolist():
-            self._buf[lane] = self._rngs[lane].random(self.chunk)
-            self._cursor[lane] = 0
+        if exhausted.size:
+            self.refill(exhausted)
         out = self._buf[idx, self._cursor[idx]]
         self._cursor[idx] += 1
         return out
+
+    def refill(self, lanes: np.ndarray) -> None:
+        """Refill ``lanes`` whole-chunk, exactly as :meth:`take` would.
+
+        The native backend (:mod:`repro.native`) consumes buffered
+        uniforms directly from ``_buf``/``_cursor`` and calls back here
+        when a stepping lane runs dry mid-batch; each refill is the same
+        ``Generator.random(chunk)`` call :meth:`take` performs, so the
+        lane's stream position stays identical across backends.
+        """
+        for lane in np.asarray(lanes, dtype=np.intp).tolist():
+            self._buf[lane] = self._rngs[lane].random(self.chunk)
+            self._cursor[lane] = 0
 
 
 class LinkUniformBuffer:

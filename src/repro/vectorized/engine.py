@@ -97,13 +97,16 @@ class _VectorTrialState:
 def run_vector_group(
     group: Sequence[tuple[int, TrialPlan]],
     cache: ArtifactCache | None = None,
+    native: bool | None = None,
 ) -> dict[int, TrialResult]:
     """Advance one batch-compatible group of eligible plans in lockstep.
 
     ``group`` pairs each plan with its position in the caller's plan
     list, exactly like the object lockstep executor; all plans must
     share node count, SINR parameters, stack kind and workload (one
-    columnar client population serves the whole batch).
+    columnar client population serves the whole batch).  ``native``
+    selects the runtime backend (see :class:`VectorRuntime`); the
+    results are bit-identical either way.
     """
     stack_kind = group[0][1].stack
     params = group[0][1].params
@@ -144,17 +147,36 @@ def run_vector_group(
     for _index, plan in group:
         if plan.record_physical != record_physical:
             raise ValueError("vector groups must agree on record_physical")
+    shared_workload = get_workload(workload_name)
+    # When every trial's slot horizon is known up front (fixed-slot
+    # workloads), pre-size the uniform buffers to it: each node lane
+    # then refills at most once for the whole run, hoisting the
+    # per-slot refill check out of the hot loop on both backends.  The
+    # served streams are chunk-independent (one PCG64 output per
+    # double), so draw-for-draw equivalence is untouched; the buffer's
+    # own byte ceiling caps oversized horizons.
+    targets = [
+        shared_workload.vector_target_slots(plan) for _, plan in group
+    ]
+    chunk = 512
+    if all(target is not None for target in targets):
+        horizon = max(
+            target + plan.extra_slots
+            for target, (_index, plan) in zip(targets, group)
+        )
+        chunk = max(chunk, horizon)
     runtime = VectorRuntime(
         channels,
         kernel,
         seeds=[plan.seed for _, plan in group],
         max_slots=[plan.max_slots for _, plan in group],
         record_physical=record_physical,
+        chunk=chunk,
+        native=native,
     )
     # Reactive-protocol workloads bring a columnar client population,
     # wired to the runtime through the MAC adapter; bare workloads
     # return None and the runtime runs adapter-free as before.
-    shared_workload = get_workload(workload_name)
     adapter = VectorMacAdapter(runtime)
     clients = shared_workload.vector_clients(
         adapter, [plan for _, plan in group]
@@ -172,7 +194,7 @@ def run_vector_group(
                 row=row,
                 plan=plan,
                 workload=workload,
-                target=workload.vector_target_slots(plan),
+                target=targets[row],
             )
         )
 
@@ -241,8 +263,25 @@ def run_vector_group(
             live.append(st)
         if not live:
             return results
-        runtime.advance([st.row for st in live])
+        # Advance by the longest stride that cannot cross any live
+        # trial's next observation point — the target slot, the next
+        # check_every multiple of a predicate workload, or the end of
+        # the extra tail.  Each transition is then evaluated on exactly
+        # the slot the per-slot loop would have evaluated it, while the
+        # runtime gets whole strides to hand to the native kernel.
+        stride = min(_stride(st) for st in live)
+        runtime.advance_slots(stride, [st.row for st in live])
         for st in live:
-            st.steps += 1
+            st.steps += stride
             if st.phase == "extra":
-                st.extra_left -= 1
+                st.extra_left -= stride
+
+
+def _stride(st: _VectorTrialState) -> int:
+    """Slots until this trial's next phase-transition check (>= 1)."""
+    if st.phase == "extra":
+        return st.extra_left
+    if st.target is not None:
+        return st.target - st.steps
+    check_every = st.workload.check_every
+    return check_every - st.steps % check_every

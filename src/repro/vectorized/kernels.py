@@ -62,6 +62,8 @@ class DecayKernel:
     """
 
     needs_reception_feedback = False
+    # Protocol selector for the fused C kernel (repro.native).
+    NATIVE_KIND = 0
 
     def __init__(self, configs: Sequence[DecayConfig], n: int) -> None:
         self.configs = list(configs)
@@ -101,6 +103,19 @@ class DecayKernel:
         self.slots_run[idx] = 0
         self.transmissions[idx] = 0
 
+    def native_columns(self) -> dict[str, np.ndarray]:
+        """Column arrays by their ``repro_state`` field names.
+
+        The native backend steps these very arrays in place; a batch can
+        therefore hop between backends slot by slot without copying.
+        """
+        return {
+            "slots_run": self.slots_run,
+            "transmissions": self.transmissions,
+            "phase_length": self.phase_length,
+            "ack_budget": self.ack_budget_slots,
+        }
+
 
 class AckKernel:
     """Array-state form of :class:`~repro.core.ack_protocol.AckEngine`.
@@ -114,6 +129,8 @@ class AckKernel:
     """
 
     needs_reception_feedback = True
+    # Protocol selector for the fused C kernel (repro.native).
+    NATIVE_KIND = 1
 
     def __init__(self, configs: Sequence[AckConfig], n: int) -> None:
         self.configs = list(configs)
@@ -234,3 +251,27 @@ class AckKernel:
             return
         self.rc[idx] += 1
         self.fallback_pending[idx] |= self.rc[idx] > self.rc_threshold[idx]
+
+    def native_columns(self) -> dict[str, np.ndarray]:
+        """Column arrays by their ``repro_state`` field names.
+
+        The native backend steps these very arrays in place; a batch can
+        therefore hop between backends slot by slot without copying.
+        """
+        return {
+            "slots_run": self.slots_run,
+            "transmissions": self.transmissions,
+            "probability": self.probability,
+            "block_remaining": self.block_remaining,
+            "tp": self.tp,
+            "rc": self.rc,
+            "halted_col": self.halted,
+            "fallback_pending": self.fallback_pending,
+            "fallbacks": self.fallbacks,
+            "halt_budget": self.halt_budget,
+            "rc_threshold": self.rc_threshold,
+            "inner_block_slots": self.inner_block_slots,
+            "prob_cap": self.prob_cap,
+            "fallback_divisor": self.fallback_divisor,
+            "floor_probability": self.floor_probability,
+        }

@@ -46,6 +46,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.events import BcastMessage, MessageRegistry
+from repro.native import resolve_backend
 from repro.simulation.rng import NodeUniformBuffer, spawn_node_rngs
 from repro.simulation.trace import EventTrace, TraceEvent
 from repro.sinr.channel import Channel
@@ -82,6 +83,16 @@ class VectorRuntime:
         raises ``RuntimeError`` like the object runtime's budget check.
     record_physical:
         When True (default), every physical transmit/receive is traced.
+    native:
+        Backend selector for the fused C slot loop (:mod:`repro.native`):
+        ``False`` pins the pure-numpy reference path, ``True`` demands
+        the compiled kernel (raising when it is not built), ``None``
+        (default) defers to the ``REPRO_NATIVE`` environment variable
+        and otherwise auto-selects whatever is available.  Either way
+        every slot shape the C kernel does not cover (tracing, fading,
+        churn, adversaries, adapters, sparse physics) transparently
+        runs the numpy step — the backends produce bit-identical
+        results, so this is purely a speed knob.
     """
 
     def __init__(
@@ -92,6 +103,7 @@ class VectorRuntime:
         max_slots: Sequence[int] | int = 2_000_000,
         record_physical: bool = True,
         chunk: int = 512,
+        native: bool | None = None,
     ) -> None:
         self.channels = list(channels)
         if not self.channels:
@@ -195,6 +207,14 @@ class VectorRuntime:
         # every trial is up (the overwhelmingly common case — the fast
         # paths then skip all masking), else a (trials·n,) bool mask.
         self._alive = self._gather_alive()
+
+        # Native backend: resolved once per batch; the stepper (the
+        # marshalling bridge to the C kernel) is built lazily on the
+        # first slot that actually qualifies.  native_slots counts the
+        # slots the compiled kernel advanced — 0 under the fallback.
+        self._use_native = resolve_backend(native)
+        self._native_stepper = None
+        self.native_slots = 0
 
     def _gather_alive(self) -> np.ndarray | None:
         """Flatten the per-channel churn masks (None = all alive)."""
@@ -684,14 +704,73 @@ class VectorRuntime:
         if feedback_cells:
             self.kernel.notify(np.asarray(feedback_cells, dtype=np.intp))
 
+    # -- native backend dispatch -------------------------------------------
+
+    def _native_ok(self) -> bool:
+        """Can the *next* slot run through the fused C kernel?
+
+        The compiled loop covers exactly the counters-only deterministic
+        fast path: everything else — physical tracing, adversaries,
+        sparse or stochastic or dynamic physics, churn masks, attached
+        adapters, kernels without native columns — takes the numpy step.
+        Checked per stride because eligibility can change mid-batch
+        (e.g. an adapter attaching, churn starting).
+        """
+        return (
+            self._use_native
+            and self.adapter is None
+            and not self._has_adversary
+            and not self._sparse
+            and not self._stochastic
+            and not self._dynamic
+            and self._alive is None
+            and not self.record_physical
+            and self._seen is not None
+            and hasattr(self.kernel, "native_columns")
+        )
+
+    def _advance_native(self, k: int, rows: list[int]) -> int:
+        from repro.native.stepper import NativeStepper
+
+        if self._native_stepper is None:
+            self._native_stepper = NativeStepper(self)
+        done = self._native_stepper.advance(k, rows)
+        self.native_slots += done
+        return done
+
+    def advance_slots(
+        self, k: int, rows: Sequence[int] | None = None
+    ) -> None:
+        """Advance the given trials (default: all) by ``k`` slots.
+
+        The multi-slot form of :meth:`advance`: eligible stretches run
+        through the fused native kernel in one call, everything else
+        falls back to the per-slot numpy step — slot for slot the two
+        backends produce identical state, so mixing them inside one
+        stride is safe.
+        """
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        rows = list(range(self.trials)) if rows is None else list(rows)
+        remaining = int(k)
+        while remaining > 0:
+            if self._native_ok():
+                done = self._advance_native(remaining, rows)
+                if done:
+                    remaining -= done
+                    continue
+                # 0 = budget exhausted; the numpy step raises the
+                # budget RuntimeError with its usual message.
+            self.advance(rows)
+            remaining -= 1
+
     # -- single-batch drivers (Runtime-compatible) -------------------------
 
     def run(self, slots: int) -> None:
         """Advance every trial a fixed number of slots."""
         if slots < 0:
             raise ValueError("slots must be >= 0")
-        for _ in range(slots):
-            self.advance()
+        self.advance_slots(slots)
 
     def run_until(
         self,
@@ -706,6 +785,5 @@ class VectorRuntime:
         if check_every < 1:
             raise ValueError("check_every must be >= 1")
         while not predicate(self):
-            for _ in range(check_every):
-                self.advance()
+            self.advance_slots(check_every)
         return self.slot

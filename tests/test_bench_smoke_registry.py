@@ -55,6 +55,7 @@ def test_committed_bench_records_exist_for_compare_gate():
         "BENCH_fading.json",
         "BENCH_mobility.json",
         "BENCH_sparse.json",
+        "BENCH_native.json",
     ):
         report = json.loads((REPO / name).read_text(encoding="utf-8"))
         assert report["rows"], name
@@ -104,6 +105,24 @@ def test_sparse_record_is_in_the_compare_defaults():
     exact = [r for r in rows.values() if r["mode"] == "exact"]
     assert exact and all(r["bit_identical"] for r in exact)
     assert all(compare.row_speedup(r) is not None for r in rows.values())
+
+
+def test_native_record_is_in_the_compare_defaults():
+    """BENCH_native.json must ride the regression gate by default; its
+    rows carry the bit-identity contract plus the ``backend`` field the
+    gate's mismatch rule keys on."""
+    compare_source = (REPO / "scripts" / "bench_compare.py").read_text(
+        encoding="utf-8"
+    )
+    assert '"BENCH_native.json",' in compare_source
+    compare = _load_script("bench_compare")
+    report = json.loads((REPO / "BENCH_native.json").read_text("utf-8"))
+    rows = compare.counters_only_rows(report)
+    assert "native-decay" in rows and "native-ack" in rows
+    for row in rows.values():
+        assert row["bit_identical"]
+        assert row["backend"] in ("native", "numpy")
+        assert compare.row_speedup(row) is not None
 
 
 class TestBenchCompare:
@@ -227,6 +246,55 @@ class TestBenchCompare:
             )
             _lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
             assert failures and "lost its speedup" in failures[0], bad
+
+    def test_compare_skips_backend_mismatch(self, tmp_path, monkeypatch):
+        """Baseline and fresh rows measured on different backends (a
+        native-recorded baseline vs a machine without the compiled
+        kernel) compare apples to oranges — the speedup gate must
+        warn-skip such pairs instead of hard-failing."""
+        compare = _load_script("bench_compare")
+        candidate = {
+            "rows": [
+                {"workload": "native-decay", "backend": "numpy",
+                 "speedup": 1.0}
+            ]
+        }
+        baseline = {
+            "rows": [
+                {"workload": "native-decay", "backend": "native",
+                 "speedup": 3.6}
+            ]
+        }
+        monkeypatch.setattr(compare, "REPO", tmp_path)
+        (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+        monkeypatch.setattr(
+            compare, "committed_json", lambda ref, rel: baseline
+        )
+        lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+        assert not failures
+        assert any("backend mismatch" in line for line in lines)
+
+    def test_compare_gates_matching_backends(self, tmp_path, monkeypatch):
+        """Same backend on both sides: the mismatch rule must NOT fire
+        — a genuine regression still fails (and rows without a backend
+        field keep gating as before)."""
+        compare = _load_script("bench_compare")
+        for extra in ({"backend": "native"}, {}):
+            candidate = {
+                "rows": [{"workload": "native-decay", "speedup": 1.0,
+                          **extra}]
+            }
+            baseline = {
+                "rows": [{"workload": "native-decay", "speedup": 3.6,
+                          **extra}]
+            }
+            monkeypatch.setattr(compare, "REPO", tmp_path)
+            (tmp_path / "BENCH_x.json").write_text(json.dumps(candidate))
+            monkeypatch.setattr(
+                compare, "committed_json", lambda ref, rel: baseline
+            )
+            _lines, failures = compare.compare("BENCH_x.json", "HEAD", 0.2)
+            assert failures and "regressed" in failures[0], extra
 
     def test_compare_within_tolerance_passes(self, tmp_path, monkeypatch):
         compare = _load_script("bench_compare")

@@ -76,6 +76,19 @@ def smoke_emergency_consensus(m, out):
     assert "consensus" in out()
 
 
+def smoke_native_backend_demo(m, out):
+    _shrink(m, N_NODES=40, RADIUS=25.0, SLOTS=100, TRIALS=2)
+    text = out()
+    assert "bit-identical" in text
+    # The demo must say which backend each leg ran, whatever this
+    # machine has built.
+    assert "ran backend=numpy" in text
+    import repro.native
+
+    if repro.native.available():
+        assert "ran backend=native" in text
+
+
 def smoke_sensor_field_broadcast(m, out):
     _shrink(
         m,
@@ -90,6 +103,7 @@ SMOKE = {
     "dual_graph_links": smoke_dual_graph_links,
     "emergency_consensus": smoke_emergency_consensus,
     "lower_bound_demo": smoke_lower_bound_demo,
+    "native_backend_demo": smoke_native_backend_demo,
     "quickstart": smoke_quickstart,
     "sensor_field_broadcast": smoke_sensor_field_broadcast,
 }
