@@ -4,7 +4,7 @@
 PY ?= python
 
 .PHONY: test test-fast native bench bench-smoke bench-record \
-	bench-compare bench-regression docs-check lint verify
+	bench-compare bench-regression docs-check lint service-smoke verify
 
 # Tier-1 verification: the full test suite.
 test:
@@ -33,18 +33,19 @@ bench-smoke:
 
 # Regenerate the committed perf records (BENCH_vectorized.json,
 # BENCH_protocols.json, BENCH_fading.json, BENCH_mobility.json,
-# BENCH_sparse.json, BENCH_native.json) by running the recorded
-# benchmarks at their full configuration.  REPRO_BENCH_STRICT=0 relaxes
-# the absolute speedup bars (bit-identity stays asserted): in the
-# regression gate the *relative* 20% comparison of bench-compare is the
-# arbiter.
+# BENCH_sparse.json, BENCH_native.json, BENCH_service.json) by running
+# the recorded benchmarks at their full configuration.
+# REPRO_BENCH_STRICT=0 relaxes the absolute speedup bars (bit-identity
+# stays asserted): in the regression gate the *relative* 20% comparison
+# of bench-compare is the arbiter.
 bench-record:
 	PYTHONPATH=src REPRO_BENCH_STRICT=0 $(PY) -m pytest \
 		benchmarks/bench_vectorized_stack.py \
 		benchmarks/bench_fading_robustness.py \
 		benchmarks/bench_mobility_churn.py \
 		benchmarks/bench_sparse_sinr.py \
-		benchmarks/bench_native_kernel.py -q --benchmark-only
+		benchmarks/bench_native_kernel.py \
+		benchmarks/bench_service.py -q --benchmark-only
 
 # Compare the fresh records against the committed baselines: the
 # counters-only speedup may not regress more than 20%.
@@ -69,6 +70,11 @@ lint:
 		$(PY) scripts/lint_fallback.py; \
 	fi
 
+# End-to-end service smoke: boot the TCP job server, submit a tiny job
+# through the client, assert a streamed, bit-identical result.
+service-smoke:
+	PYTHONPATH=src $(PY) scripts/service_smoke.py
+
 # Everything the CI gate cares about: the verify matrix's three steps,
-# the lint job, and the bench-regression job.
-verify: test docs-check bench-smoke lint bench-regression
+# the lint job, the service smoke leg, and the bench-regression job.
+verify: test docs-check bench-smoke service-smoke lint bench-regression

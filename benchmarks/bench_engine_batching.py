@@ -35,6 +35,7 @@ import pytest
 from repro.analysis.harness import format_table
 from repro.experiments import (
     DeploymentSpec,
+    ExecutionPolicy,
     GLOBAL_CACHE,
     TrialPlan,
     run_trials,
@@ -77,7 +78,9 @@ def run_batched(plans) -> tuple[list, float]:
     (object executor — the columnar fast path explicitly opted out)."""
     GLOBAL_CACHE.clear()
     start = time.perf_counter()
-    results = run_trials(plans, mode="batched", vectorize=False)
+    results = run_trials(
+        plans, ExecutionPolicy(mode="batched", vectorize=False)
+    )
     return results, time.perf_counter() - start
 
 
@@ -85,7 +88,9 @@ def run_vectorized(plans) -> tuple[list, float]:
     """The columnar fast path: array-state kernels over the lattice."""
     GLOBAL_CACHE.clear()
     start = time.perf_counter()
-    results = run_trials(plans, mode="batched", vectorize=True)
+    results = run_trials(
+        plans, ExecutionPolicy(mode="batched", vectorize=True)
+    )
     return results, time.perf_counter() - start
 
 
@@ -93,7 +98,9 @@ def run_pooled(plans, workers: int) -> tuple[list, float]:
     """The engine's process-pool mode (contiguous plan chunks)."""
     GLOBAL_CACHE.clear()
     start = time.perf_counter()
-    results = run_trials(plans, mode="batched", workers=workers)
+    results = run_trials(
+        plans, ExecutionPolicy(mode="batched", workers=workers)
+    )
     return results, time.perf_counter() - start
 
 

@@ -45,6 +45,7 @@ from repro.analysis.harness import format_table
 from repro.core.decay import DecayConfig
 from repro.experiments import (
     DeploymentSpec,
+    ExecutionPolicy,
     TrialPlan,
     deployment_artifacts,
     resolve_deployment,
@@ -264,7 +265,9 @@ def run_speedup(rounds: int = ROUNDS) -> dict:
         best, results = None, None
         for _ in range(rounds):
             start = time.process_time()
-            results = run_trials(plans, vectorize=vectorize)
+            results = run_trials(
+                plans, ExecutionPolicy(vectorize=vectorize)
+            )
             elapsed = time.process_time() - start
             best = elapsed if best is None else min(best, elapsed)
         return results, best

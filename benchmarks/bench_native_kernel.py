@@ -41,6 +41,7 @@ from repro.core.ack_protocol import AckConfig
 from repro.core.decay import DecayConfig
 from repro.experiments import (
     DeploymentSpec,
+    ExecutionPolicy,
     TrialPlan,
     deployment_artifacts,
     resolve_deployment,
@@ -88,13 +89,13 @@ def make_plans(stack: str) -> list[TrialPlan]:
     return seeded_plans(base, spawn_trial_seeds(SEEDS, seed=7))
 
 
-def time_run(plans, rounds: int, **kwargs):
+def time_run(plans, rounds: int, policy: ExecutionPolicy):
     """Best-of-``rounds`` single-core timing of one executor leg."""
     best = None
     results = None
     for _ in range(rounds):
         start = time.process_time()
-        results = run_trials(plans, **kwargs)
+        results = run_trials(plans, policy)
         elapsed = time.process_time() - start
         best = elapsed if best is None else min(best, elapsed)
     return results, best
@@ -111,12 +112,14 @@ def run_comparison(rounds: int = ROUNDS) -> dict:
         deployment_artifacts(points, plans[0].params)
 
         auto, auto_time = time_run(
-            plans, rounds, vectorize=True, native=None
+            plans, rounds, ExecutionPolicy(vectorize=True, native=None)
         )
         ref, ref_time = time_run(
-            plans, rounds, vectorize=True, native=False
+            plans, rounds, ExecutionPolicy(vectorize=True, native=False)
         )
-        obj, obj_time = time_run(plans, max(1, rounds - 1), vectorize=False)
+        obj, obj_time = time_run(
+            plans, max(1, rounds - 1), ExecutionPolicy(vectorize=False)
+        )
         rows.append(
             {
                 "workload": f"native-{stack}",

@@ -1,0 +1,176 @@
+"""Service load generator: jobs/sec and submit-to-result latency.
+
+The job server's contract is operational, not algorithmic — results are
+bit-identical to ``run_trials`` by construction (asserted here on every
+level), so what this benchmark measures is the *service overhead*:
+queueing, sharding, cross-process dispatch, and plan-order streaming,
+under concurrent submission pressure.
+
+Shape: one long-lived :class:`~repro.service.server.SimulationService`
+(embedded façade — the same JobQueue/Scheduler/worker path the TCP
+front drives, minus socket framing, so the numbers isolate the service
+machinery rather than loopback TCP).  At each level ``c`` in
+``LEVELS = (10, 100, 1000)``, ``c`` single-plan jobs with distinct
+seeds are submitted from a capped thread pool; each submitter clocks
+its own submit→final-result wall latency.  Recorded per level
+(``BENCH_service.json``): jobs/sec for the whole level and p50/p99
+latency in milliseconds.
+
+These rows are counters-only and carry no ``speedup`` field:
+``scripts/bench_compare.py`` gates their *presence* (a vanished level
+fails the build) while warn-skipping the speedup ratio — wall-clock
+throughput on a shared CI box is too noisy to gate a build on, but the
+schema and the recorder must not rot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.harness import format_table
+from repro.core.decay import DecayConfig
+from repro.experiments import (
+    DeploymentSpec,
+    ExecutionPolicy,
+    TrialPlan,
+    run_trials,
+)
+from repro.service import SimulationService
+
+N = 10
+RADIUS = 6.0
+SLOTS = 30
+WORKERS = 2
+LEVELS = (10, 100, 1000)
+MAX_SUBMITTERS = 64  # client-side cap; recorded in the report config
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
+_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = _ROOT / "BENCH_service.json"
+
+DEPLOYMENT = DeploymentSpec.of("uniform_disk", n=N, radius=RADIUS, seed=5)
+
+
+def make_job(seed: int) -> list[TrialPlan]:
+    """One tiny counters-only job; distinct seeds defeat the
+    duplicate-submission cache so every job exercises the pool."""
+    return [
+        TrialPlan(
+            deployment=DEPLOYMENT,
+            stack="decay",
+            workload="fixed_slots",
+            options=TrialPlan.pack_options(slots=SLOTS),
+            decay_config=DecayConfig(contention_bound=16.0),
+            record_physical=False,
+            seed=seed,
+            label=f"svc-load-{seed}",
+        )
+    ]
+
+
+def run_level(service: SimulationService, level: int, seed_base: int) -> dict:
+    """Submit ``level`` concurrent jobs; measure throughput + latency."""
+    def submit_one(seed: int) -> float:
+        start = time.perf_counter()
+        job = service.submit(make_job(seed), ExecutionPolicy())
+        job.wait(timeout=600.0)
+        return (time.perf_counter() - start) * 1000.0
+
+    submitters = min(level, MAX_SUBMITTERS)
+    wall_start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=submitters) as pool:
+        latencies = list(
+            pool.map(submit_one, range(seed_base, seed_base + level))
+        )
+    wall = time.perf_counter() - wall_start
+    latencies.sort()
+    return {
+        "workload": f"service-c{level}",
+        "concurrency": level,
+        "submitters": submitters,
+        "jobs": level,
+        "jobs_per_sec": round(level / wall, 2),
+        "p50_ms": round(statistics.median(latencies), 2),
+        "p99_ms": round(latencies[min(level - 1, int(level * 0.99))], 2),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def run_load(levels=None) -> dict:
+    levels = LEVELS if levels is None else levels
+    with SimulationService(workers=WORKERS) as service:
+        # The correctness pin, before any load: a served job is
+        # bit-identical to the library call.
+        probe = make_job(seed=0)
+        served = service.results(service.submit(probe).job_id, timeout=600.0)
+        assert served == run_trials(probe), "service diverged from library"
+
+        rows = []
+        seed_base = 1
+        for level in levels:
+            rows.append(run_level(service, level, seed_base))
+            seed_base += level
+        stats = service.stats()
+    return {
+        "benchmark": "service-load",
+        "config": {
+            "n": N,
+            "radius": RADIUS,
+            "slots": SLOTS,
+            "workers": WORKERS,
+            "levels": list(levels),
+            "max_submitters": MAX_SUBMITTERS,
+            "transport": "embedded",
+            "timer": "perf_counter (wall ms, submit to final result)",
+        },
+        "service_stats": {
+            "submitted": stats["submitted"],
+            "shards_dispatched": stats["shards_dispatched"],
+            "workers_respawned": stats["workers_respawned"],
+        },
+        "rows": rows,
+    }
+
+
+@pytest.mark.benchmark(group="service-load")
+def test_service_load(benchmark, emit):
+    report = benchmark.pedantic(run_load, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    rows = report["rows"]
+    emit(
+        "",
+        "=== Service load: concurrent single-plan submissions ===",
+        format_table(
+            ["level", "jobs/sec", "p50 (ms)", "p99 (ms)", "wall (s)"],
+            [
+                [
+                    r["workload"],
+                    f"{r['jobs_per_sec']:.1f}",
+                    f"{r['p50_ms']:.1f}",
+                    f"{r['p99_ms']:.1f}",
+                    f"{r['wall_seconds']:.1f}",
+                ]
+                for r in rows
+            ],
+        ),
+        f"workers: {report['config']['workers']}, recorded to {OUTPUT.name}",
+    )
+
+    # Schema invariants (the compare gate checks row presence; these
+    # keep the recorder itself honest).
+    assert [r["concurrency"] for r in rows] == list(LEVELS)
+    for row in rows:
+        assert row["jobs_per_sec"] > 0
+        assert row["p50_ms"] <= row["p99_ms"]
+    if STRICT:
+        # No crashed workers under load, and every job hit the pool
+        # (distinct seeds: the duplicate cache must not have fired).
+        assert report["service_stats"]["workers_respawned"] == 0
+        assert report["service_stats"]["shards_dispatched"] >= sum(LEVELS)

@@ -47,6 +47,7 @@ from repro.analysis.harness import format_table
 from repro.core.decay import DecayConfig
 from repro.experiments import (
     DeploymentSpec,
+    ExecutionPolicy,
     TrialPlan,
     deployment_artifacts,
     resolve_deployment,
@@ -118,7 +119,7 @@ def time_mode(plans, vectorize: bool, rounds: int):
     results = None
     for _ in range(rounds):
         start = time.process_time()
-        results = run_trials(plans, vectorize=vectorize)
+        results = run_trials(plans, ExecutionPolicy(vectorize=vectorize))
         elapsed = time.process_time() - start
         best = elapsed if best is None else min(best, elapsed)
     return results, best

@@ -13,6 +13,7 @@ Run:  PYTHONPATH=src python examples/native_backend_demo.py
 from repro import native
 from repro.experiments import (
     DeploymentSpec,
+    ExecutionPolicy,
     TrialPlan,
     run_trials,
     seeded_plans,
@@ -55,7 +56,9 @@ def main() -> None:
 
     results = {}
     for label, selector in legs:
-        results[label] = run_trials(plans, vectorize=True, native=selector)
+        results[label] = run_trials(
+            plans, ExecutionPolicy(vectorize=True, native=selector)
+        )
         backend = (
             "native"
             if (selector if selector is not None else built)

@@ -188,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
             "BENCH_mobility.json",
             "BENCH_sparse.json",
             "BENCH_native.json",
+            "BENCH_service.json",
         ],
         help="benchmark JSONs (repo-relative) to compare",
     )

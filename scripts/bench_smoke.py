@@ -121,6 +121,15 @@ def smoke_fig1(m):
     return m.run_power_sweep()
 
 
+def smoke_service(m):
+    _shrink(m, LEVELS=(4,))
+    report = m.run_load()
+    # The in-module probe already asserted service == library; here we
+    # only check the recorder produced a sane row.
+    assert report["rows"][0]["jobs_per_sec"] > 0
+    return report
+
+
 def smoke_sparse_sinr(m):
     _shrink(m, NS=(48, 96), BROADCASTERS=16, SLOTS=6)
     report = m.run_benchmark(rounds=1)
@@ -216,6 +225,7 @@ SMOKE = {
     "bench_fig1_progress_lower_bound": smoke_fig1,
     "bench_mobility_churn": smoke_mobility_churn,
     "bench_native_kernel": smoke_native_kernel,
+    "bench_service": smoke_service,
     "bench_sparse_sinr": smoke_sparse_sinr,
     "bench_table1_overview": smoke_table1_overview,
     "bench_table1_fack": smoke_table1_fack,

@@ -12,19 +12,49 @@ Fails (exit 1) when:
 * a package under ``src/repro/`` is not mentioned (as ``repro.<name>``)
   in ``docs/architecture.md`` — every package, ``repro.topology``
   included, must appear in the architecture walk-through, so adding a
-  subsystem without documenting it fails the gate.
+  subsystem without documenting it fails the gate;
+* a name exported by the stable façade (``src/repro/api.py``'s
+  ``__all__``) does not appear in ``docs/architecture.md`` — the public
+  API's compatibility promise is only real if every exported name has
+  documented semantics.  The ``__all__`` list is read via ``ast`` (this
+  script never imports the package, so it works without dependencies
+  installed).
 
 Run via ``make docs-check``.
 """
 
 from __future__ import annotations
 
+import ast
 import re
 import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 REQUIRED_DOCS = ("README.md", "docs/architecture.md", "docs/benchmarks.md")
+API_MODULE = "src/repro/api.py"
+
+
+def api_exports(path: Path) -> list[str]:
+    """The façade's ``__all__``, by static AST walk (no imports)."""
+    if not path.is_file():
+        return []
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            ]
+            if "__all__" in targets and isinstance(
+                node.value, (ast.List, ast.Tuple)
+            ):
+                return [
+                    element.value
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)
+                ]
+    return []
 
 
 def main() -> int:
@@ -78,6 +108,19 @@ def main() -> int:
                 "docs/architecture.md (no `repro." + name + "` mention)"
             )
 
+    exports = api_exports(REPO / API_MODULE)
+    if not exports:
+        problems.append(
+            f"{API_MODULE} is missing or has no parseable __all__ "
+            "(the stable façade must declare its exports)"
+        )
+    for name in exports:
+        if not re.search(rf"\b{re.escape(name)}\b", architecture):
+            problems.append(
+                f"repro.api export {name!r} is not documented in "
+                "docs/architecture.md"
+            )
+
     if problems:
         print("docs-check: FAILED")
         for problem in problems:
@@ -86,6 +129,7 @@ def main() -> int:
     print(
         f"docs-check: OK ({len(scripts)} benchmark scripts catalogued, "
         f"{len(packages)} packages documented, "
+        f"{len(exports)} façade exports documented, "
         f"{len(REQUIRED_DOCS)} documentation files present)"
     )
     return 0

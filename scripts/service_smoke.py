@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""service-smoke: boot the job server, submit a job, check the stream.
+
+The end-to-end leg of the CI matrix for :mod:`repro.service`: a real
+TCP server on an ephemeral loopback port, a real
+:class:`~repro.service.client.ServiceClient`, a small mixed plan batch
+— asserting (1) per-trial events stream back in plan order, (2) the
+streamed results are dataclass-equal to in-process ``run_trials``, and
+(3) a duplicate submission is answered from the result cache without
+touching the worker pool.  Everything deeper (cancellation, crash
+requeue, wire-format safety) lives in ``tests/test_service.py``; this
+script exists so CI exercises the *server process boundary* — asyncio
+front, socket framing, forked pool — as one piece.
+
+Run via ``make service-smoke``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.decay import DecayConfig  # noqa: E402
+from repro.experiments import (  # noqa: E402
+    DeploymentSpec,
+    ExecutionPolicy,
+    TrialPlan,
+    run_trials,
+    seeded_plans,
+)
+from repro.service import ServiceClient, start_service  # noqa: E402
+from repro.simulation.rng import spawn_trial_seeds  # noqa: E402
+
+WORKERS = 2
+
+
+def make_plans() -> list[TrialPlan]:
+    base = TrialPlan(
+        deployment=DeploymentSpec.of("uniform_disk", n=10, radius=6.0, seed=3),
+        stack="decay",
+        workload="local_broadcast",
+        decay_config=DecayConfig(contention_bound=16.0),
+        label="service-smoke",
+    )
+    return seeded_plans(base, spawn_trial_seeds(4, seed=19))
+
+
+def main() -> int:
+    plans = make_plans()
+    expected = run_trials(plans)
+    start = time.perf_counter()
+    with start_service(workers=WORKERS) as handle:
+        print(f"  server up at {handle.host}:{handle.port} "
+              f"({WORKERS} workers, {time.perf_counter() - start:.1f}s)")
+        client = ServiceClient(handle.host, handle.port)
+
+        indices, results = [], []
+        for event in client.submit_stream(plans, ExecutionPolicy(workers=2)):
+            if event[0] == "result":
+                indices.append(event[1])
+                results.append(event[2])
+            elif event[0] == "failed":
+                print(f"service-smoke: FAILED (job failed: {event[1]})")
+                return 1
+        if indices != list(range(len(plans))):
+            print(f"service-smoke: FAILED (stream order {indices})")
+            return 1
+        if results != expected:
+            print("service-smoke: FAILED (served results != run_trials)")
+            return 1
+        print(f"  streamed {len(results)} results in plan order, "
+              "bit-identical to in-process run_trials")
+
+        duplicate = client.submit(plans)
+        if not duplicate["cached"]:
+            print("service-smoke: FAILED (duplicate submission missed "
+                  "the result cache)")
+            return 1
+        stats = client.stats()
+        print(f"  duplicate submission served from cache "
+              f"(cache_hits={stats['cache_hits']})")
+    print("service-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""repro.api — the stable public surface of the reproduction.
+
+Everything a downstream user needs to describe, execute, and serve
+experiment sweeps, in one import, with one compatibility promise: names
+exported here follow the documented semantics in
+``docs/architecture.md`` (``scripts/check_docs.py`` enforces that every
+name in ``__all__`` appears there), and changes to them go through a
+deprecation cycle like the ``run_trials`` legacy-kwarg shim.
+
+The vocabulary is deliberately small — plans in, results out:
+
+* describe: :class:`TrialPlan` (+ :class:`DeploymentSpec`,
+  :class:`AdversarySpec`, :func:`seeded_plans`,
+  :func:`spawn_trial_seeds`) under physics
+  :class:`SINRParameters` (+ :class:`ChannelModel`,
+  :class:`SparseResolution`);
+* execute: :func:`run_trials` under an :class:`ExecutionPolicy`;
+* serve: :class:`SimulationService` embedded, or
+  :func:`start_service` + :class:`ServiceClient` over TCP — the same
+  plans, the same policy object, bit-identical results.
+
+Deeper layers (:mod:`repro.core` protocol internals,
+:mod:`repro.simulation` runtime, :mod:`repro.vectorized` executors)
+remain importable but are *engine* surface, not API surface.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.engine import run_trials
+from repro.experiments.plans import (
+    AdversarySpec,
+    DeploymentSpec,
+    TrialPlan,
+    TrialResult,
+    seeded_plans,
+)
+from repro.experiments.policy import ExecutionPolicy
+from repro.service.client import ServiceClient
+from repro.service.server import (
+    ServiceHandle,
+    SimulationService,
+    start_service,
+)
+from repro.simulation.rng import spawn_trial_seeds
+from repro.sinr.params import ChannelModel, SINRParameters, SparseResolution
+
+__all__ = [
+    "AdversarySpec",
+    "ChannelModel",
+    "DeploymentSpec",
+    "ExecutionPolicy",
+    "SINRParameters",
+    "ServiceClient",
+    "ServiceHandle",
+    "SimulationService",
+    "SparseResolution",
+    "TrialPlan",
+    "TrialResult",
+    "run_trials",
+    "seeded_plans",
+    "spawn_trial_seeds",
+    "start_service",
+]

@@ -40,6 +40,7 @@ from repro.experiments.plans import (
     TrialResult,
     seeded_plans,
 )
+from repro.experiments.policy import ExecutionPolicy, resolve_policy
 
 __all__ = [
     "ArtifactCache",
@@ -53,7 +54,10 @@ __all__ = [
     "TrialPlan",
     "TrialResult",
     "seeded_plans",
+    "ExecutionPolicy",
+    "resolve_policy",
     "build_stack",
+    "execute_plans",
     "run_trial",
     "run_trials",
     "Workload",
@@ -69,6 +73,7 @@ __all__ = [
 # the cycle open.
 _LAZY = {
     "build_stack": "repro.experiments.engine",
+    "execute_plans": "repro.experiments.engine",
     "run_trial": "repro.experiments.engine",
     "run_trials": "repro.experiments.engine",
     "Workload": "repro.experiments.workloads",

@@ -21,11 +21,24 @@ bit-identical metrics) whichever way it runs:
     only the physics hot loop is fused.
 
 ``workers > 1``
-    Plan chunks are shipped to a process pool; each worker runs its
-    chunk in the requested mode.  Determinism is unconditional because
-    every trial's randomness comes from its plan's seed alone (see
-    :func:`repro.simulation.rng.spawn_trial_seeds` for deriving
-    per-trial seeds from one master seed).
+    Plan shards are shipped to the scheduler's worker pool
+    (:mod:`repro.service.scheduler` — the same sharding machinery the
+    :mod:`repro.service` job server runs); each worker executes its
+    contiguous shard through :func:`execute_plans` below.  Determinism
+    is unconditional because every trial's randomness comes from its
+    plan's seed alone (see :func:`repro.simulation.rng.spawn_trial_seeds`
+    for deriving per-trial seeds from one master seed).
+
+All execution knobs travel as one frozen
+:class:`~repro.experiments.policy.ExecutionPolicy`; the legacy
+``run_trials(mode=, workers=, vectorize=, native=)`` kwargs keep
+working through a deprecation shim
+(:func:`~repro.experiments.policy.resolve_policy`).
+:func:`run_trials` itself is a thin client of the scheduler path:
+:func:`execute_plans` is the one in-process funnel through which all
+four executors (sequential / batched object / columnar / native) are
+reached, whether the caller is this module, a pool worker, or the job
+server.
 
 Deployment-derived artifacts (distances, gains, graphs, metrics) come
 from the keyed cache in :mod:`repro.experiments.cache`, so a
@@ -34,9 +47,8 @@ many-seed sweep over one deployment derives them once.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -54,11 +66,17 @@ from repro.experiments.cache import (
     resolve_deployment,
 )
 from repro.experiments.plans import TrialPlan, TrialResult
+from repro.experiments.policy import UNSET, ExecutionPolicy, resolve_policy
 from repro.experiments.workloads import Workload, get_workload
 from repro.sinr.physics import batch_tensor, successful_receptions_batch
 from repro.vectorized.engine import run_vector_group, vector_eligible
 
-__all__ = ["build_stack", "run_trial", "run_trials"]
+__all__ = [
+    "build_stack",
+    "execute_plans",
+    "run_trial",
+    "run_trials",
+]
 
 
 def build_stack(
@@ -348,97 +366,62 @@ def _batch_key(plan: TrialPlan, cache: ArtifactCache | None):
     return (len(points), plan.params)
 
 
-def _run_chunk(
-    plans: Sequence[TrialPlan],
-    mode: str,
-    vectorize: bool | None,
-    native: bool | None,
-) -> list[TrialResult]:
-    """Pool-worker entry point (module-level so it pickles)."""
-    return run_trials(
-        plans, mode=mode, workers=1, vectorize=vectorize, native=native
-    )
+def validate_plans(
+    plans: Sequence[TrialPlan], policy: ExecutionPolicy
+) -> None:
+    """Raise early when a policy demand cannot be met by these plans.
 
-
-def run_trials(
-    plans: Iterable[TrialPlan],
-    mode: str = "batched",
-    workers: int = 1,
-    cache: ArtifactCache | None = None,
-    vectorize: bool | None = None,
-    native: bool | None = None,
-) -> list[TrialResult]:
-    """Run many plans; results come back in plan order.
-
-    ``mode`` is ``"batched"`` (default: lockstep groups keyed by
-    ``(node count, SINRParameters)``) or ``"sequential"`` (the legacy
-    one-at-a-time path).  ``workers > 1`` splits the plan list into
-    contiguous chunks over a process pool; batching then happens within
-    each worker's chunk.  All modes produce dataclass-equal results for
-    equal plans.
-
-    ``vectorize`` controls the columnar fast path
-    (:mod:`repro.vectorized`) inside batched mode: ``None`` (default)
-    auto-selects it for eligible plans — homogeneous Decay/Ack stacks
-    under a columnar-ready workload — and runs everything else on the
-    object lockstep executor; ``False`` opts the whole sweep out (the
-    pure object path, e.g. for before/after benchmarking); ``True``
-    demands it and raises ``ValueError`` when some plan is ineligible.
-    The selection never changes results — both executors are
-    decode-for-decode identical.
-
-    ``native`` selects the backend *inside* the columnar executor
-    (:mod:`repro.native`): ``None`` (default) defers to the
-    ``REPRO_NATIVE`` environment variable and auto-selects the compiled
-    slot-loop kernel when it is built, ``False`` pins the pure-numpy
-    reference path, ``True`` demands the compiled kernel and raises
-    when it is not built.  Like ``vectorize``, this never changes
-    results — the native kernel is bit-identical and slot shapes it
-    does not cover transparently run the numpy step.
+    Policy-only constraints live in ``ExecutionPolicy.__post_init__``;
+    this adds the plan-dependent one — ``vectorize=True`` demands every
+    plan be columnar-eligible.  Called by :func:`run_trials` before any
+    dispatch (so the caller gets the error synchronously, not as a pool
+    failure) and again by :func:`execute_plans` inside workers.
     """
-    plan_list = list(plans)
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if mode not in ("batched", "sequential"):
-        raise ValueError(f"unknown mode {mode!r}")
-    if not plan_list:
-        return []
-    if vectorize is True:
-        if mode == "sequential":
-            raise ValueError(
-                "vectorize=True demands the columnar executor, which "
-                "only batched mode runs; drop vectorize or use "
-                'mode="batched"'
-            )
-        bad = [p.display_label for p in plan_list if not vector_eligible(p)]
+    if policy.vectorize is True:
+        bad = [p.display_label for p in plans if not vector_eligible(p)]
         if bad:
             raise ValueError(
                 "vectorize=True but these plans are not columnar-"
                 f"eligible: {bad}"
             )
 
-    if workers > 1:
-        chunk_count = min(workers, len(plan_list))
-        bounds = np.linspace(0, len(plan_list), chunk_count + 1).astype(int)
-        chunks = [
-            plan_list[bounds[i] : bounds[i + 1]]
-            for i in range(chunk_count)
-            if bounds[i] < bounds[i + 1]
-        ]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            parts = list(
-                pool.map(
-                    _run_chunk,
-                    chunks,
-                    [mode] * len(chunks),
-                    [vectorize] * len(chunks),
-                    [native] * len(chunks),
-                )
-            )
-        return [result for part in parts for result in part]
 
-    if mode == "sequential":
-        return [run_trial(plan, cache) for plan in plan_list]
+def execute_plans(
+    plans: Sequence[TrialPlan],
+    policy: ExecutionPolicy,
+    cache: ArtifactCache | None = None,
+    on_result: Callable[[int, TrialResult], None] | None = None,
+) -> list[TrialResult]:
+    """Execute a plan list in-process under a policy — the one funnel.
+
+    Every entry point reaches the four executors through this function:
+    :func:`run_trials` calls it directly for ``workers == 1``, the
+    scheduler's pool workers call it for their shards, and the
+    :mod:`repro.service` job server's workers call it for job shards.
+    ``policy.workers`` is ignored here (sharding is the caller's job —
+    see :func:`repro.service.scheduler.run_sharded`).
+
+    ``on_result`` is invoked as ``on_result(index, result)`` once per
+    plan, in plan-index order within each lockstep group, as groups
+    complete — the streaming hook the service's per-trial progress
+    rides.  Results are also returned as a list in plan order.
+    """
+    plan_list = list(plans)
+    validate_plans(plan_list, policy)
+    if not plan_list:
+        return []
+    if not policy.share_cache:
+        # A private cold cache for this execution only: nothing read
+        # from, nothing published to, the shared process-wide cache.
+        cache = ArtifactCache()
+    if policy.mode == "sequential":
+        out = []
+        for index, plan in enumerate(plan_list):
+            result = run_trial(plan, cache)
+            out.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return out
 
     groups: dict[Any, list[tuple[int, TrialPlan]]] = {}
     for index, plan in enumerate(plan_list):
@@ -447,7 +430,7 @@ def run_trials(
         # stack kind and workload; ineligible plans keep the pure
         # (n, params) key and run on the object executor.
         key = _batch_key(plan, cache)
-        if vectorize is not False and vector_eligible(plan):
+        if policy.vectorize is not False and vector_eligible(plan):
             key = (
                 *key,
                 "vector",
@@ -459,9 +442,61 @@ def run_trials(
     out: list[TrialResult | None] = [None] * len(plan_list)
     for key, group in groups.items():
         if "vector" in key:
-            results = run_vector_group(group, cache, native=native)
+            results = run_vector_group(group, cache, native=policy.native)
         else:
             results = _run_lockstep(group, cache)
-        for index, result in results.items():
-            out[index] = result
+        for index in sorted(results):
+            out[index] = results[index]
+            if on_result is not None:
+                on_result(index, results[index])
     return out  # type: ignore[return-value]
+
+
+def run_trials(
+    plans: Iterable[TrialPlan],
+    policy: ExecutionPolicy | None = None,
+    *,
+    cache: ArtifactCache | None = None,
+    mode: object = UNSET,
+    workers: object = UNSET,
+    vectorize: object = UNSET,
+    native: object = UNSET,
+) -> list[TrialResult]:
+    """Run many plans; results come back in plan order.
+
+    ``policy`` (an :class:`~repro.experiments.policy.ExecutionPolicy`)
+    says *how*: execution mode, process-level sharding, columnar
+    fast-path and native-backend selection, artifact-cache sharing.
+    ``None`` is the default policy (batched, one process, auto-selected
+    fast paths).  A policy never changes results — all four executors
+    are bit-identical by contract, so equal plans yield dataclass-equal
+    results under every policy.
+
+    ``run_trials`` is a thin client of the scheduler path: a
+    single-worker policy executes in-process through
+    :func:`execute_plans`, and ``policy.workers > 1`` shards the plan
+    list into contiguous trial batches over the same worker-pool
+    machinery the :mod:`repro.service` job server runs
+    (:func:`repro.service.scheduler.run_sharded`), so both entry
+    points reach the executors identically.
+
+    The legacy ``mode=`` / ``workers=`` / ``vectorize=`` / ``native=``
+    keyword arguments keep working through a deprecation shim that
+    warns once per process and builds the equivalent policy; see
+    :class:`~repro.experiments.policy.ExecutionPolicy` for each field's
+    semantics.
+    """
+    policy = resolve_policy(
+        policy, mode=mode, workers=workers, vectorize=vectorize, native=native
+    )
+    plan_list = list(plans)
+    validate_plans(plan_list, policy)
+    if not plan_list:
+        return []
+    if policy.workers > 1 and len(plan_list) > 1:
+        # Lazy import: repro.service.scheduler imports this module for
+        # execute_plans, so importing it eagerly would close a cycle.
+        from repro.service.scheduler import run_sharded
+
+        return run_sharded(plan_list, policy)
+    return execute_plans(plan_list, policy, cache)

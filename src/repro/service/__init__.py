@@ -1,0 +1,56 @@
+"""Simulation-as-a-service: the job server over the experiment engine.
+
+The service turns the library's ``run_trials`` into an operable system:
+jobs (plan batches + one
+:class:`~repro.experiments.policy.ExecutionPolicy`) are queued, sharded
+across a long-lived worker pool, streamed back per-trial in plan order,
+de-duplicated against a result cache, and survivable across worker
+crashes.  ``run_trials(plans, ExecutionPolicy(workers=N))`` runs
+through the same scheduler, so library and service execute identically
+by construction.
+
+Module map:
+
+:mod:`repro.service.jobs`
+    ``Job`` / ``JobQueue`` / ``JobState`` — lifecycle, plan-order event
+    streaming, duplicate-submission result cache.
+:mod:`repro.service.scheduler`
+    ``Scheduler`` / ``run_sharded`` — contiguous sharding, worker pool,
+    crash watchdog + shard requeue.
+:mod:`repro.service.worker`
+    The pool process entry point (persistent per-worker artifact
+    cache, deterministic fault injection for tests).
+:mod:`repro.service.wire`
+    The closed JSON wire codec for plans / policies / results.
+:mod:`repro.service.server`
+    ``SimulationService`` (embeddable façade), ``serve`` /
+    ``start_service`` / ``ServiceHandle`` (asyncio TCP front).
+:mod:`repro.service.client`
+    ``ServiceClient`` — blocking JSON-lines client, same vocabulary as
+    the façade.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.jobs import Job, JobQueue, JobState
+from repro.service.scheduler import Scheduler, Shard, run_sharded, shard_plans
+from repro.service.server import (
+    ServiceHandle,
+    SimulationService,
+    serve,
+    start_service,
+)
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "JobState",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceHandle",
+    "Shard",
+    "SimulationService",
+    "run_sharded",
+    "serve",
+    "shard_plans",
+    "start_service",
+]

@@ -1,0 +1,188 @@
+"""The service client: blocking JSON-lines calls against a job server.
+
+Deliberately dependency-free (a socket and the
+:mod:`repro.service.wire` codec) so any process that can import
+``repro`` can drive a server, and the protocol stays simple enough to
+speak from ``nc`` when debugging.  Each operation opens its own
+connection — streams hold a connection for the life of a job, and
+per-op connections keep ``status``/``cancel`` usable while a submit
+streams elsewhere.
+
+The client's surface mirrors :class:`~repro.service.server.
+SimulationService` on purpose: ``run`` ≈ ``submit``+``results``,
+``submit_stream`` ≈ ``submit``+``stream``, and the policy argument is
+the *same* :class:`~repro.experiments.policy.ExecutionPolicy` the
+in-process API takes — choosing between library and service changes one
+line, not the vocabulary.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator, Sequence
+
+from repro.experiments.plans import TrialPlan, TrialResult
+from repro.experiments.policy import ExecutionPolicy
+from repro.service import wire
+
+__all__ = ["ServiceClient"]
+
+
+class _Connection:
+    """One socket + line-oriented JSON framing."""
+
+    def __init__(self, host: str, port: int, timeout: float) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def send(self, message: dict) -> None:
+        self.file.write(wire.dumps(message).encode() + b"\n")
+        self.file.flush()
+
+    def recv(self) -> dict:
+        line = self.file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return wire.loads(line.decode())
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+        finally:
+            self.sock.close()
+
+
+def _decode_event(data: dict) -> tuple:
+    kind = data["event"]
+    if kind == "result":
+        return ("result", data["index"], wire.result_from_wire(data["result"]))
+    if kind == "progress":
+        return ("progress", data["completed"], data["total"])
+    if kind == "failed":
+        return ("failed", data["error"])
+    return (kind, None)
+
+
+class ServiceClient:
+    """Client for one server address; stateless between calls."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 600.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _call(self, request: dict) -> dict:
+        conn = _Connection(self.host, self.port, self.timeout)
+        try:
+            conn.send(request)
+            response = conn.recv()
+        finally:
+            conn.close()
+        if not response.get("ok"):
+            raise RuntimeError(f"service error: {response.get('error')}")
+        return response
+
+    def _submit_request(
+        self,
+        plans: Sequence[TrialPlan],
+        policy: ExecutionPolicy | None,
+        stream: bool,
+    ) -> dict:
+        return {
+            "op": "submit",
+            "plans": [wire.plan_to_wire(plan) for plan in plans],
+            "policy": None if policy is None else wire.policy_to_wire(policy),
+            "stream": stream,
+        }
+
+    def submit_stream(
+        self,
+        plans: Sequence[TrialPlan],
+        policy: ExecutionPolicy | None = None,
+    ) -> Iterator[tuple]:
+        """Submit and yield events: an ack tuple ``("accepted", job_id,
+        cached)`` first, then the job's event stream through its
+        terminal event."""
+        conn = _Connection(self.host, self.port, self.timeout)
+        try:
+            conn.send(self._submit_request(plans, policy, stream=True))
+            response = conn.recv()
+            if not response.get("ok"):
+                raise RuntimeError(f"service error: {response.get('error')}")
+            yield ("accepted", response["job_id"], response["cached"])
+            while True:
+                event = _decode_event(conn.recv())
+                yield event
+                if event[0] in ("done", "cancelled", "failed"):
+                    return
+        finally:
+            conn.close()
+
+    def run(
+        self,
+        plans: Sequence[TrialPlan],
+        policy: ExecutionPolicy | None = None,
+    ) -> list[TrialResult]:
+        """Submit, stream, and return results in plan order.
+
+        The remote analogue of
+        :func:`~repro.experiments.engine.run_trials` — bit-identical
+        results by the engine's determinism contract.
+        """
+        plan_list = list(plans)
+        results: list[TrialResult | None] = [None] * len(plan_list)
+        job_id = None
+        for event in self.submit_stream(plan_list, policy):
+            if event[0] == "accepted":
+                job_id = event[1]
+            elif event[0] == "result":
+                results[event[1]] = event[2]
+            elif event[0] == "failed":
+                raise RuntimeError(f"job {job_id} failed: {event[1]}")
+            elif event[0] == "cancelled":
+                raise RuntimeError(f"job {job_id} was cancelled")
+        missing = [i for i, r in enumerate(results) if r is None]
+        if missing:
+            raise RuntimeError(
+                f"job {job_id} completed without results for {missing}"
+            )
+        return results  # type: ignore[return-value]
+
+    def submit(
+        self,
+        plans: Sequence[TrialPlan],
+        policy: ExecutionPolicy | None = None,
+    ) -> dict:
+        """Fire-and-forget submit; poll with :meth:`status`."""
+        response = self._call(
+            self._submit_request(plans, policy, stream=False)
+        )
+        return {
+            "job_id": response["job_id"],
+            "cached": response["cached"],
+            "total": response["total"],
+        }
+
+    def status(self, job_id: int) -> dict:
+        response = self._call({"op": "status", "job_id": job_id})
+        return {
+            key: response[key]
+            for key in (
+                "job_id",
+                "state",
+                "completed",
+                "total",
+                "cached",
+                "error",
+            )
+        }
+
+    def cancel(self, job_id: int) -> bool:
+        return bool(
+            self._call({"op": "cancel", "job_id": job_id})["cancelled"]
+        )
+
+    def stats(self) -> dict:
+        return self._call({"op": "stats"})["stats"]

@@ -1,0 +1,234 @@
+"""Jobs and the job queue: the service's unit of work and its ledger.
+
+A *job* is one submission — a batch of
+:class:`~repro.experiments.plans.TrialPlan`\\ s plus one
+:class:`~repro.experiments.policy.ExecutionPolicy`.  The
+:class:`JobQueue` assigns ids, tracks lifecycle state
+(``QUEUED → RUNNING → DONE`` / ``CANCELLED`` / ``FAILED``), buffers
+out-of-order shard results back into plan order, and keeps a bounded
+LRU *result cache* keyed by the plan tuple itself: the engine's
+bit-identity contract says a plan's seed is its only randomness, so a
+duplicate submission (same plans, any policy) is served straight from
+the cache without touching the worker pool — the service-level
+analogue of the in-process
+:class:`~repro.experiments.cache.ArtifactCache`, one level up (whole
+results instead of deployment artifacts, plan keys instead of
+coordinate-byte keys, the same frozen-dataclass-as-key discipline).
+
+Event streaming
+---------------
+Each job owns a thread-safe event queue.  The scheduler's drain thread
+feeds it; :meth:`Job.stream` (usually via
+``SimulationService.stream``) yields the events in order:
+
+``("result", index, TrialResult)``
+    One finished trial, emitted in plan order (out-of-order shard
+    completions are buffered until the prefix is contiguous).
+``("progress", completed, total)``
+    After every result — per-trial progress for long sweeps.
+``("done", None)`` / ``("cancelled", None)`` / ``("failed", message)``
+    Terminal states; exactly one terminal event ends every stream.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import queue
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.experiments.plans import TrialPlan, TrialResult
+from repro.experiments.policy import ExecutionPolicy
+
+__all__ = ["Job", "JobQueue", "JobState"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job; terminal states are DONE/CANCELLED/FAILED."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.CANCELLED, JobState.FAILED)
+
+
+@dataclass
+class Job:
+    """One submission: plans + policy + mutable progress state.
+
+    All mutation goes through the owning :class:`JobQueue`/scheduler
+    under their locks; consumers read the event stream, not the fields.
+    """
+
+    job_id: int
+    plans: tuple[TrialPlan, ...]
+    policy: ExecutionPolicy
+    state: JobState = JobState.QUEUED
+    error: str | None = None
+    cached: bool = False
+    completed: int = 0
+    results: list[TrialResult | None] = field(default_factory=list)
+    events: "queue.Queue[tuple]" = field(default_factory=queue.Queue)
+    # Plan-order emission: results beyond the contiguous prefix wait in
+    # _pending until the gap fills (shards complete in any order).
+    _next_emit: int = 0
+    _pending: dict[int, TrialResult] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            self.results = [None] * len(self.plans)
+
+    @property
+    def total(self) -> int:
+        return len(self.plans)
+
+    def record(self, index: int, result: TrialResult) -> None:
+        """Store one trial's result and emit every newly contiguous one.
+
+        Idempotent under shard retries: a requeued shard recomputes
+        results the crashed worker may already have streamed, and the
+        engine's determinism makes the replacement bit-identical — only
+        the first arrival counts or emits.
+        """
+        if not 0 <= index < self.total:
+            raise IndexError(f"result index {index} outside job of {self.total}")
+        if self.results[index] is not None:
+            return
+        self.results[index] = result
+        self.completed += 1
+        self._pending[index] = result
+        while self._next_emit in self._pending:
+            emit = self._next_emit
+            self.events.put(("result", emit, self._pending.pop(emit)))
+            self.events.put(("progress", self.completed, self.total))
+            self._next_emit += 1
+
+    def finish(self, state: JobState, error: str | None = None) -> None:
+        """Move to a terminal state and close the event stream."""
+        if self.state.terminal:
+            return
+        self.state = state
+        self.error = error
+        if state is JobState.DONE:
+            self.events.put(("done", None))
+        elif state is JobState.CANCELLED:
+            self.events.put(("cancelled", None))
+        else:
+            self.events.put(("failed", error or "job failed"))
+
+    def stream(self, timeout: float | None = None) -> Iterator[tuple]:
+        """Yield events until the terminal one (inclusive).
+
+        One consumer per job — events are consumed, not broadcast.
+        ``timeout`` bounds the wait for *each* event; ``queue.Empty``
+        propagates on expiry so a stuck service cannot hang a client
+        thread forever.
+        """
+        while True:
+            event = self.events.get(timeout=timeout)
+            yield event
+            if event[0] in ("done", "cancelled", "failed"):
+                return
+
+    def wait(self, timeout: float | None = None) -> list[TrialResult]:
+        """Drain the stream and return results in plan order.
+
+        Raises ``RuntimeError`` when the job failed or was cancelled —
+        a silent partial result list would masquerade as a short sweep.
+        """
+        for event in self.stream(timeout=timeout):
+            if event[0] == "failed":
+                raise RuntimeError(f"job {self.job_id} failed: {event[1]}")
+            if event[0] == "cancelled":
+                raise RuntimeError(f"job {self.job_id} was cancelled")
+        return list(self.results)  # type: ignore[arg-type]
+
+
+class JobQueue:
+    """Thread-safe job ledger with a duplicate-submission result cache."""
+
+    def __init__(self, cache_size: int = 128) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.cache_size = cache_size
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._jobs: dict[int, Job] = {}
+        self._result_cache: OrderedDict[tuple, tuple[TrialResult, ...]] = (
+            OrderedDict()
+        )
+        self.cache_hits = 0
+        self.submitted = 0
+
+    def submit(
+        self,
+        plans,
+        policy: ExecutionPolicy | None = None,
+    ) -> Job:
+        """Register a submission; serve it from cache when possible.
+
+        A cache-hit job comes back already ``DONE`` with its full event
+        stream preloaded (results + progress + done), so consumers are
+        oblivious to whether the pool ran: ``job.cached`` records it.
+        """
+        plan_tuple = tuple(plans)
+        if not plan_tuple:
+            raise ValueError("a job needs at least one plan")
+        for plan in plan_tuple:
+            if not isinstance(plan, TrialPlan):
+                raise TypeError(f"not a TrialPlan: {plan!r}")
+        policy = policy or ExecutionPolicy()
+        with self._lock:
+            job = Job(
+                job_id=next(self._ids), plans=plan_tuple, policy=policy
+            )
+            self._jobs[job.job_id] = job
+            self.submitted += 1
+            cached = self._result_cache.get(plan_tuple)
+            if cached is not None:
+                self._result_cache.move_to_end(plan_tuple)
+                self.cache_hits += 1
+                job.cached = True
+                for index, result in enumerate(cached):
+                    job.record(index, result)
+                job.finish(JobState.DONE)
+            return job
+
+    def get(self, job_id: int) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id {job_id}") from None
+
+    def publish(self, job: Job) -> None:
+        """Install a completed job's results in the duplicate cache."""
+        if job.state is not JobState.DONE or self.cache_size == 0:
+            return
+        with self._lock:
+            self._result_cache[job.plans] = tuple(job.results)  # type: ignore[arg-type]
+            self._result_cache.move_to_end(job.plans)
+            while len(self._result_cache) > self.cache_size:
+                self._result_cache.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+            return {
+                "submitted": self.submitted,
+                "cache_hits": self.cache_hits,
+                "cache_entries": len(self._result_cache),
+                "running": sum(s is JobState.RUNNING for s in states),
+                "queued": sum(s is JobState.QUEUED for s in states),
+                "done": sum(s is JobState.DONE for s in states),
+                "cancelled": sum(s is JobState.CANCELLED for s in states),
+                "failed": sum(s is JobState.FAILED for s in states),
+            }

@@ -1,0 +1,325 @@
+"""The job server: an embeddable service façade and its TCP front.
+
+Two layers, deliberately separable:
+
+:class:`SimulationService`
+    The service proper — a long-lived :class:`~repro.service.scheduler.
+    Scheduler` plus its :class:`~repro.service.jobs.JobQueue`, exposed
+    as ``submit / stream / results / cancel / stats``.  Everything the
+    wire protocol can do, an embedding process can do directly with
+    this object (tests and benchmarks run it in-process; a notebook can
+    hold one open across many sweeps and keep the workers' artifact
+    caches warm).
+
+:func:`serve` / :func:`start_service` / :class:`ServiceHandle`
+    A thin asyncio TCP front speaking newline-delimited JSON
+    (:mod:`repro.service.wire`).  One request object per line; a
+    ``submit`` with ``"stream": true`` holds the connection and pushes
+    event lines (``result`` / ``progress`` / terminal) until the job
+    ends.  :func:`start_service` boots the whole thing in-process on an
+    ephemeral port — and forks the worker pool *before* starting the
+    asyncio thread, keeping fork-safety trivial.
+
+Protocol vocabulary (request → response)
+----------------------------------------
+``{"op": "submit", "plans": [...], "policy": ..., "stream": bool}``
+    → ``{"ok": true, "job_id": n, "cached": bool, "total": n}``, then,
+    when streaming, one event object per line ending with a terminal
+    ``{"event": "done" | "cancelled" | "failed"}``.
+``{"op": "status", "job_id": n}``
+    → ``{"ok": true, "state": ..., "completed": n, "total": n}``.
+``{"op": "cancel", "job_id": n}`` → ``{"ok": true, "cancelled": bool}``.
+``{"op": "stats"}`` → ``{"ok": true, "stats": {...}}``.
+Any failure → ``{"ok": false, "error": "..."}`` (connection survives).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Iterator, Sequence
+
+from repro.experiments.plans import TrialPlan, TrialResult
+from repro.experiments.policy import ExecutionPolicy
+from repro.service import wire
+from repro.service.jobs import Job, JobQueue
+from repro.service.scheduler import Scheduler
+
+__all__ = ["ServiceHandle", "SimulationService", "serve", "start_service"]
+
+
+class SimulationService:
+    """A running simulation service: scheduler + job ledger, one object."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_size: int = 128,
+        max_shard_retries: int = 2,
+        shards_per_worker: int = 4,
+    ) -> None:
+        self.jobs = JobQueue(cache_size=cache_size)
+        self.scheduler = Scheduler(
+            workers=workers,
+            jobs=self.jobs,
+            max_shard_retries=max_shard_retries,
+            shards_per_worker=shards_per_worker,
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "SimulationService":
+        self.scheduler.start()
+        return self
+
+    def close(self) -> None:
+        self.scheduler.shutdown()
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the service surface ------------------------------------------
+
+    def submit(
+        self,
+        plans: Sequence[TrialPlan],
+        policy: ExecutionPolicy | None = None,
+    ) -> Job:
+        """Enqueue a job; returns its streaming handle immediately."""
+        return self.scheduler.submit(plans, policy)
+
+    def stream(
+        self, job_id: int, timeout: float | None = None
+    ) -> Iterator[tuple]:
+        """Yield a job's events through its terminal event."""
+        return self.jobs.get(job_id).stream(timeout=timeout)
+
+    def results(
+        self, job_id: int, timeout: float | None = None
+    ) -> list[TrialResult]:
+        """Block until done; results in plan order (raises on
+        failure/cancellation)."""
+        return self.jobs.get(job_id).wait(timeout=timeout)
+
+    def cancel(self, job_id: int) -> bool:
+        return self.scheduler.cancel(job_id)
+
+    def status(self, job_id: int) -> dict:
+        job = self.jobs.get(job_id)
+        return {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "completed": job.completed,
+            "total": job.total,
+            "cached": job.cached,
+            "error": job.error,
+        }
+
+    def stats(self) -> dict:
+        return self.scheduler.stats()
+
+
+def _encode_event(event: tuple) -> dict:
+    kind = event[0]
+    if kind == "result":
+        return {
+            "event": "result",
+            "index": event[1],
+            "result": wire.encode(event[2]),
+        }
+    if kind == "progress":
+        return {"event": "progress", "completed": event[1], "total": event[2]}
+    if kind == "failed":
+        return {"event": "failed", "error": event[1]}
+    return {"event": kind}
+
+
+async def _handle_connection(
+    service: SimulationService,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    loop = asyncio.get_running_loop()
+
+    def send(message: dict) -> None:
+        writer.write(wire.dumps(message).encode() + b"\n")
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                request = wire.loads(line.decode())
+                op = request.get("op")
+                if op == "submit":
+                    plans = [
+                        wire.plan_from_wire(item) for item in request["plans"]
+                    ]
+                    policy = None
+                    if request.get("policy") is not None:
+                        policy = wire.policy_from_wire(request["policy"])
+                    job = service.submit(plans, policy)
+                    send(
+                        {
+                            "ok": True,
+                            "job_id": job.job_id,
+                            "cached": job.cached,
+                            "total": job.total,
+                        }
+                    )
+                    if request.get("stream", True):
+                        while True:
+                            # Blocking Queue.get off the event loop; the
+                            # drain thread feeds it from the pool.
+                            event = await loop.run_in_executor(
+                                None, job.events.get
+                            )
+                            send(_encode_event(event))
+                            if event[0] in ("done", "cancelled", "failed"):
+                                break
+                        await writer.drain()
+                elif op == "status":
+                    send({"ok": True, **service.status(request["job_id"])})
+                elif op == "cancel":
+                    cancelled = service.cancel(request["job_id"])
+                    send({"ok": True, "cancelled": cancelled})
+                elif op == "stats":
+                    send({"ok": True, "stats": service.stats()})
+                else:
+                    send({"ok": False, "error": f"unknown op {op!r}"})
+            except Exception as exc:  # protocol error: report, keep serving
+                send({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):  # client went away
+        pass
+    except asyncio.CancelledError:  # server shutting down mid-connection
+        pass
+    finally:
+        try:
+            writer.close()
+        except RuntimeError:  # loop already tearing down
+            pass
+
+
+async def serve(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> asyncio.base_events.Server:
+    """Open the TCP front for an already-started service."""
+
+    async def handler(reader, writer):
+        await _handle_connection(service, reader, writer)
+
+    return await asyncio.start_server(handler, host, port)
+
+
+class ServiceHandle:
+    """A service + TCP front running inside this process.
+
+    Produced by :func:`start_service`; ``host``/``port`` locate the
+    listener (ephemeral by default), :attr:`service` is the embedded
+    façade, and :meth:`close` tears down listener, loop thread, and
+    worker pool.
+    """
+
+    def __init__(self, service: SimulationService) -> None:
+        self.service = service
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def _run(self, host: str, port: int) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def boot() -> None:
+            try:
+                self._server = await serve(self.service, host, port)
+                self.host, self.port = self._server.sockets[0].getsockname()[:2]
+            except BaseException as exc:
+                self._startup_error = exc
+            finally:
+                self._ready.set()
+
+        self._loop.run_until_complete(boot())
+        if self._startup_error is None:
+            self._loop.run_forever()
+        self._loop.close()
+
+    def _start(self, host: str, port: int, timeout: float) -> "ServiceHandle":
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(host, port),
+            name="repro-service-loop",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            self.close()
+            raise RuntimeError("service TCP front failed to start in time")
+        if self._startup_error is not None:
+            error = self._startup_error
+            self.close()
+            raise RuntimeError(f"service TCP front failed: {error!r}")
+        return self
+
+    def close(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            loop = self._loop
+
+            async def _shutdown() -> None:
+                # Stop accepting, then cancel live connection handlers
+                # and let their finally-blocks run before the loop dies.
+                if self._server is not None:
+                    self._server.close()
+                    await self._server.wait_closed()
+                current = asyncio.current_task()
+                tasks = [t for t in asyncio.all_tasks() if t is not current]
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+
+            try:
+                asyncio.run_coroutine_threadsafe(_shutdown(), loop).result(
+                    timeout=5.0
+                )
+            except Exception:
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "ServiceHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def start_service(
+    workers: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 10.0,
+    **service_kwargs,
+) -> ServiceHandle:
+    """Boot a full in-process job server; returns its handle.
+
+    Order matters: the worker pool forks *first*, then the asyncio
+    thread starts — children never inherit the event-loop thread.
+    """
+    service = SimulationService(workers=workers, **service_kwargs).start()
+    try:
+        return ServiceHandle(service)._start(host, port, timeout)
+    except BaseException:
+        service.close()
+        raise

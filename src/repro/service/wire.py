@@ -1,0 +1,200 @@
+"""The service wire format: plans, policies and results as JSON.
+
+:class:`~repro.experiments.plans.TrialPlan` was designed
+frozen/hashable/picklable from PR 1 precisely so it could one day cross
+a process or host boundary; this module is that boundary's codec.  One
+generic scheme covers every plan-level object:
+
+* a registered frozen dataclass encodes as
+  ``{"$type": <class name>, <field>: <encoded value>, ...}`` and
+  decodes by calling the class with its decoded fields — so every
+  ``__post_init__`` validation re-runs on the receiving side and a
+  malformed wire object is rejected exactly like a malformed local one;
+* tuples encode as ``{"$tuple": [...]}`` (JSON has only lists, and plan
+  equality/hashability requires real tuples back);
+* bytes encode as ``{"$bytes": <base64>}`` (explicit deployments embed
+  raw coordinate buffers);
+* ``None`` / bool / int / float / str pass through natively — Python's
+  shortest-repr float serialization round-trips every finite float
+  bit-exactly, which is what makes the round-trip *result* contract
+  testable: a plan decoded from the wire must produce bit-identical
+  :class:`~repro.experiments.plans.TrialResult`\\ s
+  (``tests/test_wire_serde.py`` pins this with a hypothesis property).
+
+The registry is the explicit vocabulary of the protocol: decoding an
+unregistered ``$type`` raises instead of instantiating arbitrary
+classes, so the wire format is closed under the plan schema (topology
+providers, adversary specs, channel models, sparse resolution and
+protocol configs included) rather than a pickle-shaped hazard.
+
+Messages (one JSON object per line, UTF-8) are framed by
+:func:`dumps` / :func:`loads`; the request/response vocabulary lives in
+:mod:`repro.service.server` and :mod:`repro.service.client`.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+from typing import Any
+
+from repro.core.ack_protocol import AckConfig
+from repro.core.approx_progress import ApproxProgressConfig
+from repro.core.decay import DecayConfig
+from repro.experiments.plans import (
+    AdversarySpec,
+    DeploymentSpec,
+    TrialPlan,
+    TrialResult,
+)
+from repro.experiments.policy import ExecutionPolicy
+from repro.sinr.params import ChannelModel, SINRParameters, SparseResolution
+from repro.topology import (
+    ChurnSchedule,
+    CompositeTopology,
+    StaticTopology,
+    WaypointMobility,
+)
+
+__all__ = [
+    "WIRE_TYPES",
+    "decode",
+    "dumps",
+    "encode",
+    "loads",
+    "plan_from_wire",
+    "plan_to_wire",
+    "policy_from_wire",
+    "policy_to_wire",
+    "result_from_wire",
+    "result_to_wire",
+]
+
+#: Every dataclass the wire format may carry, by class name.  Adding a
+#: plan-level field of a new dataclass type means registering it here
+#: (the round-trip tests fail loudly otherwise).
+WIRE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        TrialPlan,
+        TrialResult,
+        ExecutionPolicy,
+        DeploymentSpec,
+        AdversarySpec,
+        SINRParameters,
+        ChannelModel,
+        SparseResolution,
+        AckConfig,
+        ApproxProgressConfig,
+        DecayConfig,
+        StaticTopology,
+        WaypointMobility,
+        ChurnSchedule,
+        CompositeTopology,
+    )
+}
+
+
+def encode(value: Any) -> Any:
+    """Encode one value (scalar, tuple, bytes, registered dataclass)
+    into JSON-serializable form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"$tuple": [encode(item) for item in value]}
+    if isinstance(value, bytes):
+        return {"$bytes": base64.b64encode(value).decode("ascii")}
+    cls = type(value)
+    if dataclasses.is_dataclass(value) and cls.__name__ in WIRE_TYPES:
+        if WIRE_TYPES[cls.__name__] is not cls:
+            raise TypeError(
+                f"{cls!r} shadows registered wire type {cls.__name__!r}"
+            )
+        out: dict[str, Any] = {"$type": cls.__name__}
+        for field in dataclasses.fields(value):
+            out[field.name] = encode(getattr(value, field.name))
+        return out
+    raise TypeError(
+        f"cannot encode {value!r} ({cls.__name__}) for the wire; "
+        "register the dataclass in repro.service.wire.WIRE_TYPES"
+    )
+
+
+def decode(data: Any) -> Any:
+    """Invert :func:`encode`; raises on unknown ``$type`` tags."""
+    if data is None or isinstance(data, (bool, int, float, str)):
+        return data
+    if isinstance(data, dict):
+        if "$tuple" in data:
+            return tuple(decode(item) for item in data["$tuple"])
+        if "$bytes" in data:
+            return base64.b64decode(data["$bytes"])
+        type_name = data.get("$type")
+        if type_name is None:
+            raise ValueError(f"wire object without $type tag: {data!r}")
+        cls = WIRE_TYPES.get(type_name)
+        if cls is None:
+            raise ValueError(f"unknown wire type {type_name!r}")
+        kwargs = {
+            key: decode(value)
+            for key, value in data.items()
+            if key != "$type"
+        }
+        return cls(**kwargs)
+    raise ValueError(f"cannot decode wire value {data!r}")
+
+
+def plan_to_wire(plan: TrialPlan) -> dict:
+    """A plan as its wire object."""
+    return encode(plan)
+
+
+def plan_from_wire(data: dict) -> TrialPlan:
+    """A plan back from the wire (re-validated by its ``__post_init__``)."""
+    plan = decode(data)
+    if not isinstance(plan, TrialPlan):
+        raise ValueError(f"expected a TrialPlan on the wire; got {plan!r}")
+    return plan
+
+
+def policy_to_wire(policy: ExecutionPolicy) -> dict:
+    """A policy as its wire object — the same dataclass the in-process
+    call takes, so library and service cannot drift."""
+    return encode(policy)
+
+
+def policy_from_wire(data: dict) -> ExecutionPolicy:
+    policy = decode(data)
+    if not isinstance(policy, ExecutionPolicy):
+        raise ValueError(
+            f"expected an ExecutionPolicy on the wire; got {policy!r}"
+        )
+    return policy
+
+
+def result_to_wire(result: TrialResult) -> dict:
+    return encode(result)
+
+
+def result_from_wire(data: dict) -> TrialResult:
+    result = decode(data)
+    if not isinstance(result, TrialResult):
+        raise ValueError(
+            f"expected a TrialResult on the wire; got {result!r}"
+        )
+    return result
+
+
+def dumps(message: dict) -> str:
+    """One protocol message as a single JSON line (no trailing newline)."""
+    return json.dumps(message, separators=(",", ":"))
+
+
+def loads(line: str) -> dict:
+    """Parse one protocol line; the result is a plain message dict
+    (decode embedded objects with :func:`decode` and friends)."""
+    message = json.loads(line)
+    if not isinstance(message, dict):
+        raise ValueError(f"protocol messages must be JSON objects: {line!r}")
+    return message
