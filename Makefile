@@ -4,7 +4,8 @@
 PY ?= python
 
 .PHONY: test test-fast native bench bench-smoke bench-record \
-	bench-compare bench-regression docs-check lint service-smoke verify
+	bench-compare bench-regression docs-check lint service-smoke \
+	staticcheck verify
 
 # Tier-1 verification: the full test suite.
 test:
@@ -75,6 +76,14 @@ lint:
 service-smoke:
 	PYTHONPATH=src $(PY) scripts/service_smoke.py
 
+# reprolint: the repo's invariant analyzer (determinism, plan purity,
+# service concurrency, executor parity, registry exhaustiveness —
+# rules catalogued in docs/invariants.md).  Pure stdlib; exits nonzero
+# on any unsuppressed finding.
+staticcheck:
+	PYTHONPATH=src $(PY) -m repro.staticcheck
+
 # Everything the CI gate cares about: the verify matrix's three steps,
-# the lint job, the service smoke leg, and the bench-regression job.
-verify: test docs-check bench-smoke service-smoke lint bench-regression
+# the staticcheck and lint jobs, the service smoke leg, and the
+# bench-regression job.
+verify: test staticcheck docs-check bench-smoke service-smoke lint bench-regression

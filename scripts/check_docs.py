@@ -18,7 +18,12 @@ Fails (exit 1) when:
   API's compatibility promise is only real if every exported name has
   documented semantics.  The ``__all__`` list is read via ``ast`` (this
   script never imports the package, so it works without dependencies
-  installed).
+  installed);
+* a reprolint rule registered under ``src/repro/staticcheck/`` (every
+  ``rule_id="..."`` literal) is not documented in
+  ``docs/invariants.md``, or the invariants catalogue names a rule ID
+  that is no longer registered — the invariant catalogue and the
+  analyzer must describe the same rule set.
 
 Run via ``make docs-check``.
 """
@@ -31,8 +36,25 @@ import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
-REQUIRED_DOCS = ("README.md", "docs/architecture.md", "docs/benchmarks.md")
+REQUIRED_DOCS = (
+    "README.md",
+    "docs/architecture.md",
+    "docs/benchmarks.md",
+    "docs/invariants.md",
+)
 API_MODULE = "src/repro/api.py"
+
+_RULE_ID_LITERAL = re.compile(r'rule_id="([A-Z]\d{3})"')
+
+
+def registered_rule_ids() -> list[str]:
+    """Every reprolint rule ID, read from the ``rule_id="..."`` literal
+    registrations (no imports — same stdlib-purity rule as the rest of
+    this script)."""
+    ids: set[str] = set()
+    for path in sorted((REPO / "src/repro/staticcheck").glob("*.py")):
+        ids.update(_RULE_ID_LITERAL.findall(path.read_text(encoding="utf-8")))
+    return sorted(ids)
 
 
 def api_exports(path: Path) -> list[str]:
@@ -121,6 +143,27 @@ def main() -> int:
                 "docs/architecture.md"
             )
 
+    invariants_path = REPO / "docs" / "invariants.md"
+    invariants = (
+        invariants_path.read_text(encoding="utf-8")
+        if invariants_path.is_file()
+        else ""
+    )
+    rule_ids = registered_rule_ids()
+    for rule_id in rule_ids:
+        if not re.search(rf"\b{rule_id}\b", invariants):
+            problems.append(
+                f"reprolint rule {rule_id} is not documented in "
+                "docs/invariants.md (every registered rule must be "
+                "catalogued)"
+            )
+    for rule_id in sorted(set(re.findall(r"`([A-Z]\d{3})`", invariants))):
+        if rule_id not in rule_ids:
+            problems.append(
+                f"docs/invariants.md documents rule {rule_id}, which is "
+                "not registered under src/repro/staticcheck/"
+            )
+
     if problems:
         print("docs-check: FAILED")
         for problem in problems:
@@ -130,6 +173,7 @@ def main() -> int:
         f"docs-check: OK ({len(scripts)} benchmark scripts catalogued, "
         f"{len(packages)} packages documented, "
         f"{len(exports)} façade exports documented, "
+        f"{len(rule_ids)} reprolint rules catalogued, "
         f"{len(REQUIRED_DOCS)} documentation files present)"
     )
     return 0

@@ -13,6 +13,15 @@ still catches real rot in offline/air-gapped development containers:
 * no tabs in indentation, no trailing whitespace, newline at EOF
   (the mechanical half of the formatter contract).
 
+It also runs ``python -m repro.staticcheck`` (reprolint, the
+repository's invariant analyzer — itself pure stdlib) so offline
+containers get the determinism/purity/concurrency rules too, not just
+the mechanical ones.
+
+A file that cannot be read or parsed is a reported failure, never a
+silent pass: the mechanical line checks still run on unparseable text,
+and a read error on one file does not abort the checks on the rest.
+
 It intentionally does NOT wrap or reflow anything — formatting
 authority stays with ruff in CI.
 """
@@ -20,6 +29,8 @@ authority stays with ruff in CI.
 from __future__ import annotations
 
 import ast
+import os
+import subprocess
 import sys
 from pathlib import Path
 
@@ -100,14 +111,14 @@ def unused_imports(tree: ast.AST) -> list[tuple[int, str]]:
 def check_file(path: Path) -> list[str]:
     rel = path.relative_to(REPO)
     problems: list[str] = []
-    text = path.read_text(encoding="utf-8")
     try:
-        tree = ast.parse(text, filename=str(rel))
-    except SyntaxError as exc:
-        return [f"{rel}:{exc.lineno}: syntax error: {exc.msg}"]
-    if path.name != "__init__.py":  # packages re-export via imports
-        for lineno, message in unused_imports(tree):
-            problems.append(f"{rel}:{lineno}: {message}")
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        # Unreadable is a reported failure, not a crash: raising here
+        # used to abort the whole run with every later file unchecked.
+        return [f"{rel}: unreadable: {exc}"]
+    # Mechanical line checks run whether or not the file parses — a
+    # syntax error must not silently skip the formatter contract.
     for lineno, line in enumerate(text.splitlines(), 1):
         stripped = line.rstrip("\n")
         if stripped != stripped.rstrip():
@@ -116,7 +127,32 @@ def check_file(path: Path) -> list[str]:
             problems.append(f"{rel}:{lineno}: tab in indentation")
     if text and not text.endswith("\n"):
         problems.append(f"{rel}: missing newline at end of file")
+    try:
+        tree = ast.parse(text, filename=str(rel))
+    except SyntaxError as exc:
+        problems.append(f"{rel}:{exc.lineno}: syntax error: {exc.msg}")
+        return problems
+    except ValueError as exc:  # null bytes and friends
+        problems.append(f"{rel}: unparseable: {exc}")
+        return problems
+    if path.name != "__init__.py":  # packages re-export via imports
+        for lineno, message in unused_imports(tree):
+            problems.append(f"{rel}:{lineno}: {message}")
     return problems
+
+
+def run_reprolint() -> int:
+    """Run the invariant analyzer as part of the offline gate."""
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src if not existing else src + os.pathsep + existing
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.staticcheck", "--root", str(REPO)],
+        env=env,
+    ).returncode
 
 
 def main() -> int:
@@ -131,7 +167,7 @@ def main() -> int:
             print(f"  {problem}")
         return 1
     print(f"lint-fallback: OK ({count} files; install ruff for the full gate)")
-    return 0
+    return run_reprolint()
 
 
 if __name__ == "__main__":

@@ -242,6 +242,16 @@ class FixedSlotsWorkload(Workload):
     def vector_target_slots(self, plan) -> int | None:
         return int(plan.option("slots"))
 
+    def vector_finalize(
+        self, runtime, trial: int, plan, completion: int
+    ) -> dict[str, Any]:
+        # The object path adds epoch_slots only for stacks exposing an
+        # epoch schedule, and vector_ready admits only explicit slot
+        # budgets — whose stacks have none.  So the columnar metrics
+        # are exactly the completion, matching finalize() bit-for-bit
+        # on every vector-eligible plan.
+        return {"completion": completion}
+
 
 class SmbWorkload(Workload):
     """Single-message broadcast (BSMB of [37], Theorem 12.7).

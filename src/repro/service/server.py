@@ -36,13 +36,14 @@ Any failure → ``{"ok": false, "error": "..."}`` (connection survives).
 from __future__ import annotations
 
 import asyncio
+import queue
 import threading
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
 from repro.experiments.plans import TrialPlan, TrialResult
 from repro.experiments.policy import ExecutionPolicy
 from repro.service import wire
-from repro.service.jobs import Job, JobQueue
+from repro.service.jobs import Job, JobQueue, JobState
 from repro.service.scheduler import Scheduler
 
 __all__ = ["ServiceHandle", "SimulationService", "serve", "start_service"]
@@ -122,6 +123,57 @@ class SimulationService:
         return self.scheduler.stats()
 
 
+#: How long one streaming poll of a job's event queue may block its
+#: executor thread.  The bound is what makes the thread reclaimable: if
+#: the job's producer dies without a terminal event, the poll wakes,
+#: notices the terminal job state, and closes the stream instead of
+#: pinning the thread (and the client connection) forever.
+_STREAM_POLL_SECONDS = 0.5
+
+
+def _next_event(job: Job) -> tuple | None:
+    """One bounded poll of the job's event queue (None on timeout)."""
+    try:
+        return job.events.get(timeout=_STREAM_POLL_SECONDS)
+    except queue.Empty:
+        return None
+
+
+def _terminal_event(job: Job) -> tuple:
+    """The terminal event for a job that reached a terminal state with
+    nothing left in its queue (its producer died before emitting one)."""
+    if job.state is JobState.FAILED:
+        return ("failed", job.error or "job failed")
+    if job.state is JobState.CANCELLED:
+        return ("cancelled", None)
+    return ("done", None)
+
+
+async def _stream_job_events(
+    job: Job, send: Callable[[dict], None], loop: asyncio.AbstractEventLoop
+) -> None:
+    """Push a job's events to ``send`` through the terminal one.
+
+    Each queue read is a bounded poll run off the event loop; on a
+    timeout the job's state is consulted, so a job that went terminal
+    without a queued terminal event (crashed drain thread) still ends
+    the stream with a synthesized one.  A synthesized terminal can only
+    race a real one the queue already ordered behind drained results —
+    the client stops at whichever arrives first, so results are never
+    dropped.
+    """
+    while True:
+        event = await loop.run_in_executor(None, _next_event, job)
+        if event is None:
+            if job.state.terminal and job.events.empty():
+                event = _terminal_event(job)
+            else:
+                continue
+        send(_encode_event(event))
+        if event[0] in ("done", "cancelled", "failed"):
+            return
+
+
 def _encode_event(event: tuple) -> dict:
     kind = event[0]
     if kind == "result":
@@ -172,15 +224,7 @@ async def _handle_connection(
                         }
                     )
                     if request.get("stream", True):
-                        while True:
-                            # Blocking Queue.get off the event loop; the
-                            # drain thread feeds it from the pool.
-                            event = await loop.run_in_executor(
-                                None, job.events.get
-                            )
-                            send(_encode_event(event))
-                            if event[0] in ("done", "cancelled", "failed"):
-                                break
+                        await _stream_job_events(job, send, loop)
                         await writer.drain()
                 elif op == "status":
                     send({"ok": True, **service.status(request["job_id"])})

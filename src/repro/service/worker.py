@@ -62,7 +62,7 @@ def _fault_hook() -> None:
 def worker_main(worker_id: int, task_q, result_q) -> None:
     """Entry point of one pool process; loops until a ``stop`` message."""
     while True:
-        message = task_q.get()
+        message = task_q.get()  # reprolint: ignore[C102] — idle workers block on the task queue by design; shutdown arrives as a ("stop",) message on this same queue, so there is no producer-death case a timeout would catch
         if message[0] == "stop":
             return
         _, shard = message

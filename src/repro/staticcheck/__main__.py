@@ -1,0 +1,101 @@
+"""``python -m repro.staticcheck`` — run reprolint from the shell.
+
+Exit status is the report's: 0 when no error-severity findings remain,
+1 otherwise (warnings, from ``--baseline``, never fail the run).
+``--format json`` emits the machine-readable report consumed by the CI
+artifact upload; ``--list-rules`` prints the registry for docs and
+humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.staticcheck.engine import iter_rules, run_analysis
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description=(
+            "reprolint: the repository's determinism / plan-purity / "
+            "concurrency invariant analyzer (pure stdlib, never imports "
+            "the code it checks)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "repository-relative files to check (default: every .py "
+            "under src/ scripts/ benchmarks/ examples/; project-wide "
+            "rules only run on a full scan)"
+        ),
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repository root (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the report to this file (same format)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=(
+            "JSON baseline {'warn': [rule ids]} downgrading listed "
+            "rules to warnings (land new rules warn-only, promote by "
+            "shrinking the baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for entry in iter_rules():
+            kind = "project" if entry.project else (
+                "builtin" if entry.check is None else "file"
+            )
+            scope = ",".join(entry.scope) or "-"
+            print(f"{entry.rule_id}  {entry.family:<12} {kind:<8} "
+                  f"[{scope}]  {entry.summary}")
+        return 0
+    report = run_analysis(
+        args.root,
+        paths=args.paths or None,
+        baseline=args.baseline,
+    )
+    if args.format == "json":
+        rendered = json.dumps(report.to_json(), indent=2, sort_keys=True)
+    else:
+        rendered = report.to_text()
+    print(rendered)
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,529 @@
+"""The reprolint engine: rule registry, file model, suppressions, runner.
+
+Rules come in two shapes:
+
+* **file rules** — ``check(source: SourceFile) -> Iterable[Finding]``,
+  run once per parsed file whose repository-relative path starts with
+  one of the rule's ``scope`` prefixes;
+* **project rules** — ``check(project: Project) -> Iterable[Finding]``,
+  run once per analysis with the whole parsed tree available (cross-file
+  contracts: wire-registry coverage, workload parity, smoke registries).
+
+Both register through :func:`rule`; the engine itself owns three
+*builtin* rule IDs it emits directly:
+
+* ``E100`` — a checked file failed to read or parse.  Parse failures
+  are findings, never silent skips: an unparseable file fails the run
+  like any other violation (and unlike a crash, the rest of the tree
+  still gets checked).
+* ``S100`` — a suppression comment without a justification.  The
+  acceptance contract for suppressions is *rule ID plus reason*;
+  ``# reprolint: ignore[C102]`` alone is rejected.
+* ``S101`` — a suppression that matched no finding.  Stale suppressions
+  would otherwise silently disable future findings on their line;
+  forcing their removal keeps every suppression load-bearing (deleting
+  a live one re-exposes its finding, deleting a dead one is mandatory).
+
+Suppression syntax (same line as the finding)::
+
+    something_flagged()  # reprolint: ignore[C102] — why this is safe
+    other_thing()  # reprolint: ignore[D101,D104]: shared justification
+
+Severity and the baseline: every finding is an ``error`` unless its
+rule ID is listed in the baseline file's ``warn`` array (JSON:
+``{"warn": ["X102"]}``), which downgrades it to ``warning`` — new rules
+can land warn-only and be promoted later by shrinking the baseline.
+Only errors affect the exit code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "Finding",
+    "Report",
+    "Rule",
+    "RULES",
+    "SourceFile",
+    "Project",
+    "Suppression",
+    "iter_rules",
+    "builtin_rule",
+    "rule",
+    "run_analysis",
+]
+
+#: Directories scanned by a default (whole-repository) analysis, as
+#: repository-relative prefixes.  ``tests/`` is deliberately absent:
+#: tests exercise forbidden constructs on purpose (including this
+#: analyzer's own fixtures); project rules that need a specific test
+#: file (the example smoke registry) load it explicitly.
+DEFAULT_ROOTS = ("src", "scripts", "benchmarks", "examples")
+
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    file: str  # repository-relative posix path
+    line: int
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        tag = "" if self.severity == "error" else f" ({self.severity})"
+        return f"{self.file}:{self.line}: {self.rule}{tag} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: identity, documentation hook, and checker."""
+
+    rule_id: str
+    family: str
+    summary: str
+    scope: tuple[str, ...] = ()
+    check: Callable | None = None
+    project: bool = False
+
+
+RULES: dict[str, Rule] = {}
+
+_RULE_ID_RE = re.compile(r"^[A-Z]\d{3}$")
+
+
+def _register(entry: Rule) -> None:
+    if not _RULE_ID_RE.match(entry.rule_id):
+        raise ValueError(f"malformed rule id {entry.rule_id!r}")
+    if entry.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {entry.rule_id!r}")
+    RULES[entry.rule_id] = entry
+
+
+def rule(
+    *,
+    rule_id: str,
+    family: str,
+    summary: str,
+    scope: tuple[str, ...] = ("src",),
+    project: bool = False,
+):
+    """Register a checker under ``rule_id``; decorator for rule modules."""
+
+    def register(fn: Callable) -> Callable:
+        _register(
+            Rule(
+                rule_id=rule_id,
+                family=family,
+                summary=summary,
+                scope=tuple(scope),
+                check=fn,
+                project=project,
+            )
+        )
+        return fn
+
+    return register
+
+
+def builtin_rule(*, rule_id: str, family: str, summary: str) -> None:
+    """Register an engine-emitted rule (no checker function)."""
+    _register(Rule(rule_id=rule_id, family=family, summary=summary))
+
+
+builtin_rule(
+    rule_id="E100",
+    family="analysis",
+    summary="checked file failed to read or parse",
+)
+builtin_rule(
+    rule_id="S100",
+    family="analysis",
+    summary="suppression comment carries no justification",
+)
+builtin_rule(
+    rule_id="S101",
+    family="analysis",
+    summary="suppression matches no finding (stale)",
+)
+
+
+def iter_rules() -> Iterator[Rule]:
+    """All registered rules in rule-ID order."""
+    for rule_id in sorted(RULES):
+        yield RULES[rule_id]
+
+
+# -- the file model ----------------------------------------------------
+
+
+_SUPPRESS_RE = re.compile(
+    r"reprolint:\s*ignore\[([A-Za-z0-9_,\s]*)\]\s*(?:[-—–:]\s*)?(.*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# reprolint: ignore[...]`` marker and its usage state."""
+
+    file: str
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    used: set[str] = field(default_factory=set)
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file (tree is None when parsing failed)."""
+
+    rel: str
+    text: str
+    tree: ast.Module | None
+    parse_error: str | None
+    parse_error_line: int
+    suppressions: list[Suppression]
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def lines(self) -> list[str]:
+        return self.text.splitlines()
+
+    def parent_map(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent over the whole tree (computed lazily once)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            if self.tree is not None:
+                for node in ast.walk(self.tree):
+                    for child in ast.iter_child_nodes(node):
+                        parents[child] = node
+            self._parents = parents
+        return self._parents
+
+
+def _find_suppressions(rel: str, text: str) -> list[Suppression]:
+    """Extract suppression markers with accurate line numbers.
+
+    ``tokenize`` keeps a ``#`` inside a string literal from being read
+    as a comment; files it cannot tokenize (syntax errors) fall back to
+    a per-line regex, so a suppression on a broken file still parses.
+    """
+    comments: list[tuple[int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(text).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.string))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, line in enumerate(text.splitlines(), 1):
+            if "#" in line:
+                comments.append((lineno, line[line.index("#") :]))
+    found: list[Suppression] = []
+    for lineno, comment in comments:
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        found.append(
+            Suppression(
+                file=rel,
+                line=lineno,
+                rules=rules,
+                justification=match.group(2).strip(),
+            )
+        )
+    return found
+
+
+def load_source(root: Path, rel: str) -> SourceFile:
+    """Read and parse one file; failures become E100 material, not
+    exceptions (an unreadable file must fail the run, not crash it)."""
+    text = ""
+    tree = None
+    error = None
+    error_line = 1
+    try:
+        text = (root / rel).read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        error = f"unreadable: {exc}"
+    else:
+        try:
+            tree = ast.parse(text, filename=rel)
+        except SyntaxError as exc:
+            error = f"syntax error: {exc.msg}"
+            error_line = exc.lineno or 1
+        except ValueError as exc:  # e.g. null bytes on older CPython
+            error = f"unparseable: {exc}"
+    return SourceFile(
+        rel=rel,
+        text=text,
+        tree=tree,
+        parse_error=error,
+        parse_error_line=error_line,
+        suppressions=_find_suppressions(rel, text),
+    )
+
+
+@dataclass
+class Project:
+    """The parsed analysis tree plus on-demand extras."""
+
+    root: Path
+    files: dict[str, SourceFile]
+    _extras: dict[str, SourceFile | None] = field(default_factory=dict)
+
+    def file(self, rel: str) -> SourceFile | None:
+        """A file from the scanned roots, by relative posix path."""
+        return self.files.get(rel)
+
+    def read_extra(self, rel: str) -> SourceFile | None:
+        """Parse a file outside the scanned roots (None if absent).
+
+        Used by project rules whose contract spans into ``tests/``
+        (the example smoke registry); extras are parsed once and do not
+        participate in file rules or suppression accounting.
+        """
+        if rel not in self._extras:
+            if (self.root / rel).is_file():
+                self._extras[rel] = load_source(self.root, rel)
+            else:
+                self._extras[rel] = None
+        return self._extras[rel]
+
+    def glob(self, pattern: str) -> list[str]:
+        """Repository-relative posix paths matching ``pattern``."""
+        return sorted(
+            p.relative_to(self.root).as_posix()
+            for p in self.root.glob(pattern)
+            if p.is_file()
+        )
+
+
+# -- the runner --------------------------------------------------------
+
+
+def _discover(root: Path, paths: Iterable[str] | None) -> list[str]:
+    if paths is not None:
+        return sorted(dict.fromkeys(paths))
+    found: list[str] = []
+    for prefix in DEFAULT_ROOTS:
+        base = root / prefix
+        if not base.is_dir():
+            continue
+        found.extend(
+            p.relative_to(root).as_posix()
+            for p in sorted(base.glob("**/*.py"))
+        )
+    return found
+
+
+def _load_baseline(baseline: Path | None) -> set[str]:
+    if baseline is None:
+        return set()
+    data = json.loads(baseline.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or not isinstance(data.get("warn"), list):
+        raise ValueError(
+            f"baseline {baseline} must be a JSON object with a 'warn' "
+            "array of rule IDs"
+        )
+    unknown = [r for r in data["warn"] if r not in RULES]
+    if unknown:
+        raise ValueError(f"baseline names unknown rules: {unknown}")
+    return set(data["warn"])
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    findings: list[Finding]
+    checked_files: int
+    rules_run: tuple[str, ...]
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_json(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "checked_files": self.checked_files,
+            "rules": list(self.rules_run),
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "file": f.file,
+                    "line": f.line,
+                    "message": f.message,
+                    "severity": f.severity,
+                }
+                for f in self.findings
+            ],
+        }
+
+    def to_text(self) -> str:
+        lines = [f.format() for f in self.findings]
+        if self.errors:
+            lines.append(
+                f"reprolint: FAILED ({len(self.errors)} error(s), "
+                f"{len(self.warnings)} warning(s), "
+                f"{self.checked_files} files)"
+            )
+        else:
+            lines.append(
+                f"reprolint: OK ({self.checked_files} files, "
+                f"{len(self.rules_run)} rules"
+                + (
+                    f", {len(self.warnings)} warning(s)"
+                    if self.warnings
+                    else ""
+                )
+                + ")"
+            )
+        return "\n".join(lines)
+
+
+def _scoped(entry: Rule, rel: str) -> bool:
+    return any(
+        rel == prefix or rel.startswith(prefix.rstrip("/") + "/")
+        for prefix in entry.scope
+    )
+
+
+def run_analysis(
+    root: Path,
+    paths: Iterable[str] | None = None,
+    baseline: Path | None = None,
+    run_project_rules: bool | None = None,
+) -> Report:
+    """Analyze ``root`` and return a :class:`Report`.
+
+    ``paths`` restricts file rules (and suppression accounting) to the
+    given repository-relative files; project rules then default to off
+    because their cross-file contracts need the whole tree.  With
+    ``paths=None`` every file under :data:`DEFAULT_ROOTS` is scanned
+    and all rules run.
+    """
+    root = Path(root).resolve()
+    if run_project_rules is None:
+        run_project_rules = paths is None
+    rels = _discover(root, paths)
+    warn_rules = _load_baseline(baseline)
+
+    project = Project(
+        root=root, files={rel: load_source(root, rel) for rel in rels}
+    )
+
+    raw: list[Finding] = []
+    for rel, source in project.files.items():
+        if source.parse_error is not None:
+            raw.append(
+                Finding(
+                    rule="E100",
+                    file=rel,
+                    line=source.parse_error_line,
+                    message=source.parse_error,
+                )
+            )
+    rules_run: list[str] = ["E100", "S100", "S101"]
+    for entry in iter_rules():
+        if entry.check is None:
+            continue
+        rules_run.append(entry.rule_id)
+        if entry.project:
+            if run_project_rules:
+                raw.extend(entry.check(project))
+            continue
+        for rel, source in project.files.items():
+            if source.tree is None or not _scoped(entry, rel):
+                continue
+            raw.extend(entry.check(source))
+
+    # Suppression pass: a finding on a suppressed (file, line, rule)
+    # is dropped and marks its suppression used.
+    by_line: dict[tuple[str, int], list[Suppression]] = {}
+    for source in project.files.values():
+        for suppression in source.suppressions:
+            by_line.setdefault(
+                (suppression.file, suppression.line), []
+            ).append(suppression)
+
+    kept: list[Finding] = []
+    for finding in raw:
+        suppressed = False
+        for suppression in by_line.get((finding.file, finding.line), []):
+            if finding.rule in suppression.rules:
+                suppression.used.add(finding.rule)
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+
+    for source in project.files.values():
+        for suppression in source.suppressions:
+            if not suppression.justification:
+                kept.append(
+                    Finding(
+                        rule="S100",
+                        file=suppression.file,
+                        line=suppression.line,
+                        message=(
+                            "suppression needs a justification: "
+                            "# reprolint: ignore[RULE] — why it is safe"
+                        ),
+                    )
+                )
+            stale = [r for r in suppression.rules if r not in suppression.used]
+            if stale or not suppression.rules:
+                kept.append(
+                    Finding(
+                        rule="S101",
+                        file=suppression.file,
+                        line=suppression.line,
+                        message=(
+                            "suppression matches no finding "
+                            f"(stale rule id(s): {', '.join(stale) or '<none>'}); "
+                            "remove it"
+                        ),
+                    )
+                )
+
+    findings = sorted(
+        (
+            Finding(
+                rule=f.rule,
+                file=f.file,
+                line=f.line,
+                message=f.message,
+                severity="warning" if f.rule in warn_rules else "error",
+            )
+            for f in kept
+        ),
+        key=lambda f: (f.file, f.line, f.rule, f.message),
+    )
+    return Report(
+        findings=findings,
+        checked_files=len(rels),
+        rules_run=tuple(rules_run),
+    )

@@ -1,0 +1,270 @@
+"""Concurrency rules (C1xx): the service layer's lock discipline.
+
+The job service stays responsive under worker crashes because of two
+structural properties: no thread ever blocks while holding a scheduler
+or queue lock (C101), and every queue read that is not an intentional
+idle wait carries a timeout so crash watchdogs and cancellation can run
+(C102).  Both properties are invisible to the type checker and only
+show up at runtime as a *hang*, the worst kind of CI failure — so they
+are enforced here as lint errors over :mod:`repro.service`.  C103 adds
+the classic shared-state footgun: a mutable object in a class body is
+one instance shared by every worker, not per-instance state.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, SourceFile, rule
+
+__all__ = [
+    "check_blocking_under_lock",
+    "check_untimed_queue_get",
+    "check_mutable_class_state",
+]
+
+_SERVICE_SCOPE = ("src/repro/service",)
+
+#: Receivers that statically look like queues: ``task_q``,
+#: ``_result_q``, ``queue``, ``events`` — the naming convention the
+#: service layer actually uses.
+_QUEUEISH = re.compile(r"(^|_)(q|queue|events)$")
+
+#: Call names that block indefinitely (or for unbounded wall time).
+_BLOCKING_SIMPLE = frozenset({"sleep", "wait", "join", "accept", "recv"})
+_BLOCKING_MODULES = frozenset({"socket", "subprocess"})
+
+
+def _receiver_name(attr: ast.Attribute) -> str | None:
+    """The terminal name of an attribute chain's receiver:
+    ``job.events.get`` -> ``events``, ``task_q.get`` -> ``task_q``."""
+    value = attr.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _is_untimed_get_call(call: ast.Call) -> bool:
+    """``q.get()`` with neither a positional arg nor a timeout/block
+    keyword blocks forever; any argument at all makes it bounded or an
+    explicit choice we leave to C101's lock check."""
+    if call.args:
+        return False
+    return not any(kw.arg in ("timeout", "block") for kw in call.keywords)
+
+
+def _looks_like_lock(expr: ast.AST) -> bool:
+    """Heuristic: the ``with`` context manager is a lock if any name in
+    its expression mentions ``lock`` (``self._lock``, ``job_lock``,
+    ``self.lock``, ``Lock()``...)."""
+    for node in ast.walk(expr):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and "lock" in name.lower():
+            return True
+    return False
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why ``call`` blocks, or None if it does not (statically)."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        receiver = _receiver_name(func)
+        if func.attr == "get":
+            if (
+                receiver is not None
+                and _QUEUEISH.search(receiver)
+                and _is_untimed_get_call(call)
+            ):
+                return f"untimed {receiver}.get()"
+            return None
+        if func.attr in _BLOCKING_SIMPLE:
+            return f"{receiver or '<expr>'}.{func.attr}()"
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in _BLOCKING_MODULES
+        ):
+            return f"{func.value.id}.{func.attr}()"
+    elif isinstance(func, ast.Name) and func.id in _BLOCKING_SIMPLE:
+        return f"{func.id}()"
+    return None
+
+
+def _walk_same_frame(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a subtree without descending into nested function or lambda
+    bodies — code defined under a lock runs later, off the lock."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield sub
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+@rule(
+    rule_id="C101",
+    family="concurrency",
+    summary=(
+        "blocking call inside a `with <lock>:` body stalls every thread "
+        "contending for that lock"
+    ),
+    scope=_SERVICE_SCOPE,
+)
+def check_blocking_under_lock(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if not any(
+            _looks_like_lock(item.context_expr) for item in node.items
+        ):
+            continue
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in [stmt, *_walk_same_frame(stmt)]:
+                if not isinstance(sub, ast.Call):
+                    continue
+                reason = _blocking_reason(sub)
+                if reason is not None:
+                    yield Finding(
+                        rule="C101",
+                        file=source.rel,
+                        line=sub.lineno,
+                        message=(
+                            f"{reason} blocks while holding a lock; "
+                            "release the lock first or bound the wait"
+                        ),
+                    )
+
+
+@rule(
+    rule_id="C102",
+    family="concurrency",
+    summary=(
+        "untimed queue get blocks its thread forever if the producer "
+        "dies; pass a timeout (or suppress for intentional idle waits)"
+    ),
+    scope=_SERVICE_SCOPE,
+)
+def check_untimed_queue_get(source: SourceFile) -> Iterator[Finding]:
+    parents = source.parent_map()
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Attribute) or node.attr != "get":
+            continue
+        receiver = _receiver_name(node)
+        if receiver is None or not _QUEUEISH.search(receiver):
+            continue
+        parent = parents.get(node)
+        if isinstance(parent, ast.Call) and parent.func is node:
+            if _is_untimed_get_call(parent):
+                yield Finding(
+                    rule="C102",
+                    file=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"{receiver}.get() without a timeout never "
+                        "observes producer death or cancellation; use "
+                        "get(timeout=...) in a poll loop"
+                    ),
+                )
+        else:
+            # The bound method handed around as a value (e.g. to
+            # run_in_executor) will be invoked with no arguments —
+            # an untimed blocking get by construction.
+            yield Finding(
+                rule="C102",
+                file=source.rel,
+                line=node.lineno,
+                message=(
+                    f"{receiver}.get passed as a callable is an untimed "
+                    "blocking get at its call site; wrap it in a "
+                    "timeout-bounded poll"
+                ),
+            )
+
+
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "Counter",
+     "OrderedDict", "Queue", "SimpleQueue", "LifoQueue", "PriorityQueue"}
+)
+
+
+def _is_mutable_literal(value: ast.AST) -> str | None:
+    if isinstance(value, ast.List):
+        return "list"
+    if isinstance(value, ast.Dict):
+        return "dict"
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, (ast.ListComp, ast.DictComp)):
+        return "comprehension"
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in _MUTABLE_CTORS:
+            return f"{name}()"
+    return None
+
+
+@rule(
+    rule_id="C103",
+    family="concurrency",
+    summary=(
+        "mutable class-level attribute on a service class is shared by "
+        "every instance and thread; initialize it in __init__"
+    ),
+    scope=_SERVICE_SCOPE,
+)
+def check_mutable_class_state(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for stmt in node.body:
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                # dataclass `x: list = field(default_factory=list)` is
+                # per-instance; a bare mutable default is not (and
+                # @dataclass itself rejects it at class-creation time,
+                # but only if the module is ever imported).
+                annotation = ast.dump(stmt.annotation)
+                if "ClassVar" in annotation:
+                    target, value = stmt.target, stmt.value
+                else:
+                    candidate = _is_mutable_literal(stmt.value)
+                    if candidate is not None and not (
+                        isinstance(stmt.value, ast.Call)
+                        and isinstance(stmt.value.func, ast.Name)
+                        and stmt.value.func.id == "field"
+                    ):
+                        target, value = stmt.target, stmt.value
+            if target is None or value is None:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            kind = _is_mutable_literal(value)
+            if kind is not None:
+                yield Finding(
+                    rule="C103",
+                    file=source.rel,
+                    line=stmt.lineno,
+                    message=(
+                        f"class-level {kind} on {node.name}.{target.id} "
+                        "is one object shared across instances and "
+                        "threads; create it in __init__"
+                    ),
+                )

@@ -1,0 +1,322 @@
+"""Determinism rules (D1xx): the RNG-stream contract, statically.
+
+The engine's bit-identity claim — equal plans yield equal results on
+every executor, and the seed is the only randomness — survives exactly
+as long as every random draw flows from an explicit seed through the
+stream allocation in :mod:`repro.simulation.rng` (node streams
+``0..n-1``, channel stream child ``n``, provider-owned topology seeds).
+One stray ``np.random.rand`` (hidden global stream), one unseeded
+``default_rng()`` (OS entropy), or one ``time.time()``-derived seed
+breaks the contract silently: results still *look* plausible, they are
+just no longer reproducible or executor-identical.  These rules make
+each of those spellings a lint error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, SourceFile, rule
+
+__all__ = [
+    "numpy_aliases",
+    "check_np_random_module_functions",
+    "check_stdlib_random",
+    "check_unseeded_generators",
+    "check_time_derived_seeds",
+]
+
+_CODE_ROOTS = ("src", "scripts", "benchmarks", "examples")
+
+#: numpy.random names that are part of the *seeded* generator API; every
+#: other attribute of the module is either a legacy global-stream
+#: function (``rand``, ``seed``, ``randint``, ...) or the legacy
+#: ``RandomState`` machinery, both banned.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Bit-generator constructors: unseeded construction draws OS entropy,
+#: exactly like ``default_rng()``.
+_BIT_GENERATORS = frozenset(
+    {"PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937"}
+)
+
+#: The one module allowed to own generator-construction policy.
+_RNG_MODULE = "src/repro/simulation/rng.py"
+
+#: Wall-clock sources that must never feed a seed.
+_CLOCK_CALLS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "now", "utcnow"}
+)
+
+
+def numpy_aliases(tree: ast.Module) -> tuple[set[str], set[str], set[str]]:
+    """Names bound to numpy, numpy.random, and from-imported members.
+
+    Returns ``(numpy_names, numpy_random_names, member_names)`` where
+    ``member_names`` are local bindings of ``numpy.random`` attributes
+    (``from numpy.random import default_rng [as X]``), mapped back to
+    their original member name via the returned set of ``local->orig``
+    pairs encoded as ``"local:orig"`` strings kept flat for cheap
+    membership checks by callers that only need the locals.
+    """
+    numpy_names: set[str] = set()
+    random_names: set[str] = set()
+    members: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_names.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    # `import numpy.random` binds `numpy`; an asname
+                    # binds the submodule directly.
+                    if alias.asname:
+                        random_names.add(alias.asname)
+                    else:
+                        numpy_names.add("numpy")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_names.add(alias.asname or "random")
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    members.add(f"{alias.asname or alias.name}:{alias.name}")
+    return numpy_names, random_names, members
+
+
+def _np_random_attr(
+    node: ast.AST, numpy_names: set[str], random_names: set[str]
+) -> str | None:
+    """The member name when ``node`` is ``<numpy>.random.X`` or
+    ``<numpy.random alias>.X``; None otherwise."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if isinstance(value, ast.Name) and value.id in random_names:
+        return node.attr
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in numpy_names
+    ):
+        return node.attr
+    return None
+
+
+@rule(
+    rule_id="D101",
+    family="determinism",
+    summary=(
+        "np.random module-level functions draw from the hidden global "
+        "stream; use an explicitly seeded Generator"
+    ),
+    scope=_CODE_ROOTS,
+)
+def check_np_random_module_functions(source: SourceFile) -> Iterator[Finding]:
+    numpy_names, random_names, members = numpy_aliases(source.tree)
+    for node in ast.walk(source.tree):
+        member = _np_random_attr(node, numpy_names, random_names)
+        if member is not None and member not in _NP_RANDOM_ALLOWED:
+            yield Finding(
+                rule="D101",
+                file=source.rel,
+                line=node.lineno,
+                message=(
+                    f"np.random.{member} uses numpy's hidden global "
+                    "stream; draw from an explicitly seeded "
+                    "np.random.Generator (see repro.simulation.rng)"
+                ),
+            )
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_ALLOWED:
+                    yield Finding(
+                        rule="D101",
+                        file=source.rel,
+                        line=node.lineno,
+                        message=(
+                            f"from numpy.random import {alias.name} binds "
+                            "a hidden-global-stream function; use the "
+                            "seeded Generator API"
+                        ),
+                    )
+    del members  # from-imports of allowed members are fine as-is
+
+
+@rule(
+    rule_id="D102",
+    family="determinism",
+    summary=(
+        "stdlib random is process-global and unseeded; library code "
+        "must draw from the trial's numpy streams"
+    ),
+    scope=("src",),
+)
+def check_stdlib_random(source: SourceFile) -> Iterator[Finding]:
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "random":
+                    yield Finding(
+                        rule="D102",
+                        file=source.rel,
+                        line=node.lineno,
+                        message=(
+                            "stdlib random is a process-global stream the "
+                            "RNG contract cannot account for; use the "
+                            "trial's numpy generators "
+                            "(repro.simulation.rng)"
+                        ),
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is not None and (
+                node.module == "random" or node.module.startswith("random.")
+            ):
+                yield Finding(
+                    rule="D102",
+                    file=source.rel,
+                    line=node.lineno,
+                    message=(
+                        "stdlib random is a process-global stream the RNG "
+                        "contract cannot account for; use the trial's "
+                        "numpy generators (repro.simulation.rng)"
+                    ),
+                )
+
+
+def _is_unseeded_call(call: ast.Call) -> bool:
+    """No positional seed and no seed-carrying keyword: OS entropy."""
+    if call.args:
+        first = call.args[0]
+        return isinstance(first, ast.Constant) and first.value is None
+    seedish = {"seed", "entropy", "spawn_key", "bit_generator"}
+    return not any(
+        kw.arg in seedish for kw in call.keywords if kw.arg is not None
+    )
+
+
+@rule(
+    rule_id="D103",
+    family="determinism",
+    summary=(
+        "unseeded generator construction draws OS entropy; only "
+        "repro/simulation/rng.py owns construction policy"
+    ),
+    scope=_CODE_ROOTS,
+)
+def check_unseeded_generators(source: SourceFile) -> Iterator[Finding]:
+    if source.rel == _RNG_MODULE:
+        return
+    numpy_names, random_names, members = numpy_aliases(source.tree)
+    local_ctors = {
+        pair.split(":")[0]: pair.split(":")[1]
+        for pair in members
+        if pair.split(":")[1]
+        in (_BIT_GENERATORS | {"default_rng", "SeedSequence"})
+    }
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        member = _np_random_attr(func, numpy_names, random_names)
+        if member is None and isinstance(func, ast.Name):
+            member = local_ctors.get(func.id)
+        if member is None:
+            continue
+        if member in (_BIT_GENERATORS | {"default_rng", "SeedSequence"}):
+            if _is_unseeded_call(node):
+                yield Finding(
+                    rule="D103",
+                    file=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"{member}() without a seed draws OS entropy — "
+                        "irreproducible by construction; pass an explicit "
+                        "seed (stream allocation lives in "
+                        "repro.simulation.rng)"
+                    ),
+                )
+
+
+def _mentions_clock(node: ast.AST) -> str | None:
+    """The clock call inside ``node``'s subtree, if any."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        if name in _CLOCK_CALLS:
+            return name
+    return None
+
+
+@rule(
+    rule_id="D104",
+    family="determinism",
+    summary=(
+        "wall-clock-derived seeds make results a function of when the "
+        "run happened; seeds must be explicit plan inputs"
+    ),
+    scope=_CODE_ROOTS,
+)
+def check_time_derived_seeds(source: SourceFile) -> Iterator[Finding]:
+    numpy_names, random_names, members = numpy_aliases(source.tree)
+    local_ctors = {pair.split(":")[0] for pair in members}
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_rng_call = _np_random_attr(
+            func, numpy_names, random_names
+        ) is not None or (
+            isinstance(func, ast.Name) and func.id in local_ctors
+        )
+        seed_exprs: list[ast.AST] = []
+        if is_rng_call:
+            seed_exprs.extend(node.args)
+            seed_exprs.extend(
+                kw.value for kw in node.keywords if kw.arg is not None
+            )
+        else:
+            # Any call taking a seed= keyword (deployment builders,
+            # plan constructors, harness helpers).
+            seed_exprs.extend(
+                kw.value
+                for kw in node.keywords
+                if kw.arg in ("seed", "master_seed")
+            )
+        for expr in seed_exprs:
+            clock = _mentions_clock(expr)
+            if clock is not None:
+                yield Finding(
+                    rule="D104",
+                    file=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"seed derived from {clock}() ties results to "
+                        "the wall clock; seeds must be explicit, "
+                        "recorded plan inputs"
+                    ),
+                )
+                break

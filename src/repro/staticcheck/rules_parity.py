@@ -1,0 +1,149 @@
+"""Executor-parity rules (X1xx): no silent fast-path divergence.
+
+The columnar runtime re-implements every workload hook in array form,
+and the equivalence tests pin the two paths bit-identical — but only
+for hooks that *exist*.  A workload that overrides ``finalize`` on the
+object path and forgets ``vector_finalize`` doesn't fail: the vector
+path silently inherits the base implementation and the two executors
+return different metrics for the same plan.  X101 turns that hole into
+a lint error by requiring every overridden object hook to come with its
+vector twin (or an explicit ``vector_ineligible = True`` marker on
+workloads that opt out of the fast path entirely).  X102 catches the
+inverse half-opt-in: vector hooks with no ``vector_ready`` gate are
+dead code, because the base gate returns False.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, SourceFile, rule
+
+__all__ = ["workload_classes", "check_vector_twins", "check_vector_gate"]
+
+#: object-path hook -> required columnar twin.
+_HOOK_TWINS = {
+    "client_factory": "vector_clients",
+    "start": "vector_start",
+    "done": "vector_done",
+    "target_slots": "vector_target_slots",
+    "finalize": "vector_finalize",
+}
+
+_VECTOR_HOOKS = frozenset(_HOOK_TWINS.values())
+
+_INELIGIBLE_MARKER = "vector_ineligible"
+
+
+def _is_workload_class(node: ast.ClassDef) -> bool:
+    """A workload: inherits from a ``*Workload`` base (the root
+    ``Workload`` class itself has no such base and defines both hook
+    sets anyway)."""
+    for base in node.bases:
+        name = None
+        if isinstance(base, ast.Name):
+            name = base.id
+        elif isinstance(base, ast.Attribute):
+            name = base.attr
+        if name is not None and name.endswith("Workload"):
+            return True
+    return False
+
+
+def _defined_methods(node: ast.ClassDef) -> set[str]:
+    return {
+        stmt.name
+        for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _has_ineligible_marker(node: ast.ClassDef) -> bool:
+    for stmt in node.body:
+        targets: list[ast.AST] = []
+        value = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = list(stmt.targets), stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == _INELIGIBLE_MARKER
+                and isinstance(value, ast.Constant)
+                and value.value is True
+            ):
+                return True
+    return False
+
+
+def workload_classes(tree: ast.Module) -> Iterator[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and _is_workload_class(node):
+            yield node
+
+
+@rule(
+    rule_id="X101",
+    family="parity",
+    summary=(
+        "workload overrides an object-path hook without its vector_* "
+        "twin; the fast path silently inherits different behavior"
+    ),
+    scope=("src",),
+)
+def check_vector_twins(source: SourceFile) -> Iterator[Finding]:
+    for node in workload_classes(source.tree):
+        if _has_ineligible_marker(node):
+            continue
+        methods = _defined_methods(node)
+        for hook, twin in _HOOK_TWINS.items():
+            if hook in methods and twin not in methods:
+                yield Finding(
+                    rule="X101",
+                    file=source.rel,
+                    line=node.lineno,
+                    message=(
+                        f"{node.name} overrides {hook}() without "
+                        f"{twin}(); the columnar path would silently use "
+                        "the inherited implementation — add the twin or "
+                        f"mark the class {_INELIGIBLE_MARKER} = True"
+                    ),
+                )
+
+
+@rule(
+    rule_id="X102",
+    family="parity",
+    summary=(
+        "workload defines vector_* hooks but no vector_ready gate; the "
+        "hooks are dead code behind the default False gate"
+    ),
+    scope=("src",),
+)
+def check_vector_gate(source: SourceFile) -> Iterator[Finding]:
+    for node in workload_classes(source.tree):
+        if _has_ineligible_marker(node):
+            continue
+        # Only direct subclasses of the root Workload inherit the
+        # default False gate; deeper subclasses may inherit a concrete
+        # workload's True gate, which is a deliberate opt-in.
+        if not any(
+            isinstance(base, ast.Name) and base.id == "Workload"
+            for base in node.bases
+        ):
+            continue
+        methods = _defined_methods(node)
+        if methods & _VECTOR_HOOKS and "vector_ready" not in methods:
+            yield Finding(
+                rule="X102",
+                file=source.rel,
+                line=node.lineno,
+                message=(
+                    f"{node.name} defines columnar hooks but no "
+                    "vector_ready(); the base gate returns False, so the "
+                    "hooks never run — define the gate (or "
+                    f"{_INELIGIBLE_MARKER} = True if opting out)"
+                ),
+            )

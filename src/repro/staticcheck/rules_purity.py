@@ -1,0 +1,288 @@
+"""Plan-purity rules (P1xx): frozen plans, closed wire vocabulary.
+
+The experiment engine's caching, hashing, deduplication and
+process-pool distribution all assume a :class:`TrialPlan` is a frozen
+value object, and the job service assumes every dataclass a plan can
+carry is registered in :data:`repro.service.wire.WIRE_TYPES` — an
+unregistered type serializes fine locally and explodes only when the
+first remote job ships it.  These rules walk the *static* type graph:
+every dataclass reachable from the purity roots (``TrialPlan``,
+``TrialResult``, ``ExecutionPolicy``) through field annotations must be
+``frozen=True`` (P101) and wire-registered (P102); abstract bases that
+only exist to be subclassed (``TopologyProvider``) are exempt from
+registration but their subclasses are traversed.  P100 fires when the
+analysis itself cannot run — a missing root class or an unrecognizable
+``WIRE_TYPES`` shape must fail loudly, not pass vacuously.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, Project, rule
+
+__all__ = [
+    "dataclass_index",
+    "wire_registry_names",
+    "check_plan_purity",
+]
+
+_WIRE_MODULE = "src/repro/service/wire.py"
+_PURITY_ROOTS = ("TrialPlan", "TrialResult", "ExecutionPolicy")
+
+
+@dataclass
+class _Dataclass:
+    """One ``@dataclass`` definition found under ``src/``."""
+
+    name: str
+    rel: str
+    line: int
+    frozen: bool
+    bases: tuple[str, ...]
+    field_type_names: tuple[str, ...]
+    subclasses: list[str] = field(default_factory=list)
+
+
+def _decorator_dataclass_frozen(node: ast.ClassDef) -> tuple[bool, bool]:
+    """(is_dataclass, frozen) from a class's decorator list."""
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name != "dataclass":
+            continue
+        frozen = False
+        if isinstance(deco, ast.Call):
+            for kw in deco.keywords:
+                if kw.arg == "frozen":
+                    frozen = (
+                        isinstance(kw.value, ast.Constant)
+                        and kw.value.value is True
+                    )
+        return True, frozen
+    return False, False
+
+
+def _annotation_names(annotation: ast.AST) -> Iterator[str]:
+    """Every identifier mentioned in a field annotation, including
+    inside subscripts (``tuple[TopologyProvider, ...]``), unions, and
+    string annotations (best-effort parse)."""
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _class_fields(node: ast.ClassDef) -> Iterator[str]:
+    """Type names referenced by the class's dataclass fields
+    (annotated assignments in the class body, ClassVar excluded)."""
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        names = list(_annotation_names(stmt.annotation))
+        if "ClassVar" in names:
+            continue
+        yield from names
+
+
+def dataclass_index(project: Project) -> dict[str, _Dataclass]:
+    """Every ``@dataclass`` under ``src/``, by class name, with its
+    subclass lists filled in.  Name collisions keep the first
+    definition (the traversal only needs plan-schema classes, whose
+    names are unique by construction of the wire registry)."""
+    index: dict[str, _Dataclass] = {}
+    for rel, source in sorted(project.files.items()):
+        if not rel.startswith("src/") or source.tree is None:
+            continue
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            is_dc, frozen = _decorator_dataclass_frozen(node)
+            if not is_dc or node.name in index:
+                continue
+            bases = tuple(
+                base.id
+                for base in node.bases
+                if isinstance(base, ast.Name)
+            ) + tuple(
+                base.attr
+                for base in node.bases
+                if isinstance(base, ast.Attribute)
+            )
+            index[node.name] = _Dataclass(
+                name=node.name,
+                rel=rel,
+                line=node.lineno,
+                frozen=frozen,
+                bases=bases,
+                field_type_names=tuple(_class_fields(node)),
+            )
+    for entry in index.values():
+        for base in entry.bases:
+            if base in index:
+                index[base].subclasses.append(entry.name)
+    return index
+
+
+def wire_registry_names(project: Project) -> tuple[set[str] | None, str]:
+    """The class names registered in ``WIRE_TYPES``, read statically.
+
+    Returns ``(names, problem)``; ``names`` is None when the registry
+    could not be located or its shape is not the dict-comprehension-
+    over-a-tuple-of-names idiom the module documents."""
+    source = project.file(_WIRE_MODULE)
+    if source is None or source.tree is None:
+        return None, f"{_WIRE_MODULE} is missing or unparseable"
+    for node in ast.walk(source.tree):
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if not (isinstance(target, ast.Name) and target.id == "WIRE_TYPES"):
+            continue
+        if (
+            isinstance(value, ast.DictComp)
+            and len(value.generators) == 1
+            and isinstance(value.generators[0].iter, ast.Tuple)
+            and all(
+                isinstance(elt, ast.Name)
+                for elt in value.generators[0].iter.elts
+            )
+        ):
+            return {
+                elt.id for elt in value.generators[0].iter.elts
+            }, ""
+        return None, (
+            "WIRE_TYPES is not the documented dict-comprehension over a "
+            "tuple of class names; the static registry check cannot "
+            "read it"
+        )
+    return None, f"no WIRE_TYPES assignment found in {_WIRE_MODULE}"
+
+
+@rule(
+    rule_id="P100",
+    family="purity",
+    summary=(
+        "the plan-purity analysis could not run (missing root class or "
+        "unreadable WIRE_TYPES registry)"
+    ),
+    project=True,
+)
+def check_purity_analysis_runs(project: Project) -> Iterator[Finding]:
+    index = dataclass_index(project)
+    for root in _PURITY_ROOTS:
+        if root not in index:
+            yield Finding(
+                rule="P100",
+                file=_WIRE_MODULE,
+                line=1,
+                message=(
+                    f"purity root {root} not found as a dataclass under "
+                    "src/; the frozen/registered checks are vacuous "
+                    "without it"
+                ),
+            )
+    names, problem = wire_registry_names(project)
+    if names is None:
+        yield Finding(
+            rule="P100", file=_WIRE_MODULE, line=1, message=problem
+        )
+
+
+def _reachable(index: dict[str, _Dataclass]) -> list[_Dataclass]:
+    """Dataclasses reachable from the purity roots through field
+    annotations, plus subclasses of every reachable base (what actually
+    crosses the wire); cycle-safe (CompositeTopology -> TopologyProvider
+    -> CompositeTopology)."""
+    queue = [root for root in _PURITY_ROOTS if root in index]
+    seen: set[str] = set()
+    out: list[_Dataclass] = []
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        entry = index[name]
+        out.append(entry)
+        for referenced in entry.field_type_names:
+            if referenced in index and referenced not in seen:
+                queue.append(referenced)
+        for subclass in entry.subclasses:
+            if subclass not in seen:
+                queue.append(subclass)
+    return sorted(out, key=lambda e: (e.rel, e.line))
+
+
+@rule(
+    rule_id="P101",
+    family="purity",
+    summary=(
+        "dataclass reachable from TrialPlan field types must be "
+        "frozen=True (plans are hashed, cached, and shipped)"
+    ),
+    project=True,
+)
+def check_reachable_frozen(project: Project) -> Iterator[Finding]:
+    index = dataclass_index(project)
+    for entry in _reachable(index):
+        if not entry.frozen:
+            yield Finding(
+                rule="P101",
+                file=entry.rel,
+                line=entry.line,
+                message=(
+                    f"{entry.name} is reachable from the plan schema but "
+                    "not frozen=True; plans must stay hashable value "
+                    "objects"
+                ),
+            )
+
+
+@rule(
+    rule_id="P102",
+    family="purity",
+    summary=(
+        "dataclass reachable from TrialPlan field types must be "
+        "registered in service/wire.py WIRE_TYPES"
+    ),
+    project=True,
+)
+def check_reachable_registered(project: Project) -> Iterator[Finding]:
+    index = dataclass_index(project)
+    registered, _problem = wire_registry_names(project)
+    if registered is None:
+        return  # P100 already reports the broken registry
+    for entry in _reachable(index):
+        if entry.name in registered:
+            continue
+        if entry.subclasses:
+            # An abstract base is never instantiated on the wire; its
+            # concrete subclasses are traversed and must register.
+            continue
+        yield Finding(
+            rule="P102",
+            file=entry.rel,
+            line=entry.line,
+            message=(
+                f"{entry.name} is reachable from the plan schema but not "
+                "registered in WIRE_TYPES; remote jobs cannot carry it "
+                "(add it to the registry tuple in service/wire.py)"
+            ),
+        )

@@ -1,0 +1,140 @@
+"""Registry-exhaustiveness rules (R1xx): no orphan benchmarks/examples.
+
+``scripts/bench_smoke.py`` and ``tests/test_examples.py`` each keep a
+``SMOKE`` dict mapping script stems to smoke callables; the runtime
+tests assert the dict matches the directory.  Those assertions only run
+when their suites run — a benchmark added in a docs-only PR that skips
+``make bench-smoke`` ships unexercised.  These rules do the same
+two-way comparison statically (AST dict keys vs. on-disk stems), so the
+mismatch is a lint error in every CI job.  If a registry file loses its
+``SMOKE`` literal the rule reports *that* rather than passing
+vacuously.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.staticcheck.engine import Finding, Project, SourceFile, rule
+
+__all__ = ["smoke_registry_keys", "check_bench_registry", "check_example_registry"]
+
+_BENCH_REGISTRY = "scripts/bench_smoke.py"
+_EXAMPLE_REGISTRY = "tests/test_examples.py"
+
+
+def smoke_registry_keys(
+    source: SourceFile | None, rel: str
+) -> tuple[set[str] | None, Finding | None]:
+    """String keys of the module-level ``SMOKE = {...}`` literal, or a
+    finding describing why they could not be read."""
+    if source is None or source.tree is None:
+        return None, Finding(
+            rule="R101" if rel == _BENCH_REGISTRY else "R102",
+            file=rel,
+            line=1,
+            message=f"{rel} is missing or unparseable; the smoke "
+            "registry cannot be checked",
+        )
+    for node in source.tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == "SMOKE"):
+            continue
+        if isinstance(node.value, ast.Dict) and all(
+            isinstance(key, ast.Constant) and isinstance(key.value, str)
+            for key in node.value.keys
+        ):
+            return {key.value for key in node.value.keys}, None
+        return None, Finding(
+            rule="R101" if rel == _BENCH_REGISTRY else "R102",
+            file=rel,
+            line=node.lineno,
+            message="SMOKE must be a dict literal with string keys for "
+            "the static registry check to read it",
+        )
+    return None, Finding(
+        rule="R101" if rel == _BENCH_REGISTRY else "R102",
+        file=rel,
+        line=1,
+        message=f"no module-level SMOKE dict found in {rel}",
+    )
+
+
+def _compare(
+    rule_id: str,
+    registry_rel: str,
+    keys: set[str],
+    stems: list[str],
+    what: str,
+) -> Iterator[Finding]:
+    for stem in stems:
+        if stem not in keys:
+            yield Finding(
+                rule=rule_id,
+                file=registry_rel,
+                line=1,
+                message=(
+                    f"{what} {stem!r} has no SMOKE entry in "
+                    f"{registry_rel}; every {what} must be smoke-covered"
+                ),
+            )
+    for key in sorted(keys):
+        if key not in stems:
+            yield Finding(
+                rule=rule_id,
+                file=registry_rel,
+                line=1,
+                message=(
+                    f"SMOKE entry {key!r} has no matching {what} on "
+                    "disk; remove the stale entry"
+                ),
+            )
+
+
+@rule(
+    rule_id="R101",
+    family="registry",
+    summary=(
+        "benchmarks/bench_*.py and the scripts/bench_smoke.py SMOKE "
+        "registry must match exactly, both directions"
+    ),
+    project=True,
+)
+def check_bench_registry(project: Project) -> Iterator[Finding]:
+    source = project.file(_BENCH_REGISTRY)
+    keys, problem = smoke_registry_keys(source, _BENCH_REGISTRY)
+    if problem is not None:
+        yield problem
+        return
+    stems = [
+        rel.split("/")[-1][: -len(".py")]
+        for rel in project.glob("benchmarks/bench_*.py")
+    ]
+    yield from _compare("R101", _BENCH_REGISTRY, keys, stems, "benchmark")
+
+
+@rule(
+    rule_id="R102",
+    family="registry",
+    summary=(
+        "examples/*.py and the tests/test_examples.py SMOKE registry "
+        "must match exactly, both directions"
+    ),
+    project=True,
+)
+def check_example_registry(project: Project) -> Iterator[Finding]:
+    # tests/ is outside the scanned roots by design (fixtures trip
+    # rules); the registry file is loaded as an extra.
+    source = project.read_extra(_EXAMPLE_REGISTRY)
+    keys, problem = smoke_registry_keys(source, _EXAMPLE_REGISTRY)
+    if problem is not None:
+        yield problem
+        return
+    stems = [
+        rel.split("/")[-1][: -len(".py")]
+        for rel in project.glob("examples/*.py")
+    ]
+    yield from _compare("R102", _EXAMPLE_REGISTRY, keys, stems, "example")

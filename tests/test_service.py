@@ -13,6 +13,8 @@ round trip through the asyncio TCP front with
 
 from __future__ import annotations
 
+import asyncio
+
 import pytest
 
 from repro.core.ack_protocol import AckConfig
@@ -146,6 +148,89 @@ class TestJobStreaming:
         assert second.state is JobState.DONE
         assert second.wait(timeout=1.0) == first.results
         assert queue.stats()["cache_hits"] == 1
+
+
+class TestStreamJobEvents:
+    """The TCP front's streaming loop: bounded queue polls plus terminal
+    synthesis, so a job whose producer dies without a terminal event
+    ends the stream instead of pinning an executor thread forever
+    (reprolint C102 regression)."""
+
+    @staticmethod
+    def _drive(job, poll=0.05, timeout=5.0):
+        from repro.service import server as server_module
+
+        sent = []
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            await asyncio.wait_for(
+                server_module._stream_job_events(job, sent.append, loop),
+                timeout=timeout,
+            )
+
+        original = server_module._STREAM_POLL_SECONDS
+        server_module._STREAM_POLL_SECONDS = poll
+        try:
+            asyncio.run(main())
+        finally:
+            server_module._STREAM_POLL_SECONDS = original
+        return sent
+
+    def test_events_pass_through_to_the_real_terminal(self):
+        plans = tuple(make_plans(trials=2))
+        results = _dummy_results(plans)
+        job = Job(job_id=1, plans=plans, policy=ExecutionPolicy())
+        for index, result in enumerate(results):
+            job.record(index, result)
+        job.finish(JobState.DONE)
+        sent = self._drive(job)
+        assert [e["event"] for e in sent if e["event"] == "result"] == [
+            "result",
+            "result",
+        ]
+        assert sent[-1] == {"event": "done"}
+
+    def test_dead_job_without_terminal_event_ends_the_stream(self):
+        job = Job(
+            job_id=1,
+            plans=tuple(make_plans(trials=1)),
+            policy=ExecutionPolicy(),
+        )
+        # The failure mode the bounded poll exists for: the drain thread
+        # died before finish() ran, so no terminal event was ever queued.
+        job.state = JobState.FAILED
+        job.error = "drain thread died"
+        sent = self._drive(job)
+        assert sent == [{"event": "failed", "error": "drain thread died"}]
+
+    def test_dead_job_drains_queued_results_before_synthesizing(self):
+        plans = tuple(make_plans(trials=1))
+        results = _dummy_results(plans)
+        job = Job(job_id=1, plans=plans, policy=ExecutionPolicy())
+        job.record(0, results[0])
+        job.state = JobState.CANCELLED
+        sent = self._drive(job)
+        assert [e["event"] for e in sent] == [
+            "result",
+            "progress",
+            "cancelled",
+        ]
+
+    def test_poll_is_bounded(self):
+        from repro.service import server as server_module
+
+        job = Job(
+            job_id=1,
+            plans=tuple(make_plans(trials=1)),
+            policy=ExecutionPolicy(),
+        )
+        original = server_module._STREAM_POLL_SECONDS
+        server_module._STREAM_POLL_SECONDS = 0.01
+        try:
+            assert server_module._next_event(job) is None
+        finally:
+            server_module._STREAM_POLL_SECONDS = original
 
 
 # -- the scheduler against a real pool --------------------------------------

@@ -1,0 +1,796 @@
+"""reprolint's own test suite: every rule, fixture-driven.
+
+Each rule family gets three kinds of fixture: a positive hit (the
+violation is found), a clean pass (the compliant spelling is not), and
+a suppression check (the marker silences exactly that rule and nothing
+else).  On top sit the engine-level contracts — parse failures are
+findings (E100), suppressions must be justified (S100) and live (S101),
+the baseline downgrades to warnings without touching the exit code
+logic, and the JSON report is schema-stable.  The final section scans
+the repository itself: HEAD must be clean, which is the acceptance
+criterion `make staticcheck` enforces in CI.
+
+Fixtures are written into tmp trees, never into the repo — and tests/
+is outside reprolint's scan roots precisely so the forbidden spellings
+in this file cannot trip the self-scan.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import RULES, run_analysis
+from repro.staticcheck.engine import JSON_SCHEMA_VERSION
+
+REPO = Path(__file__).resolve().parents[1]
+
+ALL_RULE_IDS = {
+    "E100", "S100", "S101",
+    "D101", "D102", "D103", "D104",
+    "C101", "C102", "C103",
+    "P100", "P101", "P102",
+    "X101", "X102",
+    "R101", "R102",
+}
+
+
+def analyze(tmp_path: Path, files: dict[str, str], paths=None, baseline=None):
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    return run_analysis(tmp_path, paths=paths, baseline=baseline)
+
+
+def hits(report, rule_id: str):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_rule_registry_is_exactly_the_documented_set():
+    assert set(RULES) == ALL_RULE_IDS
+
+
+def test_every_rule_has_family_and_summary():
+    for entry in RULES.values():
+        assert entry.family
+        assert entry.summary
+
+
+# -- determinism (D1xx) ------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_d101_flags_np_random_module_functions(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                x = np.random.rand(3)
+            """},
+            paths=["src/mod.py"],
+        )
+        assert len(hits(report, "D101")) == 1
+        assert report.exit_code == 1
+
+    def test_d101_flags_from_import_of_global_stream_function(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": "from numpy.random import randint\n"},
+            paths=["src/mod.py"],
+        )
+        assert len(hits(report, "D101")) == 1
+
+    def test_d101_clean_on_seeded_generator_api(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                from numpy.random import default_rng
+                rng = np.random.default_rng(7)
+                seq = np.random.SeedSequence(11)
+                other = default_rng(3)
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "D101")
+        assert report.exit_code == 0
+
+    def test_d101_suppression_is_honored(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                x = np.random.rand(3)  # reprolint: ignore[D101] — fixture exercising the marker
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "D101")
+        assert not hits(report, "S100")
+        assert not hits(report, "S101")
+        assert report.exit_code == 0
+
+    def test_d102_flags_stdlib_random_in_src_only(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "src/mod.py": "import random\n",
+                "scripts/tool.py": "import random\n",
+            },
+            paths=["src/mod.py", "scripts/tool.py"],
+        )
+        found = hits(report, "D102")
+        assert len(found) == 1
+        assert found[0].file == "src/mod.py"
+
+    def test_d102_flags_from_import(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": "from random import choice\n"},
+            paths=["src/mod.py"],
+        )
+        assert len(hits(report, "D102")) == 1
+
+    def test_d103_flags_unseeded_construction(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                from numpy.random import default_rng
+                a = np.random.default_rng()
+                b = default_rng()
+                c = np.random.default_rng(None)
+                d = np.random.PCG64()
+            """},
+            paths=["src/mod.py"],
+        )
+        assert len(hits(report, "D103")) == 4
+
+    def test_d103_clean_when_seeded(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                a = np.random.default_rng(42)
+                b = np.random.SeedSequence(entropy=7)
+                c = np.random.PCG64(9)
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "D103")
+
+    def test_d103_exempts_the_rng_module(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/repro/simulation/rng.py": """\
+                import numpy as np
+                FALLBACK = np.random.default_rng()
+            """},
+            paths=["src/repro/simulation/rng.py"],
+        )
+        assert not hits(report, "D103")
+
+    def test_d104_flags_wall_clock_seed(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import time
+                import numpy as np
+                rng = np.random.default_rng(int(time.time()))
+                plan = make_plan(seed=time.time_ns())
+            """},
+            paths=["src/mod.py"],
+        )
+        assert len(hits(report, "D104")) == 2
+
+    def test_d104_clean_on_explicit_seed(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                rng = np.random.default_rng(42)
+                plan = make_plan(seed=13)
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "D104")
+
+
+# -- concurrency (C1xx) ------------------------------------------------------
+
+
+SERVICE = "src/repro/service/mod.py"
+
+
+class TestConcurrency:
+    def test_c101_flags_sleep_under_lock(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: """\
+                import time
+                def work(self):
+                    with self._lock:
+                        time.sleep(1.0)
+            """},
+            paths=[SERVICE],
+        )
+        assert len(hits(report, "C101")) == 1
+
+    def test_c101_flags_untimed_get_under_lock(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: """\
+                def drain(self):
+                    with self._lock:
+                        item = self.task_q.get()
+            """},
+            paths=[SERVICE],
+        )
+        assert hits(report, "C101")
+
+    def test_c101_clean_outside_lock_and_in_nested_defs(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: """\
+                import time
+                def work(self):
+                    with self._lock:
+                        def later():
+                            time.sleep(1.0)  # runs off the lock
+                        callbacks.append(later)
+                    time.sleep(0.1)
+            """},
+            paths=[SERVICE],
+        )
+        assert not hits(report, "C101")
+
+    def test_c101_ignored_outside_service_scope(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/repro/other/mod.py": """\
+                import time
+                def work(self):
+                    with self._lock:
+                        time.sleep(1.0)
+            """},
+            paths=["src/repro/other/mod.py"],
+        )
+        assert not hits(report, "C101")
+
+    def test_c102_flags_untimed_queue_get(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: "message = task_q.get()\n"},
+            paths=[SERVICE],
+        )
+        assert len(hits(report, "C102")) == 1
+
+    def test_c102_flags_bound_get_passed_as_callable(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: "event = loop.run_in_executor(None, job.events.get)\n"},
+            paths=[SERVICE],
+        )
+        assert len(hits(report, "C102")) == 1
+
+    def test_c102_clean_with_timeout_or_non_queue_receiver(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: """\
+                a = task_q.get(timeout=0.5)
+                b = task_q.get(block=False)
+                c = options.get("key")
+            """},
+            paths=[SERVICE],
+        )
+        assert not hits(report, "C102")
+
+    def test_c102_suppression_is_honored(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: (
+                "message = task_q.get()  "
+                "# reprolint: ignore[C102] — fixture: idle wait by design\n"
+            )},
+            paths=[SERVICE],
+        )
+        assert not hits(report, "C102")
+        assert report.exit_code == 0
+
+    def test_c103_flags_mutable_class_state(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: """\
+                class Scheduler:
+                    pending = []
+                    registry = {}
+            """},
+            paths=[SERVICE],
+        )
+        assert len(hits(report, "C103")) == 2
+
+    def test_c103_clean_on_instance_state_and_field_factory(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {SERVICE: """\
+                from dataclasses import dataclass, field
+
+                @dataclass
+                class Job:
+                    results: list = field(default_factory=list)
+
+                class Scheduler:
+                    workers = 2
+                    def __init__(self):
+                        self.pending = []
+            """},
+            paths=[SERVICE],
+        )
+        assert not hits(report, "C103")
+
+
+# -- executor parity (X1xx) --------------------------------------------------
+
+
+class TestParity:
+    def test_x101_flags_missing_vector_twin(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                class SweepWorkload(Workload):
+                    def vector_ready(self, plan):
+                        return True
+                    def finalize(self, stack, plan, completion):
+                        return {"completion": completion}
+            """},
+            paths=["src/mod.py"],
+        )
+        found = hits(report, "X101")
+        assert len(found) == 1
+        assert "vector_finalize" in found[0].message
+
+    def test_x101_clean_with_twin_or_marker(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                class PairedWorkload(Workload):
+                    def vector_ready(self, plan):
+                        return True
+                    def finalize(self, stack, plan, completion):
+                        return {"completion": completion}
+                    def vector_finalize(self, runtime, trial, plan, completion):
+                        return {"completion": completion}
+
+                class ObjectOnlyWorkload(Workload):
+                    vector_ineligible = True
+                    def finalize(self, stack, plan, completion):
+                        return {"completion": completion}
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "X101")
+
+    def test_x101_suppression_is_honored(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                class SweepWorkload(Workload):  # reprolint: ignore[X101] — fixture: twin lands next commit
+                    def finalize(self, stack, plan, completion):
+                        return {"completion": completion}
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "X101")
+        assert report.exit_code == 0
+
+    def test_x102_flags_gateless_vector_hooks(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                class HalfWorkload(Workload):
+                    def vector_start(self, runtime, trial, plan):
+                        pass
+            """},
+            paths=["src/mod.py"],
+        )
+        assert len(hits(report, "X102")) == 1
+
+    def test_x102_clean_with_gate_or_deep_subclass(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                class GatedWorkload(Workload):
+                    def vector_ready(self, plan):
+                        return True
+                    def vector_start(self, runtime, trial, plan):
+                        pass
+
+                class Derived(GatedWorkload):
+                    def vector_start(self, runtime, trial, plan):
+                        pass
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "X102")
+
+
+# -- plan purity (P1xx) ------------------------------------------------------
+
+
+def purity_tree(
+    deployment_frozen=True, extra_plan_field="", extra_defs="",
+    wire_extra="", wire_body=None,
+):
+    deployment_deco = (
+        "@dataclass(frozen=True)" if deployment_frozen else "@dataclass"
+    )
+    wire = wire_body if wire_body is not None else f"""\
+        WIRE_TYPES: dict[str, type] = {{
+            cls.__name__: cls
+            for cls in (
+                TrialPlan,
+                TrialResult,
+                ExecutionPolicy,
+                DeploymentSpec,{wire_extra}
+            )
+        }}
+    """
+    files = {
+        "src/repro/experiments/plans.py": f"""\
+            from dataclasses import dataclass, field
+
+            {deployment_deco}
+            class DeploymentSpec:
+                kind: str
+
+            @dataclass(frozen=True)
+            class TrialPlan:
+                deployment: DeploymentSpec
+                seed: int = 0
+                {extra_plan_field}
+
+            @dataclass(frozen=True)
+            class TrialResult:
+                completion: int
+        """,
+        "src/repro/experiments/policy.py": """\
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class ExecutionPolicy:
+                workers: int = 1
+        """,
+        "src/repro/service/wire.py": wire,
+    }
+    if extra_defs:
+        # A sibling module: the traversal resolves annotation names
+        # against the whole src/ dataclass index, not one file.
+        files["src/repro/experiments/specs.py"] = (
+            "from dataclasses import dataclass, field\n\n"
+            + textwrap.dedent(extra_defs)
+        )
+    return files
+
+
+class TestPurity:
+    def test_clean_tree_has_no_purity_findings(self, tmp_path):
+        report = analyze(tmp_path, purity_tree())
+        assert not [
+            f for f in report.findings if f.rule.startswith("P")
+        ]
+
+    def test_p101_flags_unfrozen_reachable_dataclass(self, tmp_path):
+        report = analyze(tmp_path, purity_tree(deployment_frozen=False))
+        found = hits(report, "P101")
+        assert len(found) == 1
+        assert "DeploymentSpec" in found[0].message
+
+    def test_p102_flags_unregistered_reachable_dataclass(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            purity_tree(
+                extra_defs="""\
+            @dataclass(frozen=True)
+            class ByzantineSpec:
+                faults: int = 0
+            """,
+                extra_plan_field="byzantine: ByzantineSpec | None = None",
+            ),
+        )
+        found = hits(report, "P102")
+        assert len(found) == 1
+        assert "ByzantineSpec" in found[0].message
+
+    def test_p102_exempts_bases_but_requires_their_subclasses(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            purity_tree(
+                extra_defs="""\
+            @dataclass(frozen=True)
+            class TopologyProvider:
+                pass
+
+            @dataclass(frozen=True)
+            class StaticTopology(TopologyProvider):
+                n: int = 0
+
+            @dataclass(frozen=True)
+            class ChurnSchedule(TopologyProvider):
+                events: tuple = ()
+            """,
+                extra_plan_field="topology: TopologyProvider | None = None",
+                wire_extra="\n        StaticTopology,",
+            ),
+        )
+        found = hits(report, "P102")
+        # The abstract base is exempt; registered StaticTopology passes;
+        # unregistered ChurnSchedule (reached via the subclass edge,
+        # not any field annotation) is the one violation.
+        assert len(found) == 1
+        assert "ChurnSchedule" in found[0].message
+
+    def test_p100_flags_unreadable_registry(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            purity_tree(wire_body="WIRE_TYPES = build_registry()\n"),
+        )
+        assert hits(report, "P100")
+
+    def test_p100_flags_missing_purity_root(self, tmp_path):
+        tree = purity_tree()
+        del tree["src/repro/experiments/policy.py"]
+        report = analyze(tmp_path, tree)
+        found = hits(report, "P100")
+        assert any("ExecutionPolicy" in f.message for f in found)
+
+
+# -- registry exhaustiveness (R1xx) ------------------------------------------
+
+
+class TestRegistry:
+    def test_r101_both_directions(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "benchmarks/bench_alpha.py": "pass\n",
+                "scripts/bench_smoke.py": """\
+                    SMOKE = {
+                        "bench_ghost": None,
+                    }
+                """,
+            },
+        )
+        found = hits(report, "R101")
+        assert len(found) == 2
+        messages = " ".join(f.message for f in found)
+        assert "bench_alpha" in messages  # on disk, no entry
+        assert "bench_ghost" in messages  # entry, not on disk
+
+    def test_r101_clean_when_matched(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "benchmarks/bench_alpha.py": "pass\n",
+                "scripts/bench_smoke.py": 'SMOKE = {"bench_alpha": None}\n',
+            },
+        )
+        assert not hits(report, "R101")
+
+    def test_r101_flags_missing_registry_file(self, tmp_path):
+        report = analyze(
+            tmp_path, {"benchmarks/bench_alpha.py": "pass\n"}
+        )
+        assert hits(report, "R101")
+
+    def test_r102_reads_the_tests_registry_as_an_extra(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "examples/quickstart.py": "pass\n",
+                "tests/test_examples.py": 'SMOKE = {"quickstart": None}\n',
+            },
+        )
+        assert not hits(report, "R102")
+
+    def test_r102_flags_unregistered_example(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "examples/quickstart.py": "pass\n",
+                "examples/orphan.py": "pass\n",
+                "tests/test_examples.py": 'SMOKE = {"quickstart": None}\n',
+            },
+        )
+        found = hits(report, "R102")
+        assert len(found) == 1
+        assert "orphan" in found[0].message
+
+
+# -- engine contracts --------------------------------------------------------
+
+
+class TestEngine:
+    def test_e100_parse_failure_is_a_finding_not_a_crash(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "src/broken.py": "def f(:\n",
+                "src/fine.py": "x = 1\n",
+            },
+            paths=["src/broken.py", "src/fine.py"],
+        )
+        found = hits(report, "E100")
+        assert len(found) == 1
+        assert found[0].file == "src/broken.py"
+        assert report.exit_code == 1
+        assert report.checked_files == 2
+
+    def test_s100_unjustified_suppression_fails(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                x = np.random.rand()  # reprolint: ignore[D101]
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "D101")  # the suppression still works...
+        assert hits(report, "S100")  # ...but its bareness is the finding
+        assert report.exit_code == 1
+
+    def test_s101_stale_suppression_fails(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": (
+                "x = 1  # reprolint: ignore[D101] — nothing to see here\n"
+            )},
+            paths=["src/mod.py"],
+        )
+        assert hits(report, "S101")
+        assert report.exit_code == 1
+
+    def test_suppression_only_silences_its_named_rule(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                import time
+                x = np.random.default_rng(int(time.time()))  # reprolint: ignore[D104] — fixture
+            """},
+            paths=["src/mod.py"],
+        )
+        assert not hits(report, "D104")
+        # D103 would not fire (seed present); D104 was the only finding.
+        assert report.exit_code == 0
+
+    def test_baseline_downgrades_to_warning(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"warn": ["D101"]}))
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                x = np.random.rand()
+            """},
+            paths=["src/mod.py"],
+            baseline=baseline,
+        )
+        found = hits(report, "D101")
+        assert len(found) == 1
+        assert found[0].severity == "warning"
+        assert report.exit_code == 0
+
+    def test_baseline_rejects_unknown_rules(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"warn": ["Z999"]}))
+        with pytest.raises(ValueError, match="unknown rules"):
+            analyze(
+                tmp_path,
+                {"src/mod.py": "x = 1\n"},
+                paths=["src/mod.py"],
+                baseline=baseline,
+            )
+
+    def test_json_report_schema(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/mod.py": """\
+                import numpy as np
+                x = np.random.rand()
+            """},
+            paths=["src/mod.py"],
+        )
+        payload = report.to_json()
+        assert payload["version"] == JSON_SCHEMA_VERSION
+        assert payload["checked_files"] == 1
+        assert payload["errors"] == 1
+        assert payload["warnings"] == 0
+        assert set(payload["rules"]) <= ALL_RULE_IDS
+        (finding,) = payload["findings"]
+        assert set(finding) == {"rule", "file", "line", "message", "severity"}
+        assert finding["rule"] == "D101"
+        assert finding["file"] == "src/mod.py"
+
+
+# -- the repository itself ---------------------------------------------------
+
+
+class TestSelfScan:
+    def test_head_is_clean(self):
+        report = run_analysis(REPO)
+        assert report.exit_code == 0, report.to_text()
+
+    def test_cli_full_scan_and_json(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        out = tmp_path / "report.json"
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.staticcheck",
+                "--root",
+                str(REPO),
+                "--format",
+                "json",
+                "--output",
+                str(out),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(out.read_text())
+        assert payload["errors"] == 0
+        assert payload["version"] == JSON_SCHEMA_VERSION
+
+    def test_cli_list_rules_names_every_rule(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.staticcheck", "--list-rules"],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in proc.stdout
+
+    def test_cli_fails_on_reintroduced_violation(self, tmp_path):
+        (tmp_path / "src").mkdir()
+        (tmp_path / "src" / "mod.py").write_text(
+            "import numpy as np\nx = np.random.rand()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.staticcheck",
+                "--root",
+                str(tmp_path),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "D101" in proc.stdout

@@ -82,6 +82,33 @@ def test_results_bit_identical_fixed_slots(stack):
     )
 
 
+def test_fixed_slots_defines_its_own_vector_finalize():
+    """X101 regression: fixed_slots overrides finalize(), so it must
+    carry its own vector_finalize twin — before reprolint, the vector
+    path silently inherited the base hook and only matched the object
+    path by coincidence of the eligible stacks having no schedule."""
+    from repro.experiments.workloads import FixedSlotsWorkload, get_workload
+
+    assert "vector_finalize" in FixedSlotsWorkload.__dict__
+    workload = get_workload("fixed_slots")
+    plan = TrialPlan(
+        deployment=DEPLOYMENT,
+        workload="fixed_slots",
+        options=TrialPlan.pack_options(slots=64),
+    )
+    assert workload.vector_ready(plan)
+
+    class ScheduleLessMac:  # the vector-eligible stack shape
+        pass
+
+    class Stack:
+        macs = [ScheduleLessMac()]
+
+    assert workload.vector_finalize(None, 0, plan, 64) == workload.finalize(
+        Stack(), plan, 64
+    )
+
+
 def test_results_bit_identical_without_physical_trace():
     """record_physical=False (production-throughput mode) matches too."""
     plans = make_plans("decay", 4, None, record_physical=False)
