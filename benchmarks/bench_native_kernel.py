@@ -22,13 +22,30 @@ fallback — ``scripts/bench_compare.py`` skips the speedup gate when
 baseline and fresh record disagree on it, so a machine without a C
 compiler records honestly instead of hard-failing.
 
-Timings use ``time.process_time`` (single-core CPU seconds), best of
-``rounds``, so a noisy CI neighbour cannot fake a regression or a win.
+Two PR-10 row families ride along:
+
+* **sparse-native-n{N}** rows run counters-only sparse-*exact* plans at
+  n ∈ {5000, 10000} through the CSR decode path of the C kernel vs the
+  numpy sparse resolver, asserting the exact-mode decode contract
+  (bit-identical results) and recording the speedup.
+* **native-decay-threads** rows run the decay headline sweep with the
+  trial-parallel thread pool (``native_threads``), 1 thread vs
+  ``THREADS``, timed with ``time.perf_counter`` (threads only shape
+  *wall-clock*; ``process_time`` would sum the cores away).  Results
+  must be bit-identical across thread counts; the ≥2x speedup bar only
+  applies when the host actually has ``THREADS`` cores, and the row's
+  ``backend`` field carries the core count so ``bench_compare`` skips
+  apples-to-oranges comparisons between hosts of different widths.
+
+All other timings use ``time.process_time`` (single-core CPU seconds),
+best of ``rounds``, so a noisy CI neighbour cannot fake a regression or
+a win.
 """
 
 from __future__ import annotations
 
 import json
+import math
 import os
 import time
 from pathlib import Path
@@ -49,6 +66,7 @@ from repro.experiments import (
     seeded_plans,
 )
 from repro.simulation.rng import spawn_trial_seeds
+from repro.sinr.params import SINRParameters, SparseResolution
 
 N = 1000
 SEEDS = 8
@@ -56,6 +74,15 @@ SLOTS = 1000
 RADIUS = 175.0
 DECAY_CONTENTION = 2**30  # conservative poly(N) bound: 30-step sweeps
 ACK_CONTENTION = 4096.0  # mid-size bound: real doubling/fallback traffic
+# Sparse-native rows: constant-density disks (the sparse regime) at the
+# sizes where the resolver beats the dense wall outright.
+SPARSE_NS = (5000, 10000)
+SPARSE_SEEDS = 2
+SPARSE_SLOTS = 200
+SPARSE_TARGET_DEGREE = 16
+# Trial-parallel rows: threads partition the trials axis in C.
+THREADS = 4
+CORES = os.cpu_count() or 1
 ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
 # Absolute bars are the PR acceptance criteria, asserted on full
 # `make bench` runs; `make bench-record` sets REPRO_BENCH_STRICT=0 and
@@ -64,7 +91,9 @@ ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "2"))
 STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") != "0"
 MIN_SPEEDUP = 2.5  # native vs pure-numpy columnar, decay headline row
 MIN_ROW_SPEEDUP = 2.0  # every row, with CI headroom
-MIN_OBJECT_SPEEDUP = 8.0  # native vs object runtime, decay headline row
+MIN_OBJECT_SPEEDUP = 8.0  # every row vs object runtime, decay headline row
+MIN_SPARSE_SPEEDUP = 2.0  # CSR decode path vs the numpy sparse resolver
+MIN_THREAD_SPEEDUP = 2.0  # 4 threads vs 1, only on hosts with the cores
 _ROOT = Path(__file__).resolve().parent.parent
 OUTPUT = _ROOT / "BENCH_native.json"
 
@@ -89,14 +118,43 @@ def make_plans(stack: str) -> list[TrialPlan]:
     return seeded_plans(base, spawn_trial_seeds(SEEDS, seed=7))
 
 
-def time_run(plans, rounds: int, policy: ExecutionPolicy):
-    """Best-of-``rounds`` single-core timing of one executor leg."""
+def make_sparse_plans(n: int) -> list[TrialPlan]:
+    """Counters-only sparse-exact decay plans on a constant-density disk
+    (expected in-range degree ``SPARSE_TARGET_DEGREE`` — the local-
+    physics regime the CSR candidate lists exploit)."""
+    params = SINRParameters(sparse=SparseResolution(mode="exact"))
+    radius = params.transmission_range * math.sqrt(
+        n / SPARSE_TARGET_DEGREE
+    )
+    base = TrialPlan(
+        deployment=DeploymentSpec.of(
+            "uniform_disk", n=n, radius=radius, seed=9
+        ),
+        stack="decay",
+        workload="fixed_slots",
+        options=TrialPlan.pack_options(slots=SPARSE_SLOTS),
+        record_physical=False,
+        params=params,
+        decay_config=DecayConfig(contention_bound=DECAY_CONTENTION),
+        label=f"sparse-native-n{n}",
+    )
+    return seeded_plans(base, spawn_trial_seeds(SPARSE_SEEDS, seed=7))
+
+
+def time_run(plans, rounds: int, policy: ExecutionPolicy, timer=None):
+    """Best-of-``rounds`` timing of one executor leg.
+
+    The default timer is ``process_time`` (single-core CPU seconds);
+    thread-pool legs pass ``perf_counter``, because CPU seconds sum
+    across cores and would erase exactly the win being measured.
+    """
+    timer = timer or time.process_time
     best = None
     results = None
     for _ in range(rounds):
-        start = time.process_time()
+        start = timer()
         results = run_trials(plans, policy)
-        elapsed = time.process_time() - start
+        elapsed = timer() - start
         best = elapsed if best is None else min(best, elapsed)
     return results, best
 
@@ -137,6 +195,75 @@ def run_comparison(rounds: int = ROUNDS) -> dict:
                 "receptions_per_trial": int(auto[0].receptions),
             }
         )
+
+    # Sparse-native rows: the CSR decode path vs the per-slot numpy
+    # sparse resolver, same plans, same exact-mode decode contract.
+    for n in SPARSE_NS:
+        plans = make_sparse_plans(n)
+        points = resolve_deployment(plans[0].deployment)
+        deployment_artifacts(points, plans[0].params)
+        sparse_rounds = max(1, rounds - 1)
+        auto, auto_time = time_run(
+            plans, sparse_rounds, ExecutionPolicy(vectorize=True, native=None)
+        )
+        ref, ref_time = time_run(
+            plans,
+            sparse_rounds,
+            ExecutionPolicy(vectorize=True, native=False),
+        )
+        rows.append(
+            {
+                "workload": f"sparse-native-n{n}",
+                "backend": backend,
+                "n": n,
+                "seeds": SPARSE_SEEDS,
+                "slots": SPARSE_SLOTS,
+                "numpy_seconds": round(ref_time, 3),
+                "native_seconds": round(auto_time, 3),
+                "speedup": round(ref_time / auto_time, 2),
+                "bit_identical": auto == ref,
+                "transmissions_per_trial": int(auto[0].transmissions),
+                "receptions_per_trial": int(auto[0].receptions),
+            }
+        )
+
+    # Trial-parallel row: same decay sweep, 1 kernel thread vs THREADS,
+    # wall-clock.  The backend field carries the host width so
+    # bench_compare never compares thread scaling across machines with
+    # different core counts.
+    plans = make_plans("decay")
+    threaded_backend = (
+        f"{backend}-c{CORES}" if backend == "native" else backend
+    )
+    one, one_time = time_run(
+        plans,
+        rounds,
+        ExecutionPolicy(vectorize=True, native=None, native_threads=1),
+        timer=time.perf_counter,
+    )
+    many, many_time = time_run(
+        plans,
+        rounds,
+        ExecutionPolicy(vectorize=True, native=None, native_threads=THREADS),
+        timer=time.perf_counter,
+    )
+    rows.append(
+        {
+            "workload": f"native-decay-threads{THREADS}",
+            "backend": threaded_backend,
+            "threads": THREADS,
+            "cores": CORES,
+            "n": N,
+            "seeds": SEEDS,
+            "slots": SLOTS,
+            "single_thread_seconds": round(one_time, 3),
+            "threaded_seconds": round(many_time, 3),
+            "speedup": round(one_time / many_time, 2),
+            "bit_identical": one == many,
+            "timer": "perf_counter (wall s, best of rounds)",
+        }
+    )
+
     return {
         "benchmark": "native-kernel",
         "config": {
@@ -146,8 +273,15 @@ def run_comparison(rounds: int = ROUNDS) -> dict:
             "radius": RADIUS,
             "decay_contention_bound": DECAY_CONTENTION,
             "ack_contention_bound": ACK_CONTENTION,
+            "sparse_ns": list(SPARSE_NS),
+            "sparse_seeds": SPARSE_SEEDS,
+            "sparse_slots": SPARSE_SLOTS,
+            "sparse_target_degree": SPARSE_TARGET_DEGREE,
+            "threads": THREADS,
+            "cores": CORES,
             "backend": backend,
-            "timer": "process_time (single-core CPU s, best of rounds)",
+            "timer": "process_time (single-core CPU s, best of rounds); "
+            "perf_counter (wall s) for the threads row",
             "rounds": rounds,
         },
         "rows": rows,
@@ -161,6 +295,10 @@ def test_native_kernel_speedup(benchmark, emit):
 
     rows = report["rows"]
     backend = report["config"]["backend"]
+    dense_rows = [r for r in rows if r["workload"].startswith("native-")
+                  and "threads" not in r["workload"]]
+    sparse_rows = [r for r in rows if r["workload"].startswith("sparse-")]
+    thread_rows = [r for r in rows if "threads" in r["workload"]]
     emit(
         "",
         "=== Native slot loop: 1000-node / 8-seed counters-only sweeps ===",
@@ -177,30 +315,76 @@ def test_native_kernel_speedup(benchmark, emit):
                     f"{r['speedup_vs_object']:.2f}x",
                     r["bit_identical"],
                 ]
-                for r in rows
+                for r in dense_rows
+            ],
+        ),
+        "=== Sparse-native CSR decode path ===",
+        format_table(
+            ["workload", "numpy (s)", "native (s)", "speedup", "identical"],
+            [
+                [
+                    r["workload"],
+                    f"{r['numpy_seconds']:.2f}",
+                    f"{r['native_seconds']:.2f}",
+                    f"{r['speedup']:.2f}x",
+                    r["bit_identical"],
+                ]
+                for r in sparse_rows
+            ],
+        ),
+        "=== Trial-parallel threading (wall-clock) ===",
+        format_table(
+            ["workload", "1 thread (s)", f"{THREADS} threads (s)",
+             "speedup", "cores", "identical"],
+            [
+                [
+                    r["workload"],
+                    f"{r['single_thread_seconds']:.2f}",
+                    f"{r['threaded_seconds']:.2f}",
+                    f"{r['speedup']:.2f}x",
+                    r["cores"],
+                    r["bit_identical"],
+                ]
+                for r in thread_rows
             ],
         ),
         f"backend: {backend}, recorded to {OUTPUT.name}",
     )
 
-    # The defining contract, whichever backend ran: three executors,
-    # one result.
+    # The defining contract, whichever backend or thread count ran:
+    # many executors, one result.
     assert all(r["bit_identical"] for r in rows)
     if STRICT and backend == "native":
         # The acceptance bars: the fused loop must beat the pure-numpy
         # columnar path >= 2.5x on the decay headline row (>= 2x on
-        # every row) and the object runtime >= 8x.
-        assert rows[0]["speedup"] >= MIN_SPEEDUP, (
-            f"native speedup regressed: {rows[0]['speedup']:.2f}x < "
+        # every dense row) and the object runtime >= 8x; the CSR decode
+        # path must beat the per-slot numpy sparse resolver >= 2x.
+        assert dense_rows[0]["speedup"] >= MIN_SPEEDUP, (
+            f"native speedup regressed: {dense_rows[0]['speedup']:.2f}x < "
             f"{MIN_SPEEDUP}x"
         )
-        for r in rows:
+        for r in dense_rows:
             assert r["speedup"] >= MIN_ROW_SPEEDUP, (
                 f"{r['workload']} native speedup regressed: "
                 f"{r['speedup']:.2f}x < {MIN_ROW_SPEEDUP}x"
             )
-        headline = rows[0]["speedup_vs_object"]
+        headline = dense_rows[0]["speedup_vs_object"]
         assert headline >= MIN_OBJECT_SPEEDUP, (
             f"native vs object regressed: {headline:.2f}x < "
             f"{MIN_OBJECT_SPEEDUP}x"
         )
+        for r in sparse_rows:
+            assert r["speedup"] >= MIN_SPARSE_SPEEDUP, (
+                f"{r['workload']} sparse-native speedup regressed: "
+                f"{r['speedup']:.2f}x < {MIN_SPARSE_SPEEDUP}x"
+            )
+        # Thread scaling is a wall-clock property of the host: the >=2x
+        # bar is only meaningful when the machine actually has the
+        # cores to run THREADS workers in parallel.
+        if CORES >= THREADS:
+            for r in thread_rows:
+                assert r["speedup"] >= MIN_THREAD_SPEEDUP, (
+                    f"{r['workload']}: {THREADS}-thread speedup "
+                    f"{r['speedup']:.2f}x < {MIN_THREAD_SPEEDUP}x on a "
+                    f"{CORES}-core host"
+                )

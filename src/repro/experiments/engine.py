@@ -258,8 +258,11 @@ def _run_lockstep(
     # Sparse resolution (params.sparse; shared across the group via the
     # batch key) replaces the batched tensor reduction with per-trial
     # grid resolution — no (trials, n, n) stack is ever built, which is
-    # the point: the O(n²) matrices are what sparse mode avoids.
-    sparse = params.sparse is not None
+    # the point: the O(n²) matrices are what sparse mode avoids.  The
+    # channel is the arbiter, not the spec: below the spec's ``min_n``
+    # crossover no resolver exists and the group stays on the batched
+    # dense reduction (BENCH_sparse.json shows sparse losing at n=1000).
+    sparse = states[0].stack.runtime.channel.sparse_active
     if sparse:
         dist_stack = gain_stack = None
     else:
@@ -442,7 +445,12 @@ def execute_plans(
     out: list[TrialResult | None] = [None] * len(plan_list)
     for key, group in groups.items():
         if "vector" in key:
-            results = run_vector_group(group, cache, native=policy.native)
+            results = run_vector_group(
+                group,
+                cache,
+                native=policy.native,
+                native_threads=policy.native_threads,
+            )
         else:
             results = _run_lockstep(group, cache)
         for index in sorted(results):

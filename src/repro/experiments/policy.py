@@ -69,6 +69,14 @@ class ExecutionPolicy:
         (:mod:`repro.native`): ``None`` defers to ``REPRO_NATIVE`` and
         auto-detects the compiled kernel, ``False`` pins the pure-numpy
         reference, ``True`` demands the compiled kernel.
+    native_threads:
+        Kernel threads partitioning the trials axis inside the fused C
+        slot loop.  ``None`` (default) defers to the
+        ``REPRO_NATIVE_THREADS`` environment variable (itself defaulting
+        to 1); an explicit count must be >= 1.  Like every other field
+        this never changes results — threads share nothing but
+        read-only gains and the equivalence suite pins bit-identity
+        across counts — it only shapes wall-clock.
     share_cache:
         When True (default), execution uses the shared artifact cache
         (the caller-supplied one, or the process-wide
@@ -88,6 +96,7 @@ class ExecutionPolicy:
     workers: int = 1
     vectorize: bool | None = None
     native: bool | None = None
+    native_threads: int | None = None
     share_cache: bool = True
 
     def __post_init__(self) -> None:
@@ -97,6 +106,8 @@ class ExecutionPolicy:
             )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.native_threads is not None and self.native_threads < 1:
+            raise ValueError("native_threads must be >= 1")
         if self.vectorize is True and self.mode == "sequential":
             raise ValueError(
                 "vectorize=True demands the columnar executor, which "
@@ -123,6 +134,8 @@ class ExecutionPolicy:
             parts.append(f"vectorize={self.vectorize}")
         if self.native is not None:
             parts.append(f"native={self.native}")
+        if self.native_threads is not None:
+            parts.append(f"native-threads={self.native_threads}")
         if not self.share_cache:
             parts.append("private-cache")
         return "+".join(parts)

@@ -41,6 +41,7 @@ __all__ = [
     "lib_path",
     "load",
     "resolve_backend",
+    "resolve_threads",
     "NativeState",
     "EV_ACK",
     "EV_WAKE",
@@ -65,8 +66,10 @@ class NativeState(ctypes.Structure):
     _fields_ = [
         ("trials", ctypes.c_long),
         ("n", ctypes.c_long),
-        ("k", ctypes.c_long),
+        ("nthreads", ctypes.c_long),
         ("kind", ctypes.c_long),
+        ("sparse", ctypes.c_long),
+        ("trial_target", ctypes.c_void_p),
         ("live", ctypes.c_void_p),
         ("busy", ctypes.c_void_p),
         ("awake", ctypes.c_void_p),
@@ -79,6 +82,8 @@ class NativeState(ctypes.Structure):
         ("gain_stride", ctypes.c_long),
         ("noise", ctypes.c_double),
         ("beta", ctypes.c_double),
+        ("nbr", ctypes.c_void_p),
+        ("indptr", ctypes.c_void_p),
         ("slots_run", ctypes.c_void_p),
         ("transmissions", ctypes.c_void_p),
         ("phase_length", ctypes.c_void_p),
@@ -101,8 +106,8 @@ class NativeState(ctypes.Structure):
         ("tx_totals", ctypes.c_void_p),
         ("rx_totals", ctypes.c_void_p),
         ("events", ctypes.c_void_p),
-        ("ev_cap", ctypes.c_long),
-        ("ev_len", ctypes.c_long),
+        ("ev_seg", ctypes.c_long),
+        ("ev_lens", ctypes.c_void_p),
         ("sc_tx", ctypes.c_void_p),
         ("sc_tot", ctypes.c_void_p),
         ("sc_txflag", ctypes.c_void_p),
@@ -110,6 +115,11 @@ class NativeState(ctypes.Structure):
         ("sc_decoded", ctypes.c_void_p),
         ("sc_rx_listener", ctypes.c_void_p),
         ("sc_rx_sender", ctypes.c_void_p),
+        ("sc_cand", ctypes.c_void_p),
+        ("sc_candflag", ctypes.c_void_p),
+        # C11 _Atomic long: same size and alignment as long on LP64;
+        # only the C side touches it concurrently.
+        ("error", ctypes.c_long),
     ]
 
 
@@ -178,3 +188,31 @@ def resolve_backend(explicit: bool | None = None) -> bool:
             f"not built; run `make native` (source: {SOURCE})"
         )
     return True
+
+
+def resolve_threads(explicit: int | None = None) -> int:
+    """How many kernel threads partition the trials axis.
+
+    ``explicit`` is the ``native_threads=`` knob threaded down from
+    :class:`~repro.experiments.policy.ExecutionPolicy`; ``None`` defers
+    to the ``REPRO_NATIVE_THREADS`` environment variable, and an unset
+    (or unparseable) variable keeps the single-threaded default.  The
+    count only shapes wall-clock: results are bit-identical for every
+    value (the equivalence suite pins {1, 2, 8}).
+    """
+    if explicit is not None:
+        if explicit < 1:
+            raise ValueError("native_threads must be >= 1")
+        return int(explicit)
+    env = os.environ.get("REPRO_NATIVE_THREADS", "").strip()
+    if env:
+        try:
+            threads = int(env)
+        except ValueError:
+            raise RuntimeError(
+                f"REPRO_NATIVE_THREADS={env!r} is not an integer"
+            ) from None
+        if threads < 1:
+            raise RuntimeError("REPRO_NATIVE_THREADS must be >= 1")
+        return threads
+    return 1

@@ -8,6 +8,12 @@ native`` and the best-effort hook in ``setup.py`` both land here; the
 module is import-safe without numpy or the repro package (``setup.py``
 runs it before any dependency is installed).
 
+Staleness is judged against a *build stamp* sidecar, not mtimes alone:
+the stamp records the source hash, the flag list and the compiler
+identity of the last successful build, so changing ``_FLAGS`` (adding
+``-pthread``…) or switching compilers rebuilds even though the ``.so``
+postdates the ``.c``.  A missing or unreadable stamp counts as stale.
+
 Usage::
 
     PYTHONPATH=src python -m repro.native.build          # build if stale
@@ -16,20 +22,23 @@ Usage::
 
 from __future__ import annotations
 
+import hashlib
+import json
 import shutil
 import subprocess
 import sys
 from pathlib import Path
 
-__all__ = ["SOURCE", "TARGET", "build", "main"]
+__all__ = ["SOURCE", "TARGET", "STAMP", "build", "build_stamp", "main"]
 
 SOURCE = Path(__file__).resolve().parent / "_advance.c"
 TARGET = SOURCE.with_suffix(".so")
+STAMP = SOURCE.with_suffix(".buildstamp.json")
 
-# First available compiler wins; -O3 -fPIC -shared is all the kernel
-# needs (pure C99 + libm, no Python or numpy headers).
+# First available compiler wins; the kernel is C11 (stdatomic) + libm +
+# pthreads, no Python or numpy headers.
 _COMPILERS = ("cc", "gcc", "clang")
-_FLAGS = ("-O3", "-fPIC", "-shared", "-fvisibility=default")
+_FLAGS = ("-O3", "-fPIC", "-shared", "-fvisibility=default", "-pthread")
 
 
 def _find_compiler() -> str | None:
@@ -38,6 +47,40 @@ def _find_compiler() -> str | None:
         if path:
             return path
     return None
+
+
+def _compiler_identity(compiler: str) -> str:
+    """A stable fingerprint of the compiler binary.
+
+    Version output would be ideal but costs a subprocess per staleness
+    probe; path + mtime + size changes whenever the toolchain is
+    upgraded in place, which is the case the stamp must catch.
+    """
+    try:
+        stat = Path(compiler).stat()
+    except OSError:
+        return compiler
+    return f"{compiler}:{int(stat.st_mtime)}:{stat.st_size}"
+
+
+def build_stamp(compiler: str) -> dict:
+    """The stamp a successful build of the current source would write."""
+    digest = hashlib.sha256(SOURCE.read_bytes()).hexdigest()
+    return {
+        "source_sha256": digest,
+        "flags": list(_FLAGS),
+        "compiler": _compiler_identity(compiler),
+    }
+
+
+def _is_fresh(compiler: str) -> bool:
+    if not TARGET.is_file() or not STAMP.is_file():
+        return False
+    try:
+        recorded = json.loads(STAMP.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return False
+    return recorded == build_stamp(compiler)
 
 
 def build(force: bool = False, quiet: bool = False) -> Path | None:
@@ -50,14 +93,6 @@ def build(force: bool = False, quiet: bool = False) -> Path | None:
     """
     if not SOURCE.is_file():
         raise FileNotFoundError(f"native kernel source missing: {SOURCE}")
-    if (
-        not force
-        and TARGET.is_file()
-        and TARGET.stat().st_mtime >= SOURCE.stat().st_mtime
-    ):
-        if not quiet:
-            print(f"native kernel up to date: {TARGET}")
-        return TARGET
     compiler = _find_compiler()
     if compiler is None:
         if not quiet:
@@ -67,6 +102,10 @@ def build(force: bool = False, quiet: bool = False) -> Path | None:
                 + "); the pure-numpy fallback stays active"
             )
         return None
+    if not force and _is_fresh(compiler):
+        if not quiet:
+            print(f"native kernel up to date: {TARGET}")
+        return TARGET
     cmd = [compiler, *_FLAGS, "-o", str(TARGET), str(SOURCE), "-lm"]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -74,6 +113,9 @@ def build(force: bool = False, quiet: bool = False) -> Path | None:
             f"native kernel build failed ({' '.join(cmd)}):\n"
             f"{proc.stdout}{proc.stderr}"
         )
+    STAMP.write_text(
+        json.dumps(build_stamp(compiler), indent=2) + "\n", encoding="utf-8"
+    )
     if not quiet:
         print(f"built native kernel: {TARGET}")
     return TARGET

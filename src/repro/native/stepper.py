@@ -2,26 +2,30 @@
 
 A :class:`NativeStepper` is created lazily by the runtime the first
 time a batch advances through the native backend, and reused for the
-batch's whole life: it pins the gain-stack base pointer, allocates the
-event sink and scratch arrays once, and on every call
+batch's whole life: it pins the gain base pointer (dense stack, or the
+shared dense matrix the sparse CSR path gathers from), allocates the
+event sink and per-thread scratch blocks once, and on every call
 
-1. caps the stride at the tightest per-trial slot budget,
+1. caps the stride at the tightest per-trial slot budget and writes the
+   per-trial absolute slot targets,
 2. hands the runtime's *live* columnar state (kernel columns, busy /
    awake / seen / tx_mid, the NodeUniformBuffer storage) to
    ``repro_advance_slots`` by pointer — the C kernel mutates the very
    arrays the numpy path reads, so the two backends can interleave
    slot by slot without any copying or divergence,
-3. drains the C event records into the per-trial
-   :class:`~repro.simulation.trace.EventTrace` objects (acks → wakes →
-   rcvs per slot, the numpy fast path's per-kind subsequences), folds
-   the counter accumulators into each trial's channel, detaches acked
+3. drains each thread's event segment (segment order is ascending
+   trial-range order, so per-trial event order is thread-count
+   invariant) into the per-trial
+   :class:`~repro.simulation.trace.EventTrace` objects, folds the
+   counter accumulators into each trial's channel, detaches acked
    messages, and refills exhausted uniform lanes whole-chunk exactly
    as ``NodeUniformBuffer.take`` would before re-entering C.
 
 The stepper never runs unless the runtime's eligibility probe passed
-(counters-only, adapter-free, adversary-free, dense deterministic
-physics, no churn mask) — every other slot shape falls back to the
-numpy step, transparently, in ``VectorRuntime.advance_slots``.
+(counters-only, adapter-free, adversary-free, deterministic physics —
+dense, or sparse-exact over one shared resolver — no churn mask); every
+other slot shape falls back to the numpy step, transparently, in
+``VectorRuntime.advance_slots``.
 """
 
 from __future__ import annotations
@@ -54,7 +58,7 @@ def _ptr(array: np.ndarray | None):
 class NativeStepper:
     """One batch's bridge to ``repro_advance_slots`` (see module doc)."""
 
-    def __init__(self, runtime) -> None:
+    def __init__(self, runtime, threads: int = 1) -> None:
         lib = load()
         if lib is None:
             raise RuntimeError("native kernel is not built")
@@ -63,35 +67,68 @@ class NativeStepper:
         n = runtime.n
         trials = runtime.trials
         kernel = runtime.kernel
+        # More threads than trials would only spawn idle workers; the
+        # partition stays deterministic for a fixed clamped count, so a
+        # trial's event segment never moves between calls.
+        self._nthreads = max(1, min(int(threads), trials))
 
-        # The gain stack is immutable for native-eligible batches (no
-        # dynamic topology): pin its base pointer once.  A zero-stride
+        sparse = bool(runtime._sparse)
+        # The gains are immutable for native-eligible batches (no
+        # dynamic topology): pin the base pointer once.  A zero-stride
         # broadcast view (shared deployment, the common sweep) gathers
-        # through its base matrix, exactly like the numpy kernel.
+        # through its base matrix, exactly like the numpy kernel.  The
+        # sparse-exact path has no stack at all — eligibility demands
+        # one shared resolver, hence one deployment, and the C side
+        # gathers the *dense* matrix entries the numpy sparse resolver
+        # provably reproduces (recomputing powers in C is off the table:
+        # libm pow is not bit-identical to numpy's).
         gains = runtime._gain_stack
-        if gains.ndim == 3 and gains.strides[0] == 0:
+        if gains is None:
+            self._gains = np.ascontiguousarray(runtime.channels[0].gains)
+            gain_stride = 0
+        elif gains.ndim == 3 and gains.strides[0] == 0:
             self._gains = np.ascontiguousarray(gains[0])
             gain_stride = 0
         else:
             self._gains = np.ascontiguousarray(gains)
             gain_stride = n * n
+        if sparse:
+            resolver = runtime.channels[0]._resolver
+            self._nbr = np.ascontiguousarray(resolver._nbr, dtype=np.int64)
+            self._indptr = np.ascontiguousarray(
+                resolver._indptr, dtype=np.int64
+            )
+        else:
+            self._nbr = None
+            self._indptr = None
 
         self._live = np.zeros(trials, dtype=np.uint8)
+        self._trial_target = np.zeros(trials, dtype=np.int64)
         self._trial_slots = np.zeros(trials, dtype=np.int64)
         self._slot_counts = np.zeros(trials, dtype=np.int64)
         self._tx_totals = np.zeros(trials, dtype=np.int64)
         self._rx_totals = np.zeros(trials, dtype=np.int64)
-        # Event sink: the C side checks a worst case of 3·live·n rows
-        # per slot before entering it, so doubling that guarantees at
-        # least one slot of progress per call while letting sparse-event
-        # stretches (the common case) run for thousands of slots.
-        self._ev_cap = max(6 * trials * n, 1 << 14)
-        self._events = np.empty((self._ev_cap, 5), dtype=np.int64)
+        # Event sink: one segment per thread.  The C side checks a
+        # worst case of 3n rows before entering a slot, so a segment of
+        # at least 6n guarantees every thread at least one slot of
+        # progress per call while letting sparse-event stretches (the
+        # common case) run for thousands of slots.
+        self._ev_seg = max(
+            6 * n,
+            (max(6 * trials * n, 1 << 14) + self._nthreads - 1)
+            // self._nthreads,
+        )
+        self._events = np.empty((self._nthreads * self._ev_seg, 5),
+                                dtype=np.int64)
+        self._ev_lens = np.zeros(self._nthreads, dtype=np.int64)
 
         state = NativeState()
         state.trials = trials
         state.n = n
+        state.nthreads = self._nthreads
         state.kind = kernel.NATIVE_KIND
+        state.sparse = 1 if sparse else 0
+        state.trial_target = _ptr(self._trial_target)
         state.live = _ptr(self._live)
         state.busy = _ptr(runtime._busy)
         state.awake = _ptr(runtime._awake)
@@ -104,6 +141,8 @@ class NativeStepper:
         state.gain_stride = gain_stride
         state.noise = float(runtime.params.noise)
         state.beta = float(runtime.params.beta)
+        state.nbr = _ptr(self._nbr)
+        state.indptr = _ptr(self._indptr)
         for name, column in kernel.native_columns().items():
             setattr(state, name, _ptr(column))
         state.trial_slots = _ptr(self._trial_slots)
@@ -111,18 +150,22 @@ class NativeStepper:
         state.tx_totals = _ptr(self._tx_totals)
         state.rx_totals = _ptr(self._rx_totals)
         state.events = _ptr(self._events)
-        state.ev_cap = self._ev_cap
+        state.ev_seg = self._ev_seg
+        state.ev_lens = _ptr(self._ev_lens)
         self._scratch = {
-            "sc_tx": np.empty(n, dtype=np.int64),
-            "sc_tot": np.empty(n, dtype=np.float64),
-            "sc_txflag": np.empty(n, dtype=np.uint8),
-            "sc_stepped": np.empty(n, dtype=np.uint8),
-            "sc_decoded": np.empty(n, dtype=np.uint8),
-            "sc_rx_listener": np.empty(n, dtype=np.int64),
-            "sc_rx_sender": np.empty(n, dtype=np.int64),
+            "sc_tx": np.empty(self._nthreads * n, dtype=np.int64),
+            "sc_tot": np.empty(self._nthreads * n, dtype=np.float64),
+            "sc_txflag": np.empty(self._nthreads * n, dtype=np.uint8),
+            "sc_stepped": np.empty(self._nthreads * n, dtype=np.uint8),
+            "sc_decoded": np.empty(self._nthreads * n, dtype=np.uint8),
+            "sc_rx_listener": np.empty(self._nthreads * n, dtype=np.int64),
+            "sc_rx_sender": np.empty(self._nthreads * n, dtype=np.int64),
+            "sc_cand": np.empty(self._nthreads * n, dtype=np.int64),
+            "sc_candflag": np.empty(self._nthreads * n, dtype=np.uint8),
         }
         for name, array in self._scratch.items():
             setattr(state, name, _ptr(array))
+        state.error = 0
         self._state = state
 
     def advance(self, k: int, rows: list[int]) -> int:
@@ -147,50 +190,61 @@ class NativeStepper:
         self._slot_counts[:] = 0
         self._tx_totals[:] = 0
         self._rx_totals[:] = 0
+        row_idx = np.asarray(rows, dtype=np.intp)
+        self._trial_target[:] = self._trial_slots
+        self._trial_target[row_idx] += k
 
-        done = 0
-        while done < k:
-            state.k = k - done
-            state.ev_len = 0
-            advanced = int(
-                self._lib.repro_advance_slots(ctypes.byref(state))
-            )
-            if advanced < 0:
-                if advanced == ERR_BETA_VIOLATION:
+        while True:
+            before = self._trial_slots[row_idx].sum()
+            rc = int(self._lib.repro_advance_slots(ctypes.byref(state)))
+            if rc < 0:
+                if rc == ERR_BETA_VIOLATION:
                     raise RuntimeError(
                         "beta > 1 violated: two decodable senders at "
                         "one listener"
                     )
                 raise RuntimeError(
-                    f"native kernel failed with code {advanced}"
-                )
-            if state.ev_len:
-                self._drain_events(state.ev_len)
-            done += advanced
-            if done < k and not self._refill_uniforms() and advanced == 0:
+                    f"native kernel failed with code {rc}"
+                )  # pragma: no cover - no other codes exist
+            self._drain_events()
+            pending = self._trial_slots[row_idx] < self._trial_target[row_idx]
+            if not pending.any():
+                break
+            progressed = self._trial_slots[row_idx].sum() > before
+            if not self._refill_uniforms() and not progressed:
                 raise RuntimeError(
                     "native kernel made no progress"
                 )  # pragma: no cover - defensive
         self._sync_counters(rows)
-        return done
+        return k
 
-    def _drain_events(self, count: int) -> None:
+    def _drain_events(self) -> None:
         """Append the C event records to the per-trial traces.
 
-        Ack events also detach the acked broadcast from ``_current``
-        (adapter-free batches never rebroadcast mid-advance, so the
-        message at drain time is the message that acked)."""
+        Segments drain in thread order — ascending contiguous trial
+        ranges — and a trial's events always land in the same segment,
+        so each trial's event stream is in slot order regardless of
+        thread count or how many calls the stride took.  Ack events
+        also detach the acked broadcast from ``_current`` (adapter-free
+        batches never rebroadcast mid-advance, so the message at drain
+        time is the message that acked)."""
         runtime = self._runtime
         traces = runtime.traces
         current = runtime._current
         make = TraceEvent._make
-        rows = self._events[:count].tolist()
-        for trial, slot, code, node, mid in rows:
-            kind = _EVENT_KINDS[code]
-            data = None if code == EV_WAKE else mid
-            traces[trial].events.append(make((slot, kind, node, data)))
-            if code == EV_ACK:
-                current[trial][node] = None
+        seg = self._ev_seg
+        for th, count in enumerate(self._ev_lens.tolist()):
+            if not count:
+                continue
+            base = th * seg
+            for trial, slot, code, node, mid in self._events[
+                base : base + count
+            ].tolist():
+                kind = _EVENT_KINDS[code]
+                data = None if code == EV_WAKE else mid
+                traces[trial].events.append(make((slot, kind, node, data)))
+                if code == EV_ACK:
+                    current[trial][node] = None
 
     def _refill_uniforms(self) -> bool:
         """Refill exhausted lanes that will step next slot; True if any.

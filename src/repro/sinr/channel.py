@@ -198,6 +198,7 @@ class Channel:
         self._resolver = (
             self._build_resolver(points)
             if self.sparse_spec is not None
+            and len(points) >= self.sparse_spec.min_n
             else None
         )
         self._slot_count = 0
@@ -253,8 +254,15 @@ class Channel:
 
     @property
     def sparse_active(self) -> bool:
-        """Does a sparse resolution spec govern this deployment?"""
-        return self.sparse_spec is not None
+        """Does a sparse resolver actually govern this deployment?
+
+        False for deployments below the spec's ``min_n`` crossover even
+        when a spec is present — those resolve through the dense
+        kernels, and every consumer (lockstep batching, the columnar
+        runtime's per-trial sparse loop) keys off *this* rather than
+        the spec so the small-n fallback is a single decision.
+        """
+        return self._resolver is not None
 
     @property
     def stochastic(self) -> bool:
@@ -343,7 +351,10 @@ class Channel:
         if update.points is None:
             return False
         self.points = update.points
-        if self.sparse_spec is not None:
+        if (
+            self.sparse_spec is not None
+            and len(update.points) >= self.sparse_spec.min_n
+        ):
             # Epoch contract for the sparse layer: the grid is rebuilt
             # (through the cache, so a shared trajectory shares each
             # epoch's resolver) and the lazy dense matrices are dropped

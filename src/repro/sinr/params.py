@@ -58,11 +58,21 @@ class SparseResolution:
     (``None`` derives a default from the transmission range).  It has
     no effect in exact mode, but stays part of the cache key either
     way so resolvers are never shared across differing grids.
+
+    ``min_n`` is the dense/sparse crossover: deployments smaller than
+    this never build a resolver and resolve through the dense kernels
+    instead (``BENCH_sparse.json`` records the sparse paths *slower*
+    than dense at n=1000 — grid bookkeeping dominates when the whole
+    deployment fits in a few cells).  The default sits between the
+    measured n=1000 regression and the n=2500 win; ``min_n=1`` forces
+    the resolver on for any size (how the small-n equivalence tests
+    keep exercising the sparse path).
     """
 
     mode: str = "exact"
     epsilon: float = 0.05
     cell_size: float | None = None
+    min_n: int = 2000
 
     def __post_init__(self) -> None:
         if self.mode not in ("exact", "farfield"):
@@ -73,6 +83,8 @@ class SparseResolution:
             raise ValueError("sparse epsilon must be in (0, 1)")
         if self.cell_size is not None and self.cell_size <= 0:
             raise ValueError("sparse cell_size must be positive")
+        if self.min_n < 1:
+            raise ValueError("sparse min_n must be >= 1")
 
     def describe(self) -> str:
         """Compact summary for experiment reports."""

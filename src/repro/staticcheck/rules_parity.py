@@ -11,6 +11,14 @@ vector twin (or an explicit ``vector_ineligible = True`` marker on
 workloads that opt out of the fast path entirely).  X102 catches the
 inverse half-opt-in: vector hooks with no ``vector_ready`` gate are
 dead code, because the base gate returns False.
+
+X103 guards the *backend selection* boundary the same way: every
+predicate of ``VectorRuntime._native_ok`` — the probe deciding whether
+a stride runs through the fused C kernel — must have a matching row in
+the ``NATIVE_ELIGIBILITY_CASES`` decision table of
+``tests/test_native_equivalence.py``.  A new eligibility knob without a
+table row would ship untested selection logic: the knob could route
+work to the wrong backend and no test would notice.
 """
 
 from __future__ import annotations
@@ -18,9 +26,14 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from repro.staticcheck.engine import Finding, SourceFile, rule
+from repro.staticcheck.engine import Finding, Project, SourceFile, rule
 
-__all__ = ["workload_classes", "check_vector_twins", "check_vector_gate"]
+__all__ = [
+    "workload_classes",
+    "check_vector_twins",
+    "check_vector_gate",
+    "check_native_eligibility_table",
+]
 
 #: object-path hook -> required columnar twin.
 _HOOK_TWINS = {
@@ -147,3 +160,134 @@ def check_vector_gate(source: SourceFile) -> Iterator[Finding]:
                     f"{_INELIGIBLE_MARKER} = True if opting out)"
                 ),
             )
+
+
+_NATIVE_PREDICATE_FILE = "src/repro/vectorized/runtime.py"
+_NATIVE_PREDICATE_NAME = "_native_ok"
+_NATIVE_TABLE_FILE = "tests/test_native_equivalence.py"
+_NATIVE_TABLE_NAME = "NATIVE_ELIGIBILITY_CASES"
+
+
+def _native_ok_predicates(
+    tree: ast.Module,
+) -> tuple[set[str], int] | None:
+    """The ``self.<attr>`` names ``_native_ok`` tests, plus its line."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.FunctionDef)
+            and node.name == _NATIVE_PREDICATE_NAME
+        ):
+            names = {
+                sub.attr
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            }
+            return names, node.lineno
+    return None
+
+
+def _table_row_names(tree: ast.Module) -> tuple[set[str], int] | None:
+    """First-element string of every NATIVE_ELIGIBILITY_CASES row."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == _NATIVE_TABLE_NAME
+                and isinstance(node.value, (ast.List, ast.Tuple))
+            ):
+                names = set()
+                for row in node.value.elts:
+                    if (
+                        isinstance(row, ast.Tuple)
+                        and row.elts
+                        and isinstance(row.elts[0], ast.Constant)
+                        and isinstance(row.elts[0].value, str)
+                    ):
+                        names.add(row.elts[0].value)
+                return names, node.lineno
+    return None
+
+
+@rule(
+    rule_id="X103",
+    family="parity",
+    summary=(
+        "every VectorRuntime._native_ok backend-eligibility predicate "
+        "needs a row in the NATIVE_ELIGIBILITY_CASES decision table of "
+        "tests/test_native_equivalence.py (and no stale rows)"
+    ),
+    project=True,
+)
+def check_native_eligibility_table(project: Project) -> Iterator[Finding]:
+    """A new eligibility knob in the native-backend probe must land with
+    a selection test; a removed knob must not leave a stale table row.
+
+    The rule is silent when the runtime module itself is absent (unit
+    fixtures scan synthetic trees) but strict once it exists: a missing
+    probe, a missing table, or any one-sided name is an error.
+    """
+    source = project.file(_NATIVE_PREDICATE_FILE)
+    if source is None:
+        return
+    if source.tree is None:  # parse failure is E100's finding
+        return
+    probe = _native_ok_predicates(source.tree)
+    if probe is None:
+        yield Finding(
+            rule="X103",
+            file=_NATIVE_PREDICATE_FILE,
+            line=1,
+            message=(
+                f"{_NATIVE_PREDICATE_NAME}() not found; the native "
+                "backend-eligibility probe moved — update X103's anchor"
+            ),
+        )
+        return
+    predicates, line = probe
+    # tests/ is outside the scanned roots by design (fixtures trip
+    # rules); the decision table is loaded as an extra.
+    table_source = project.read_extra(_NATIVE_TABLE_FILE)
+    table = (
+        None
+        if table_source is None or table_source.tree is None
+        else _table_row_names(table_source.tree)
+    )
+    if table is None:
+        yield Finding(
+            rule="X103",
+            file=_NATIVE_PREDICATE_FILE,
+            line=line,
+            message=(
+                f"{_NATIVE_TABLE_NAME} not found in {_NATIVE_TABLE_FILE}; "
+                "the backend-selection decision table must exist"
+            ),
+        )
+        return
+    rows, table_line = table
+    for name in sorted(predicates - rows):
+        yield Finding(
+            rule="X103",
+            file=_NATIVE_PREDICATE_FILE,
+            line=line,
+            message=(
+                f"{_NATIVE_PREDICATE_NAME}() tests self.{name} but "
+                f"{_NATIVE_TABLE_NAME} has no {name!r} row — add a "
+                "selection test for the new eligibility knob"
+            ),
+        )
+    for name in sorted(rows - predicates):
+        yield Finding(
+            rule="X103",
+            file=_NATIVE_PREDICATE_FILE,
+            line=line,
+            message=(
+                f"{_NATIVE_TABLE_NAME} (line {table_line} of "
+                f"{_NATIVE_TABLE_FILE}) has a {name!r} row but "
+                f"{_NATIVE_PREDICATE_NAME}() no longer tests it — drop "
+                "the stale row"
+            ),
+        )

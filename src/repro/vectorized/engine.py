@@ -98,6 +98,7 @@ def run_vector_group(
     group: Sequence[tuple[int, TrialPlan]],
     cache: ArtifactCache | None = None,
     native: bool | None = None,
+    native_threads: int | None = None,
 ) -> dict[int, TrialResult]:
     """Advance one batch-compatible group of eligible plans in lockstep.
 
@@ -105,8 +106,9 @@ def run_vector_group(
     list, exactly like the object lockstep executor; all plans must
     share node count, SINR parameters, stack kind and workload (one
     columnar client population serves the whole batch).  ``native``
-    selects the runtime backend (see :class:`VectorRuntime`); the
-    results are bit-identical either way.
+    selects the runtime backend and ``native_threads`` its trial-axis
+    thread count (see :class:`VectorRuntime`); the results are
+    bit-identical either way.
     """
     stack_kind = group[0][1].stack
     params = group[0][1].params
@@ -173,6 +175,7 @@ def run_vector_group(
         record_physical=record_physical,
         chunk=chunk,
         native=native,
+        native_threads=native_threads,
     )
     # Reactive-protocol workloads bring a columnar client population,
     # wired to the runtime through the MAC adapter; bare workloads

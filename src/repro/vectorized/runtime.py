@@ -46,7 +46,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.events import BcastMessage, MessageRegistry
-from repro.native import resolve_backend
+from repro.native import resolve_backend, resolve_threads
 from repro.simulation.rng import NodeUniformBuffer, spawn_node_rngs
 from repro.simulation.trace import EventTrace, TraceEvent
 from repro.sinr.channel import Channel
@@ -57,8 +57,11 @@ __all__ = ["VectorRuntime"]
 _EMPTY_IDS = np.empty(0, dtype=np.intp)
 
 # Byte ceiling for the rcv-dedup boolean matrix ((trials·n, n) cells);
-# batches beyond it use the per-decode set fallback instead.
-SEEN_MATRIX_CAP = 64 << 20
+# batches beyond it use the per-decode set fallback instead.  256 MiB
+# admits a single n=10000 trial (1e8 cells) — the sparse-native bench
+# shape — while still refusing the quadratic blowup of big-n *many*
+# trial batches.
+SEEN_MATRIX_CAP = 256 << 20
 
 
 class VectorRuntime:
@@ -90,9 +93,15 @@ class VectorRuntime:
         (default) defers to the ``REPRO_NATIVE`` environment variable
         and otherwise auto-selects whatever is available.  Either way
         every slot shape the C kernel does not cover (tracing, fading,
-        churn, adversaries, adapters, sparse physics) transparently
-        runs the numpy step — the backends produce bit-identical
-        results, so this is purely a speed knob.
+        churn, adversaries, adapters, approximate-sparse physics)
+        transparently runs the numpy step — the backends produce
+        bit-identical results, so this is purely a speed knob.
+        Sparse-*exact* batches over one shared resolver ride the fused
+        CSR decode path.
+    native_threads:
+        Kernel threads partitioning the trials axis inside the C loop
+        (``None`` defers to ``REPRO_NATIVE_THREADS``, default 1).
+        Purely wall-clock: results are bit-identical for every count.
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class VectorRuntime:
         record_physical: bool = True,
         chunk: int = 512,
         native: bool | None = None,
+        native_threads: int | None = None,
     ) -> None:
         self.channels = list(channels)
         if not self.channels:
@@ -141,6 +151,21 @@ class VectorRuntime:
         # grid resolution: no (trials, n, n) stack is built, keeping
         # the columnar path free of the O(n²) matrices too.
         self._sparse = self.channels[0].sparse_active
+        # Sparse-exact batches where every trial shares ONE resolver
+        # object (same deployment + spec through the artifact cache)
+        # stay native-eligible: the C kernel walks the shared CSR
+        # candidate lists and gathers the shared dense gain matrix —
+        # bit-identical to the numpy sparse resolver by construction.
+        # Approximate modes and per-trial resolvers take the numpy step.
+        self._sparse_native_ok = False
+        if self._sparse:
+            resolver = self.channels[0]._resolver
+            spec = self.channels[0].sparse_spec
+            self._sparse_native_ok = (
+                spec is not None
+                and spec.mode == "exact"
+                and all(c._resolver is resolver for c in self.channels)
+            )
         if self._sparse:
             self._dist_stack = None
             self._gain_stack = None
@@ -213,6 +238,7 @@ class VectorRuntime:
         # first slot that actually qualifies.  native_slots counts the
         # slots the compiled kernel advanced — 0 under the fallback.
         self._use_native = resolve_backend(native)
+        self._native_threads = resolve_threads(native_threads)
         self._native_stepper = None
         self.native_slots = 0
 
@@ -710,17 +736,19 @@ class VectorRuntime:
         """Can the *next* slot run through the fused C kernel?
 
         The compiled loop covers exactly the counters-only deterministic
-        fast path: everything else — physical tracing, adversaries,
-        sparse or stochastic or dynamic physics, churn masks, attached
-        adapters, kernels without native columns — takes the numpy step.
-        Checked per stride because eligibility can change mid-batch
-        (e.g. an adapter attaching, churn starting).
+        fast path — dense physics, or sparse-exact over one shared
+        resolver (the CSR decode path): everything else — physical
+        tracing, adversaries, approximate-sparse / stochastic / dynamic
+        physics, churn masks, attached adapters, kernels without native
+        columns — takes the numpy step.  Checked per stride because
+        eligibility can change mid-batch (e.g. an adapter attaching,
+        churn starting).
         """
         return (
             self._use_native
             and self.adapter is None
             and not self._has_adversary
-            and not self._sparse
+            and (not self._sparse or self._sparse_native_ok)
             and not self._stochastic
             and not self._dynamic
             and self._alive is None
@@ -733,7 +761,9 @@ class VectorRuntime:
         from repro.native.stepper import NativeStepper
 
         if self._native_stepper is None:
-            self._native_stepper = NativeStepper(self)
+            self._native_stepper = NativeStepper(
+                self, threads=self._native_threads
+            )
         done = self._native_stepper.advance(k, rows)
         self.native_slots += done
         return done

@@ -121,7 +121,11 @@ def test_native_record_is_in_the_compare_defaults():
     assert "native-decay" in rows and "native-ack" in rows
     for row in rows.values():
         assert row["bit_identical"]
-        assert row["backend"] in ("native", "numpy")
+        # The threaded row tags its backend native-c{cores} so the gate
+        # warn-skips cross-machine core-count comparisons.
+        assert row["backend"] in ("native", "numpy") or row[
+            "backend"
+        ].startswith("native-c")
         assert compare.row_speedup(row) is not None
 
 

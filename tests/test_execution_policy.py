@@ -57,6 +57,7 @@ class TestExecutionPolicy:
             workers=1,
             vectorize=None,
             native=None,
+            native_threads=None,
             share_cache=True,
         )
 
@@ -74,6 +75,12 @@ class TestExecutionPolicy:
     def test_rejects_nonpositive_workers(self):
         with pytest.raises(ValueError, match="workers"):
             ExecutionPolicy(workers=0)
+
+    def test_rejects_nonpositive_native_threads(self):
+        with pytest.raises(ValueError, match="native_threads"):
+            ExecutionPolicy(native_threads=0)
+        # None defers to REPRO_NATIVE_THREADS; 1 is explicit serial.
+        assert ExecutionPolicy(native_threads=1).native_threads == 1
 
     def test_rejects_sequential_vectorize_demand(self):
         with pytest.raises(ValueError, match="columnar"):
@@ -97,6 +104,9 @@ class TestExecutionPolicy:
         ).describe()
         assert "workers=3" in text and "native=True" in text
         assert "private-cache" in text
+        assert "native-threads=4" in ExecutionPolicy(
+            native_threads=4
+        ).describe()
 
 
 class TestResolvePolicy:

@@ -122,7 +122,9 @@ def test_sparse_exact_reproduces_golden_fixture(name):
     fixture = _fixture_path(name)
     assert fixture.is_file()
     expected = json.loads(fixture.read_text(encoding="utf-8"))
-    sparse = SINRParameters(sparse=SparseResolution(mode="exact"))
+    # min_n=1 forces the resolver on at these n=30 fixtures; the default
+    # crossover would silently fall back to dense and pin nothing.
+    sparse = SINRParameters(sparse=SparseResolution(mode="exact", min_n=1))
     actual = serialize(run_trials(golden_plans(sparse)[name]))
     assert actual == expected
 

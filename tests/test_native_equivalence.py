@@ -30,6 +30,7 @@ suite stays green, the CI ``native`` job proves the compiled side.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro import native
 from repro.core.decay import DecayConfig
 from repro.experiments import (
     DeploymentSpec,
+    ExecutionPolicy,
     TrialPlan,
     run_trials,
     seeded_plans,
@@ -50,6 +52,7 @@ from repro.simulation.rng import (
     spawn_trial_seeds,
 )
 from repro.sinr.channel import Channel
+from repro.sinr.params import SparseResolution
 from repro.vectorized import DecayKernel, VectorRuntime
 
 from test_golden_results import _fixture_path, golden_plans, serialize
@@ -125,6 +128,176 @@ def test_native_kernel_actually_engages():
     assert runtime.channels[0].total_transmissions > 0
 
 
+# -- sparse-native CSR path + trial-parallel threading -----------------------
+
+
+def sparse_exact_params():
+    """The batch params that ride the fused CSR decode path.
+
+    ``min_n=1`` forces the resolver on for these deliberately tiny
+    deployments (the production crossover would route n=12 to the
+    dense kernels and leave nothing sparse under test)."""
+    params = TrialPlan(deployment=DEPLOYMENT).params
+    return dataclasses.replace(
+        params, sparse=SparseResolution(mode="exact", min_n=1)
+    )
+
+
+@needs_native
+@pytest.mark.parametrize("stack", ["decay", "ack"])
+@pytest.mark.parametrize("trials", [1, 8])
+@pytest.mark.parametrize("physics", ["dense", "sparse-exact"])
+@pytest.mark.parametrize("threads", [1, 2, 8])
+def test_native_matrix_physics_and_threads(stack, trials, physics, threads):
+    """The PR-10 acceptance matrix: {Decay, Ack} × {1, 8 trials} ×
+    {dense, sparse-exact} × threads {1, 2, 8} — the native kernel must
+    be dataclass-equal to the pure-numpy reference and the object
+    runtime in every cell.  Threads partition the trials axis, so this
+    also pins that results cannot depend on the thread count."""
+    kwargs = {"record_physical": False}
+    if physics == "sparse-exact":
+        kwargs["params"] = sparse_exact_params()
+    plans = make_plans(stack, trials, (0, 1, 2), **kwargs)
+    nat = run_trials(
+        plans,
+        ExecutionPolicy(vectorize=True, native=True, native_threads=threads),
+    )
+    ref = run_trials(plans, ExecutionPolicy(vectorize=True, native=False))
+    obj = run_trials(plans, ExecutionPolicy(vectorize=False))
+    assert nat == ref == obj
+    assert all(result.transmissions > 0 for result in nat)
+
+
+@needs_native
+def test_sparse_native_kernel_engages():
+    """Sparse-exact batches must actually advance in C — without this
+    pin the sparse half of the matrix could silently pass through the
+    numpy fallback."""
+    runtime = _direct_runtime(native=True, sparse=True, threads=2)
+    assert runtime._native_ok()
+    runtime.run(200)
+    assert runtime.native_slots == 200
+    assert runtime.channels[0].total_transmissions > 0
+
+
+@needs_native
+def test_sparse_farfield_stays_numpy():
+    """Only *exact* sparse mode is inside the fusion boundary: the
+    farfield approximation keeps the numpy step (its ε-contract decode
+    has no C twin), transparently."""
+    params = dataclasses.replace(
+        TrialPlan(deployment=DEPLOYMENT).params,
+        sparse=SparseResolution(mode="farfield", min_n=1),
+    )
+    plans = make_plans("decay", 2, (0, 1, 2),
+                       record_physical=False, params=params)
+    nat = run_trials(plans, ExecutionPolicy(vectorize=True, native=True))
+    ref = run_trials(plans, ExecutionPolicy(vectorize=True, native=False))
+    assert nat == ref
+
+
+@needs_native
+@pytest.mark.parametrize("threads", [3, 5])
+def test_thread_count_invariance_direct(threads):
+    """Same runtime, same seeds, different thread partition: traces and
+    counters must not move — per-trial event order is preserved because
+    each trial's events drain from the same per-thread segment in
+    ascending trial-range order."""
+    baseline = _direct_runtime(native=True)
+    threaded = _direct_runtime(native=True, threads=threads)
+    baseline.run(300)
+    threaded.run(300)
+    assert threaded.native_slots == 300
+    for a, b in zip(baseline.channels, threaded.channels):
+        assert a.total_transmissions == b.total_transmissions
+        assert a.total_receptions == b.total_receptions
+    assert list(baseline.traces[0]) == list(threaded.traces[0])
+
+
+def test_resolve_threads_decision_table(monkeypatch):
+    """explicit wins over the environment; unset defaults to 1; a bad
+    REPRO_NATIVE_THREADS fails loudly instead of silently serializing."""
+    monkeypatch.delenv("REPRO_NATIVE_THREADS", raising=False)
+    assert native.resolve_threads() == 1
+    assert native.resolve_threads(4) == 4
+    with pytest.raises(ValueError, match="native_threads"):
+        native.resolve_threads(0)
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "8")
+    assert native.resolve_threads() == 8
+    assert native.resolve_threads(2) == 2
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "two")
+    with pytest.raises(RuntimeError, match="not an integer"):
+        native.resolve_threads()
+    monkeypatch.setenv("REPRO_NATIVE_THREADS", "0")
+    with pytest.raises(RuntimeError, match=">= 1"):
+        native.resolve_threads()
+
+
+# -- eligibility decision table (mirrored by reprolint X103) -----------------
+
+# One row per predicate of VectorRuntime._native_ok.  Each row trips
+# exactly one eligibility knob on an otherwise-fusible runtime and
+# states whether the probe must still pass.  reprolint rule X103
+# cross-checks this table against the _native_ok source: a new
+# predicate without a row here fails the lint, so the selection tests
+# can never silently lag the probe.
+NATIVE_ELIGIBILITY_CASES = [
+    ("_use_native", lambda rt: setattr(rt, "_use_native", False), False),
+    ("adapter", lambda rt: setattr(rt, "adapter", object()), False),
+    ("_has_adversary", lambda rt: setattr(rt, "_has_adversary", True), False),
+    # sparse physics is ineligible unless the batch qualified for the
+    # CSR decode path (exact mode, one shared resolver)...
+    (
+        "_sparse",
+        lambda rt: (
+            setattr(rt, "_sparse", True),
+            setattr(rt, "_sparse_native_ok", False),
+        ),
+        False,
+    ),
+    # ...in which case it stays fusible.
+    (
+        "_sparse_native_ok",
+        lambda rt: (
+            setattr(rt, "_sparse", True),
+            setattr(rt, "_sparse_native_ok", True),
+        ),
+        True,
+    ),
+    ("_stochastic", lambda rt: setattr(rt, "_stochastic", True), False),
+    ("_dynamic", lambda rt: setattr(rt, "_dynamic", True), False),
+    (
+        "_alive",
+        lambda rt: setattr(
+            rt, "_alive", np.ones(rt.trials * rt.n, dtype=bool)
+        ),
+        False,
+    ),
+    (
+        "record_physical",
+        lambda rt: setattr(rt, "record_physical", True),
+        False,
+    ),
+    ("_seen", lambda rt: setattr(rt, "_seen", None), False),
+    ("kernel", lambda rt: setattr(rt, "kernel", object()), False),
+]
+
+
+@needs_native
+@pytest.mark.parametrize(
+    "attr,trip,expected",
+    NATIVE_ELIGIBILITY_CASES,
+    ids=[case[0] for case in NATIVE_ELIGIBILITY_CASES],
+)
+def test_native_eligibility_decision_table(attr, trip, expected):
+    """Every _native_ok predicate flips eligibility exactly as the
+    decision table states."""
+    runtime = _direct_runtime(native=True)
+    assert runtime._native_ok(), "baseline runtime must be fusible"
+    trip(runtime)
+    assert runtime._native_ok() is expected
+
+
 # -- golden-fixture replay (fallback transparency) --------------------------
 
 
@@ -144,17 +317,27 @@ def test_golden_fixtures_replay_under_forced_native(name, monkeypatch):
 # -- backend selection ------------------------------------------------------
 
 
-def _direct_runtime(chunk: int = 512, native: bool | None = None):
+def _direct_runtime(
+    chunk: int = 512,
+    native: bool | None = None,
+    sparse: bool = False,
+    threads: int | None = None,
+):
     points = resolve_deployment(DEPLOYMENT)
     params = TrialPlan(deployment=DEPLOYMENT).params
-    artifacts = deployment_artifacts(points, params)
+    if sparse:
+        params = sparse_exact_params()
     config = DecayConfig(contention_bound=16.0, eps_ack=0.2)
-    channel = Channel(
-        points,
-        params,
-        distances=artifacts.distances,
-        gains=artifacts.gains,
-    )
+    if sparse:
+        channel = Channel(points, params)
+    else:
+        artifacts = deployment_artifacts(points, params)
+        channel = Channel(
+            points,
+            params,
+            distances=artifacts.distances,
+            gains=artifacts.gains,
+        )
     runtime = VectorRuntime(
         [channel],
         DecayKernel([config], N),
@@ -162,6 +345,7 @@ def _direct_runtime(chunk: int = 512, native: bool | None = None):
         record_physical=False,
         chunk=chunk,
         native=native,
+        native_threads=threads,
     )
     for node in range(N):
         runtime.bcast(0, node, payload=f"m{node}")
@@ -242,6 +426,59 @@ def test_results_invariant_under_chunk_size(chunk):
     assert [e[:3] for e in baseline.traces[0]] == [
         e[:3] for e in resized.traces[0]
     ]
+
+
+# -- build staleness --------------------------------------------------------
+
+
+def test_build_stamp_catches_flag_and_source_changes(tmp_path, monkeypatch):
+    """The stamp sidecar must rebuild on _FLAGS changes — the case the
+    old mtime-only check missed (the .so postdates the .c, so a flag
+    like -pthread appearing in a new revision silently kept a stale
+    kernel).  Exercised against a scratch source so the real kernel is
+    never touched."""
+    import importlib
+
+    # repro.native re-exports the build *function*, shadowing the
+    # submodule attribute; resolve the module itself.
+    build_mod = importlib.import_module("repro.native.build")
+
+    compiler = build_mod._find_compiler()
+    if compiler is None:
+        pytest.skip("no C compiler available")
+    source = tmp_path / "stamped.c"
+    source.write_text("int stamped(void) { return 7; }\n", encoding="utf-8")
+    monkeypatch.setattr(build_mod, "SOURCE", source)
+    monkeypatch.setattr(build_mod, "TARGET", source.with_suffix(".so"))
+    monkeypatch.setattr(
+        build_mod, "STAMP", source.with_suffix(".buildstamp.json")
+    )
+
+    target = build_mod.build(quiet=True)
+    assert target is not None and target.is_file()
+    assert build_mod.STAMP.is_file()
+    assert build_mod._is_fresh(compiler)
+
+    # Same source, same flags: a second build is a no-op.
+    mtime = target.stat().st_mtime_ns
+    assert build_mod.build(quiet=True) == target
+    assert target.stat().st_mtime_ns == mtime
+
+    # A flag change makes the build stale even though the .so still
+    # postdates the .c — exactly what mtime comparison cannot see.
+    monkeypatch.setattr(
+        build_mod, "_FLAGS", (*build_mod._FLAGS, "-DSTAMP_TEST")
+    )
+    assert not build_mod._is_fresh(compiler)
+    assert build_mod.build(quiet=True) == target
+    assert build_mod._is_fresh(compiler)
+
+    # Source edits and stamp corruption are stale too.
+    source.write_text("int stamped(void) { return 8; }\n", encoding="utf-8")
+    assert not build_mod._is_fresh(compiler)
+    build_mod.build(quiet=True)
+    build_mod.STAMP.write_text("not json", encoding="utf-8")
+    assert not build_mod._is_fresh(compiler)
 
 
 def test_uniform_buffer_chunk_equivalence():

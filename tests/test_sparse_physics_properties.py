@@ -86,8 +86,12 @@ def _sparse_params(
 ) -> SINRParameters:
     from dataclasses import replace
 
+    # min_n=1: these deployments are tiny by design; without forcing the
+    # crossover down the Channel would silently route them to the dense
+    # kernels and nothing sparse would be under test.
     return replace(
-        params, sparse=SparseResolution(mode=mode, epsilon=epsilon)
+        params,
+        sparse=SparseResolution(mode=mode, epsilon=epsilon, min_n=1),
     )
 
 

@@ -36,7 +36,7 @@ ALL_RULE_IDS = {
     "D101", "D102", "D103", "D104",
     "C101", "C102", "C103",
     "P100", "P101", "P102",
-    "X101", "X102",
+    "X101", "X102", "X103",
     "R101", "R102",
 }
 
@@ -421,6 +421,85 @@ class TestParity:
             paths=["src/mod.py"],
         )
         assert not hits(report, "X102")
+
+    _X103_RUNTIME = """\
+        class VectorRuntime:
+            def _native_ok(self):
+                return (
+                    self._use_native
+                    and self.adapter is None
+                    and self._seen is not None
+                )
+    """
+
+    def test_x103_flags_predicate_without_table_row(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "src/repro/vectorized/runtime.py": self._X103_RUNTIME,
+                "tests/test_native_equivalence.py": """\
+                    NATIVE_ELIGIBILITY_CASES = [
+                        ("_use_native", None, False),
+                        ("adapter", None, False),
+                    ]
+                """,
+            },
+        )
+        found = hits(report, "X103")
+        assert len(found) == 1
+        assert "_seen" in found[0].message
+        assert "add a selection test" in found[0].message
+
+    def test_x103_flags_stale_table_row(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "src/repro/vectorized/runtime.py": self._X103_RUNTIME,
+                "tests/test_native_equivalence.py": """\
+                    NATIVE_ELIGIBILITY_CASES = [
+                        ("_use_native", None, False),
+                        ("adapter", None, False),
+                        ("_seen", None, False),
+                        ("_retired_knob", None, False),
+                    ]
+                """,
+            },
+        )
+        found = hits(report, "X103")
+        assert len(found) == 1
+        assert "_retired_knob" in found[0].message
+        assert "stale" in found[0].message
+
+    def test_x103_clean_when_matched(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {
+                "src/repro/vectorized/runtime.py": self._X103_RUNTIME,
+                "tests/test_native_equivalence.py": """\
+                    NATIVE_ELIGIBILITY_CASES = [
+                        ("_use_native", None, False),
+                        ("adapter", None, False),
+                        ("_seen", None, False),
+                    ]
+                """,
+            },
+        )
+        assert not hits(report, "X103")
+
+    def test_x103_missing_table_is_an_error(self, tmp_path):
+        report = analyze(
+            tmp_path,
+            {"src/repro/vectorized/runtime.py": self._X103_RUNTIME},
+        )
+        found = hits(report, "X103")
+        assert len(found) == 1
+        assert "NATIVE_ELIGIBILITY_CASES" in found[0].message
+
+    def test_x103_silent_without_the_runtime_module(self, tmp_path):
+        # Synthetic fixture trees (every other test here) must not trip
+        # the project rule just because they scan no runtime at all.
+        report = analyze(tmp_path, {"src/mod.py": "x = 1\n"})
+        assert not hits(report, "X103")
 
 
 # -- plan purity (P1xx) ------------------------------------------------------

@@ -151,6 +151,7 @@ class TestPolicyAndResultRoundTrip:
             ExecutionPolicy(mode="sequential", workers=1),
             ExecutionPolicy(workers=4, vectorize=True, native=False,
                             share_cache=False),
+            ExecutionPolicy(native=True, native_threads=8),
         ],
     )
     def test_policy_round_trips(self, policy):
